@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks of the core kernels: neighbor search
+//! variants (the Base vs CS vs CS+DT spectrum), sorting variants, the
+//! line-buffer ILP solve, and the cycle-level engine's simulation rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamgrid_core::apps::{dataflow_graph, AppDomain};
+use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+use streamgrid_optimizer::{
+    edge_infos, optimize, plan_multi_chunk, OptimizeConfig,
+};
+use streamgrid_pointcloud::datasets::lidar::{scan, LidarConfig, Scene};
+use streamgrid_pointcloud::{Aabb, ChunkGrid, GridDims, Point3, WindowSpec};
+use streamgrid_sim::{run, EngineConfig, EnergyModel};
+use streamgrid_spatial::kdtree::{KdTree, StepBudget, TraversalOrder};
+use streamgrid_spatial::sort::{bitonic_sort_by_key, hierarchical_depth_sort};
+use streamgrid_spatial::ChunkedIndex;
+
+fn lidar_cloud() -> Vec<Point3> {
+    let scene = Scene::urban(3, 45.0, 20, 10);
+    let cfg = LidarConfig { beams: 16, azimuth_steps: 720, ..LidarConfig::default() };
+    scan(&scene, &cfg, Point3::ZERO, 0.0, 3).cloud.points().to_vec()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let pts = lidar_cloud();
+    let tree = KdTree::build(&pts);
+    let bounds = Aabb::from_points(pts.iter().copied()).unwrap();
+    let index = ChunkedIndex::build(&pts, ChunkGrid::new(bounds, GridDims::new(8, 8, 1)));
+    let spec = WindowSpec::new((2, 2, 1), (1, 1, 1));
+    let queries: Vec<Point3> = pts.iter().step_by(pts.len() / 64).copied().collect();
+
+    let mut g = c.benchmark_group("knn_16");
+    g.bench_function("exact_ordered", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(tree.knn(&pts, q, 16, StepBudget::Unlimited));
+            }
+        })
+    });
+    g.bench_function("exact_fixed_order_hw", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(tree.knn_with_order(
+                    &pts,
+                    q,
+                    16,
+                    StepBudget::Unlimited,
+                    TraversalOrder::Fixed,
+                ));
+            }
+        })
+    });
+    g.bench_function("cs_window", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                let win = index.window_for_chunk(index.grid().chunk_of(q), &spec);
+                black_box(index.knn_in_window(q, 16, &win, StepBudget::Unlimited));
+            }
+        })
+    });
+    g.bench_function("cs_dt_window_capped", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                let win = index.window_for_chunk(index.grid().chunk_of(q), &spec);
+                black_box(index.knn_in_window(q, 16, &win, StepBudget::Capped(64)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let pts = lidar_cloud();
+    let depths: Vec<f32> = pts.iter().map(|p| p.x).collect();
+    let mut g = c.benchmark_group("sort");
+    g.bench_function("std_global", |b| {
+        b.iter(|| {
+            let mut v = depths.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            black_box(v);
+        })
+    });
+    g.bench_function("bitonic_global", |b| {
+        let short: Vec<f32> = depths.iter().copied().take(4096).collect();
+        b.iter(|| {
+            let mut v = short.clone();
+            bitonic_sort_by_key(&mut v, |x| *x);
+            black_box(v);
+        })
+    });
+    g.bench_function("hierarchical_chunked", |b| {
+        b.iter(|| {
+            black_box(hierarchical_depth_sort(&pts, Point3::new(1.0, 0.0, 0.0), 64));
+        })
+    });
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("line_buffer_ilp");
+    for domain in AppDomain::ALL {
+        let (mut graph, _) = dataflow_graph(domain);
+        StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)).apply(&mut graph);
+        g.bench_function(format!("{domain:?}"), |b| {
+            b.iter(|| black_box(optimize(&graph, &OptimizeConfig::new(1200)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (mut graph, _) = dataflow_graph(AppDomain::Classification);
+    StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)).apply(&mut graph);
+    let elements = 1200u64;
+    let edges = edge_infos(&graph, elements);
+    let schedule = optimize(&graph, &OptimizeConfig::new(elements)).unwrap();
+    let plan = plan_multi_chunk(&graph, &edges);
+    let energy = EnergyModel::default();
+    c.bench_function("engine_cls_4chunks", |b| {
+        b.iter(|| {
+            black_box(run(
+                &graph,
+                &edges,
+                &schedule,
+                &plan,
+                &energy,
+                &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_knn, bench_sort, bench_optimizer, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Sec. 3: the monolithic-sorting infeasibility argument — a streaming
+//! bitonic network over half a million points buffers tens of millions
+//! of elements (paper: ">30 million elements, i.e., 30 MB").
+
+use streamgrid_spatial::sort::{bitonic_comparators, bitonic_stages, streaming_buffer_elements};
+
+fn main() {
+    streamgrid_bench::banner(
+        "Sec. 3 — bitonic sorting network buffer requirement",
+        "sorting 0.5M points needs >30M buffered elements (~30 MB on-chip)",
+        0,
+    );
+    println!(
+        "{:>12} {:>8} {:>16} {:>18} {:>12}",
+        "points", "stages", "comparators", "buffered elems", "buffer MB"
+    );
+    for n in [1_000usize, 10_000, 100_000, 500_000, 1_000_000] {
+        let elems = streaming_buffer_elements(n);
+        println!(
+            "{:>12} {:>8} {:>16} {:>18} {:>12.1}",
+            n,
+            bitonic_stages(n),
+            bitonic_comparators(n),
+            elems,
+            elems as f64 * 4.0 / 1e6 / 4.0, // 1 byte/element as the paper's 30M ≈ 30 MB
+        );
+    }
+    let half_million = streaming_buffer_elements(500_000);
+    println!(
+        "\nshape check: 0.5M points → {:.1}M buffered elements (paper: >30M)",
+        half_million as f64 / 1e6
+    );
+}

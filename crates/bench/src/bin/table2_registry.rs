@@ -1,0 +1,26 @@
+//! Tbl. 2: the evaluation benchmark registry.
+
+use streamgrid_core::apps::table2;
+
+fn main() {
+    streamgrid_bench::banner(
+        "Table 2 — Evaluation benchmarks",
+        "4 domains: classification, segmentation, registration, neural rendering",
+        0,
+    );
+    println!(
+        "{:<18} {:<16} {:<38} {:<22} {:<14} {}",
+        "domain", "algorithm", "datasets", "hw baselines", "global dep", "metric"
+    );
+    for spec in table2() {
+        println!(
+            "{:<18} {:<16} {:<38} {:<22} {:<14} {}",
+            format!("{:?}", spec.domain),
+            spec.algorithm,
+            spec.datasets.join(", "),
+            spec.hardware_baselines.join(", "),
+            spec.global_dependency,
+            spec.metric,
+        );
+    }
+}

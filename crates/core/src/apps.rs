@@ -1,0 +1,253 @@
+//! The Tbl. 2 application registry and per-app dataflow graphs.
+//!
+//! Each of the paper's four domains gets (a) a registry entry carrying
+//! the table's columns and (b) a dataflow-graph builder expressed in the
+//! Sec. 6 interface. The graphs are what the line-buffer optimizer and
+//! the cycle-level simulator consume for Figs. 17–20.
+
+use serde::{Deserialize, Serialize};
+use streamgrid_dataflow::{DataflowGraph, NodeId, Shape};
+
+/// The four application domains of Tbl. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppDomain {
+    /// PointNet++(c) on ModelNet10/40-like data.
+    Classification,
+    /// PointNet++(s) on ShapeNet-like data.
+    Segmentation,
+    /// A-LOAM on KITTI-like sequences.
+    Registration,
+    /// 3DGS on Tanks&Temples/DeepBlending-like scenes.
+    NeuralRendering,
+}
+
+impl AppDomain {
+    /// All domains in Tbl. 2 order.
+    pub const ALL: [AppDomain; 4] = [
+        AppDomain::Classification,
+        AppDomain::Segmentation,
+        AppDomain::Registration,
+        AppDomain::NeuralRendering,
+    ];
+}
+
+/// One row of Tbl. 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AppSpec {
+    /// Domain.
+    pub domain: AppDomain,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Evaluation datasets (synthetic stand-ins here; see DESIGN.md).
+    pub datasets: &'static [&'static str],
+    /// Hardware baselines compared in Fig. 18.
+    pub hardware_baselines: &'static [&'static str],
+    /// The pipeline's global-dependent operation.
+    pub global_dependency: &'static str,
+    /// Accuracy metric.
+    pub metric: &'static str,
+}
+
+/// The benchmark registry (Tbl. 2).
+pub fn table2() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            domain: AppDomain::Classification,
+            algorithm: "PointNet++ (c)",
+            datasets: &["ModelNet10-like", "ModelNet40-like"],
+            hardware_baselines: &["PointAcc", "Mesorasi"],
+            global_dependency: "Range Search",
+            metric: "overall accuracy",
+        },
+        AppSpec {
+            domain: AppDomain::Segmentation,
+            algorithm: "PointNet++ (s)",
+            datasets: &["ShapeNet-like"],
+            hardware_baselines: &["PointAcc", "Mesorasi"],
+            global_dependency: "Range Search",
+            metric: "mIoU",
+        },
+        AppSpec {
+            domain: AppDomain::Registration,
+            algorithm: "A-LOAM",
+            datasets: &["KITTI-like"],
+            hardware_baselines: &["QuickNN", "Tigris"],
+            global_dependency: "kNN Search",
+            metric: "translation/rotation error",
+        },
+        AppSpec {
+            domain: AppDomain::NeuralRendering,
+            algorithm: "3DGS",
+            datasets: &["Tanks&Temple-like", "DeepBlending-like"],
+            hardware_baselines: &["GScore"],
+            global_dependency: "Sorting",
+            metric: "PSNR",
+        },
+    ]
+}
+
+/// Builds the domain's pipeline as a dataflow graph (Sec. 6 interface).
+///
+/// Returned alongside the graph are the ids of its global-dependent
+/// stages (for transform application and inspection).
+pub fn dataflow_graph(domain: AppDomain) -> (DataflowGraph, Vec<NodeId>) {
+    let mut g = DataflowGraph::new();
+    match domain {
+        // PointNet++(c): scale → range search → grouped MLP → max-pool
+        // reduction → head MLP. (The Fig. 8 pipeline with its S/R/M
+        // stages, plus the classification tail.)
+        AppDomain::Classification => {
+            let src = g.source("reader", Shape::new(1, 3), 1);
+            let scale = g.map("scale", Shape::new(1, 3), Shape::new(1, 3), 2);
+            // Range search: reads one point per cycle, emits a group of
+            // 8 neighbor features every 8 cycles.
+            let rs = g.global_op(
+                "range_search",
+                Shape::new(1, 3),
+                1,
+                Shape::new(8, 3),
+                8,
+                (1, 1),
+                8,
+            );
+            let mlp = g.map("group_mlp", Shape::new(1, 3), Shape::new(1, 16), 4);
+            // Max-pool over each 8-neighbor group.
+            let pool = g.reduction("max_pool", Shape::new(1, 16), Shape::new(1, 16), 2, 8);
+            let head = g.map("head_mlp", Shape::new(1, 16), Shape::new(1, 4), 6);
+            let sink = g.sink("logits", Shape::new(1, 4), 1);
+            g.connect(src, scale);
+            g.connect(scale, rs);
+            g.connect(rs, mlp);
+            g.connect(mlp, pool);
+            g.connect(pool, head);
+            g.connect(head, sink);
+            (g, vec![rs])
+        }
+        // PointNet++(s): like (c) but with a feature-propagation stage
+        // that interpolates back to full resolution (stencil over the
+        // centroid stream) instead of a classification head.
+        AppDomain::Segmentation => {
+            let src = g.source("reader", Shape::new(1, 3), 1);
+            let scale = g.map("scale", Shape::new(1, 3), Shape::new(1, 3), 2);
+            let rs = g.global_op(
+                "range_search",
+                Shape::new(1, 3),
+                1,
+                Shape::new(8, 3),
+                8,
+                (1, 1),
+                8,
+            );
+            let mlp = g.map("group_mlp", Shape::new(1, 3), Shape::new(1, 16), 4);
+            let pool = g.reduction("max_pool", Shape::new(1, 16), Shape::new(1, 16), 2, 8);
+            let fp = g.stencil("feature_prop", Shape::new(1, 16), Shape::new(8, 8), 4, (3, 1));
+            let head = g.map("point_head", Shape::new(1, 8), Shape::new(1, 4), 4);
+            let sink = g.sink("labels", Shape::new(1, 4), 1);
+            g.connect(src, scale);
+            g.connect(scale, rs);
+            g.connect(rs, mlp);
+            g.connect(mlp, pool);
+            g.connect(pool, fp);
+            g.connect(fp, head);
+            g.connect(head, sink);
+            (g, vec![rs])
+        }
+        // A-LOAM: curvature stencil → feature selection (reduction) →
+        // kNN correspondence search (global) → Gauss-Newton accumulation
+        // (reduction).
+        AppDomain::Registration => {
+            let src = g.source("scan_reader", Shape::new(1, 3), 1);
+            // 1×11 curvature stencil (±5 neighbors, Fig. 2a).
+            let curv = g.stencil("curvature", Shape::new(1, 3), Shape::new(1, 4), 4, (11, 1));
+            // Keep the best 1 of every 8 candidates.
+            let select = g.reduction("feature_select", Shape::new(1, 4), Shape::new(1, 4), 2, 8);
+            let knn = g.global_op(
+                "knn_search",
+                Shape::new(1, 4),
+                1,
+                Shape::new(2, 4),
+                4,
+                (1, 1),
+                8,
+            );
+            let residual = g.map("residual", Shape::new(1, 4), Shape::new(1, 8), 4);
+            // Normal-equation accumulation: one 6×6 system per 64
+            // correspondences.
+            let gn = g.reduction("gauss_newton", Shape::new(1, 8), Shape::new(6, 8), 8, 64);
+            let sink = g.sink("pose", Shape::new(6, 8), 1);
+            g.connect(src, curv);
+            g.connect(curv, select);
+            g.connect(select, knn);
+            g.connect(knn, residual);
+            g.connect(residual, gn);
+            g.connect(gn, sink);
+            (g, vec![knn])
+        }
+        // 3DGS: projection → depth sort (global) → tile raster.
+        AppDomain::NeuralRendering => {
+            let src = g.source("gaussian_reader", Shape::new(1, 8), 1);
+            let project = g.map("project", Shape::new(1, 8), Shape::new(1, 6), 4);
+            let sort = g.global_op(
+                "depth_sort",
+                Shape::new(1, 6),
+                1,
+                Shape::new(1, 6),
+                1,
+                (1, 1),
+                16,
+            );
+            // Rasterize: each sorted splat touches a 2×1 tile window.
+            let raster = g.stencil("rasterize", Shape::new(1, 6), Shape::new(1, 3), 8, (2, 1));
+            let sink = g.sink("framebuffer", Shape::new(1, 3), 1);
+            g.connect(src, project);
+            g.connect(project, sort);
+            g.connect(sort, raster);
+            g.connect(raster, sink);
+            (g, vec![sort])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_four_domains() {
+        let t = table2();
+        assert_eq!(t.len(), 4);
+        for (spec, domain) in t.iter().zip(AppDomain::ALL) {
+            assert_eq!(spec.domain, domain);
+        }
+    }
+
+    #[test]
+    fn all_graphs_validate() {
+        for domain in AppDomain::ALL {
+            let (g, globals) = dataflow_graph(domain);
+            assert!(g.validate().is_ok(), "{domain:?} graph invalid");
+            assert!(!globals.is_empty(), "{domain:?} must have a global op");
+            for id in globals {
+                assert!(g.node(id).kind.is_global());
+            }
+        }
+    }
+
+    #[test]
+    fn volumes_flow_through_every_graph() {
+        for domain in AppDomain::ALL {
+            let (g, _) = dataflow_graph(domain);
+            let w = g.volumes(3 * 1024);
+            assert!(w.iter().all(|&v| v > 0), "{domain:?}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn registry_matches_paper_baselines() {
+        let t = table2();
+        assert!(t[0].hardware_baselines.contains(&"PointAcc"));
+        assert!(t[2].hardware_baselines.contains(&"QuickNN"));
+        assert_eq!(t[3].hardware_baselines, &["GScore"]);
+        assert_eq!(t[2].global_dependency, "kNN Search");
+    }
+}

@@ -1,0 +1,210 @@
+//! The end-to-end StreamGrid framework (Fig. 1): algorithm description →
+//! CS/DT transform → dataflow analysis → ILP line-buffer optimization →
+//! cycle-level execution.
+
+use serde::{Deserialize, Serialize};
+use streamgrid_dataflow::DataflowGraph;
+use streamgrid_optimizer::{
+    edge_infos, optimize, plan_multi_chunk, EdgeInfo, MultiChunkPlan, OptimizeConfig,
+    OptimizeError, Schedule,
+};
+use streamgrid_sim::{
+    run, BufferPolicy, EngineConfig, EnergyModel, GlobalLatencyModel, RunReport,
+};
+
+use crate::apps::{dataflow_graph, AppDomain};
+use crate::transform::StreamGridConfig;
+
+/// A pipeline compiled through the whole Fig. 1 flow.
+#[derive(Debug, Clone)]
+pub struct CompiledPipeline {
+    /// The transformed dataflow graph.
+    pub graph: DataflowGraph,
+    /// Per-edge derived constants.
+    pub edges: Vec<EdgeInfo>,
+    /// The ILP schedule (start cycles + line-buffer sizes).
+    pub schedule: Schedule,
+    /// Multi-chunk issue plan with bubbles (Fig. 11).
+    pub plan: MultiChunkPlan,
+    /// Elements per chunk at the source.
+    pub chunk_elements: u64,
+    /// Chunks per cloud.
+    pub n_chunks: u64,
+    /// The active transform.
+    pub config: StreamGridConfig,
+}
+
+/// Compilation summary the paper's Fig. 17 reports: total buffer bytes
+/// and the solved schedule's statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompileSummary {
+    /// Total line-buffer size in bytes (4-byte elements).
+    pub onchip_bytes: u64,
+    /// Cycles for one whole cloud.
+    pub total_cycles: u64,
+    /// ILP constraint count (after pruning).
+    pub constraints: usize,
+    /// Branch & bound nodes used by the solve.
+    pub solver_nodes: u64,
+}
+
+/// The framework: owns the transform configuration and compiles app
+/// pipelines.
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_core::apps::AppDomain;
+/// use streamgrid_core::framework::StreamGrid;
+/// use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+///
+/// let framework = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
+/// let compiled = framework
+///     .compile(AppDomain::Classification, 9 * 1024)
+///     .expect("classification pipeline compiles");
+/// assert!(compiled.schedule.total_buffer_elements > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamGrid {
+    config: StreamGridConfig,
+}
+
+impl StreamGrid {
+    /// Creates the framework with a transform configuration.
+    pub fn new(config: StreamGridConfig) -> Self {
+        StreamGrid { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StreamGridConfig {
+        &self.config
+    }
+
+    /// Compiles an application pipeline for a cloud of `total_elements`
+    /// source elements: applies the CS/DT transform, extracts
+    /// dependencies, solves the line-buffer ILP, and plans multi-chunk
+    /// issue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizeError`] from the ILP stage.
+    pub fn compile(
+        &self,
+        domain: AppDomain,
+        total_elements: u64,
+    ) -> Result<CompiledPipeline, OptimizeError> {
+        let (mut graph, _) = dataflow_graph(domain);
+        self.config.apply(&mut graph);
+        let n_chunks = self.config.chunk_count();
+        let chunk_elements = (total_elements / n_chunks).max(1);
+        let edges = edge_infos(&graph, chunk_elements);
+        let schedule = optimize(&graph, &OptimizeConfig::new(chunk_elements))?;
+        let plan = plan_multi_chunk(&graph, &edges);
+        Ok(CompiledPipeline {
+            graph,
+            edges,
+            schedule,
+            plan,
+            chunk_elements,
+            n_chunks,
+            config: self.config,
+        })
+    }
+}
+
+impl CompiledPipeline {
+    /// Headline numbers of the compiled design.
+    pub fn summary(&self) -> CompileSummary {
+        CompileSummary {
+            onchip_bytes: self.schedule.total_buffer_bytes(4),
+            total_cycles: self.plan.total_cycles(self.schedule.makespan, self.n_chunks),
+            constraints: self.schedule.constraint_count,
+            solver_nodes: self.schedule.solver_nodes,
+        }
+    }
+
+    /// Executes the compiled pipeline on the cycle-level simulator.
+    /// Deterministic termination ⇒ strict buffers and fixed global-op
+    /// latency; otherwise variable latency with elastic buffers.
+    pub fn simulate(&self, energy_model: &EnergyModel, seed: u64) -> RunReport {
+        let deterministic = self.config.termination.is_some();
+        let (latency, policy) = if deterministic {
+            (GlobalLatencyModel::Deterministic, BufferPolicy::Strict)
+        } else {
+            (GlobalLatencyModel::Variable { cv: 0.8, seed }, BufferPolicy::Elastic)
+        };
+        run(
+            &self.graph,
+            &self.edges,
+            &self.schedule,
+            &self.plan,
+            energy_model,
+            &EngineConfig {
+                n_chunks: self.n_chunks,
+                global_latency: latency,
+                buffer_policy: policy,
+                ..EngineConfig::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::SplitConfig;
+
+    #[test]
+    fn compiles_every_domain_cs_dt() {
+        let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
+        for domain in AppDomain::ALL {
+            let c = fw.compile(domain, 9 * 600).expect("compiles");
+            assert!(c.schedule.total_buffer_elements > 0, "{domain:?}");
+            assert_eq!(c.n_chunks, 9);
+        }
+    }
+
+    #[test]
+    fn csdt_buffers_smaller_than_base() {
+        let base = StreamGrid::new(StreamGridConfig::base());
+        let csdt = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
+        for domain in AppDomain::ALL {
+            let b = base.compile(domain, 9 * 600).unwrap().summary();
+            let c = csdt.compile(domain, 9 * 600).unwrap().summary();
+            assert!(
+                c.onchip_bytes < b.onchip_bytes,
+                "{domain:?}: CS+DT {} vs Base {}",
+                c.onchip_bytes,
+                b.onchip_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn csdt_simulation_is_clean() {
+        let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
+        let c = fw.compile(AppDomain::Classification, 9 * 300).unwrap();
+        let report = c.simulate(&EnergyModel::default(), 1);
+        assert_eq!(report.overflow_edge, None);
+        assert_eq!(report.stall_cycles, 0, "CS+DT must run stall-free");
+    }
+
+    #[test]
+    fn base_simulation_starves() {
+        let fw = StreamGrid::new(StreamGridConfig::base());
+        let c = fw.compile(AppDomain::Classification, 2700).unwrap();
+        let report = c.simulate(&EnergyModel::default(), 2);
+        assert!(
+            report.starved_cycles > 0,
+            "Base's input-dependent latency must create pipeline bubbles"
+        );
+    }
+
+    #[test]
+    fn summary_reports_constraints() {
+        let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
+        let s = fw.compile(AppDomain::Registration, 9 * 400).unwrap().summary();
+        assert!(s.constraints > 0);
+        assert!(s.total_cycles > 0);
+    }
+}

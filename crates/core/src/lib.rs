@@ -1,0 +1,48 @@
+//! StreamGrid: streaming point-cloud analytics via compulsory splitting
+//! and deterministic termination.
+//!
+//! This crate is the paper's primary contribution assembled over the
+//! workspace's substrates (Fig. 1's flow):
+//!
+//! 1. **Algorithm transformation** ([`transform`]) — compulsory
+//!    splitting (Sec. 4.1) and deterministic termination (Sec. 4.2) as
+//!    configuration over a pipeline;
+//! 2. **Dataflow description** ([`apps`]) — the Tbl. 2 applications
+//!    expressed in the Sec. 6 programming interface;
+//! 3. **Line-buffer optimization** — delegated to
+//!    `streamgrid-optimizer` (Sec. 5's ILP with constraint pruning and
+//!    multi-chunk bubbles);
+//! 4. **Execution** ([`framework`]) — the compiled design runs on the
+//!    cycle-level simulator of `streamgrid-sim`.
+//!
+//! The algorithmic counterparts (how CS/DT change *results*, not just
+//! buffers) live in the application substrates: `streamgrid-nn` for
+//! PointNet++ (+ integrated co-training, Sec. 4.3),
+//! `streamgrid-registration` for A-LOAM, `streamgrid-splat` for 3DGS.
+//!
+//! # Examples
+//!
+//! ```
+//! use streamgrid_core::apps::AppDomain;
+//! use streamgrid_core::framework::StreamGrid;
+//! use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+//!
+//! // Base vs CS+DT on the classification pipeline: the headline Fig. 17
+//! // buffer reduction, end to end.
+//! let elements = 9 * 600;
+//! let base = StreamGrid::new(StreamGridConfig::base())
+//!     .compile(AppDomain::Classification, elements)
+//!     .unwrap();
+//! let csdt = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()))
+//!     .compile(AppDomain::Classification, elements)
+//!     .unwrap();
+//! assert!(csdt.summary().onchip_bytes < base.summary().onchip_bytes);
+//! ```
+
+pub mod apps;
+pub mod framework;
+pub mod transform;
+
+pub use apps::{dataflow_graph, table2, AppDomain, AppSpec};
+pub use framework::{CompileSummary, CompiledPipeline, StreamGrid};
+pub use transform::{SplitConfig, StreamGridConfig, TerminationConfig};

@@ -1,0 +1,638 @@
+//! Dataflow graphs — the paper's programming interface (Sec. 6).
+//!
+//! Users describe a point-cloud pipeline as a graph of abstract
+//! operations without specifying their computation; only the parameters
+//! of Tbl. 1 (`i_shape`, `i_freq`, `reuse`, `stage`, `o_shape`, `o_freq`)
+//! are given, exactly as in Listing 1:
+//!
+//! ```text
+//! stencil   (i_shape, o_shape, stage, reuse)          # freqs inferred = 1
+//! reduction (i_shape, o_shape, stage, o_freq)         # i_freq inferred = 1
+//! global_op (i_shape, o_shape, i_freq, o_freq, reuse, stage)
+//! ```
+//!
+//! The graph exposes the derived quantities the optimizer consumes:
+//! per-stage input/output throughputs (τ, Sec. 5.2) and per-stage output
+//! volumes (`W_i` in Eqn. 7).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::{Rate, Shape};
+
+/// Handle to a stage in a [`DataflowGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The node's index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a producer→consumer edge (one line buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub(crate) usize);
+
+impl EdgeId {
+    /// The edge's index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operation category, deciding which data-dependency constraint applies
+/// (Eqn. 6 for local, Eqn. 7 for global).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Streams input from off-chip (the raw point cloud reader).
+    Source,
+    /// Sliding-window local operation.
+    Stencil,
+    /// Many-to-one local operation.
+    Reduction,
+    /// Elementwise local operation (scaling, thresholding, MLP applied
+    /// point-wise).
+    Map,
+    /// Global-dependent operation (kNN/range search, sorting): consumes
+    /// its entire input before producing (per chunk).
+    GlobalOp,
+    /// Streams results off-chip or to the next engine.
+    Sink,
+}
+
+impl OpKind {
+    /// `true` for global-dependent operations.
+    pub fn is_global(self) -> bool {
+        matches!(self, OpKind::GlobalOp)
+    }
+}
+
+/// One pipeline stage with its Tbl. 1 parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageNode {
+    /// Stage name (diagnostics and constraint names).
+    pub name: String,
+    /// Operation category.
+    pub kind: OpKind,
+    /// Input shape ρ_in.
+    pub i_shape: Shape,
+    /// Input read frequency f_in (reads every `i_freq` cycles).
+    pub i_freq: u32,
+    /// Output shape ρ_out.
+    pub o_shape: Shape,
+    /// Output write frequency f_out.
+    pub o_freq: u32,
+    /// Pipeline depth Δt_stage (cycles from first read to first write).
+    pub stage_depth: u32,
+    /// Input reuse β per dimension; each input element is read
+    /// `reuse.0 × reuse.1` times in total.
+    pub reuse: (u32, u32),
+    /// For global ops under compulsory splitting: how many chunks the
+    /// operation's sliding window spans (Fig. 7's kernel, e.g. 2 for a
+    /// 1×2 chunk window). 1 for everything else.
+    pub window_chunks: u32,
+}
+
+impl StageNode {
+    /// Effective input reuse factor β (product over dimensions).
+    pub fn beta(&self) -> u32 {
+        self.reuse.0 * self.reuse.1
+    }
+
+    /// Output throughput τ_out = ρ_out / f_out (elements per cycle).
+    pub fn tau_out(&self) -> Rate {
+        if matches!(self.kind, OpKind::Sink) {
+            return Rate::ZERO;
+        }
+        Rate::new(self.o_shape.elements() as i64, self.o_freq as i64)
+    }
+
+    /// Input throughput. For stencils and global ops reuse slows net
+    /// consumption: τ_in = ρ_in / (β · f_in); reductions and maps consume
+    /// at ρ_in / f_in (Sec. 5.2).
+    pub fn tau_in(&self) -> Rate {
+        if matches!(self.kind, OpKind::Source) {
+            return Rate::ZERO;
+        }
+        let base = Rate::new(self.i_shape.elements() as i64, self.i_freq as i64);
+        match self.kind {
+            OpKind::Stencil | OpKind::GlobalOp => base.div(self.beta() as i64),
+            _ => base,
+        }
+    }
+}
+
+/// Validation failures of a [`DataflowGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// The graph contains a cycle through the named node.
+    Cycle(String),
+    /// Producer output attributes differ from consumer input attributes.
+    ShapeMismatch {
+        /// Producer stage name.
+        producer: String,
+        /// Consumer stage name.
+        consumer: String,
+    },
+    /// A non-source node has no producer.
+    MissingProducer(String),
+    /// A zero frequency was supplied.
+    ZeroFrequency(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "dataflow graph is empty"),
+            GraphError::Cycle(n) => write!(f, "dataflow graph has a cycle through {n}"),
+            GraphError::ShapeMismatch { producer, consumer } => {
+                write!(f, "attribute width mismatch on edge {producer} -> {consumer}")
+            }
+            GraphError::MissingProducer(n) => {
+                write!(f, "stage {n} has no producer and is not a source")
+            }
+            GraphError::ZeroFrequency(n) => write!(f, "stage {n} has zero frequency"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A point-cloud pipeline as a DAG of stages; every edge is one line
+/// buffer.
+///
+/// # Examples
+///
+/// The Fig. 12 pipeline — an 8-stage kNN search feeding a 2×3 stencil:
+///
+/// ```
+/// use streamgrid_dataflow::{DataflowGraph, Shape};
+///
+/// let mut g = DataflowGraph::new();
+/// let src = g.source("reader", Shape::new(1, 3), 1);
+/// let knn = g.global_op("knn", Shape::new(1, 3), 1, Shape::new(4, 3), 8, (1, 1), 8);
+/// let sten = g.stencil("stencil2x3", Shape::new(1, 3), Shape::new(1, 1), 2, (2, 1));
+/// let sink = g.sink("writer", Shape::new(1, 1), 1);
+/// g.connect(src, knn);
+/// g.connect(knn, sten);
+/// g.connect(sten, sink);
+/// assert!(g.validate().is_ok());
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataflowGraph {
+    nodes: Vec<StageNode>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DataflowGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DataflowGraph::default()
+    }
+
+    fn push(&mut self, node: StageNode) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds an off-chip source producing `o_shape` every `o_freq` cycles.
+    pub fn source(&mut self, name: &str, o_shape: Shape, o_freq: u32) -> NodeId {
+        self.push(StageNode {
+            name: name.to_owned(),
+            kind: OpKind::Source,
+            i_shape: Shape::new(1, 1),
+            i_freq: 1,
+            o_shape,
+            o_freq,
+            stage_depth: 0,
+            reuse: (1, 1),
+            window_chunks: 1,
+        })
+    }
+
+    /// Adds a sink consuming `i_shape` every `i_freq` cycles.
+    pub fn sink(&mut self, name: &str, i_shape: Shape, i_freq: u32) -> NodeId {
+        self.push(StageNode {
+            name: name.to_owned(),
+            kind: OpKind::Sink,
+            i_shape,
+            i_freq,
+            o_shape: Shape::new(1, 1),
+            o_freq: 1,
+            stage_depth: 0,
+            reuse: (1, 1),
+            window_chunks: 1,
+        })
+    }
+
+    /// Adds a stencil (Listing 1: `stencil(i_shape, o_shape, stage,
+    /// reuse)`; frequencies are implicitly 1).
+    pub fn stencil(
+        &mut self,
+        name: &str,
+        i_shape: Shape,
+        o_shape: Shape,
+        stage: u32,
+        reuse: (u32, u32),
+    ) -> NodeId {
+        self.push(StageNode {
+            name: name.to_owned(),
+            kind: OpKind::Stencil,
+            i_shape,
+            i_freq: 1,
+            o_shape,
+            o_freq: 1,
+            stage_depth: stage,
+            reuse,
+            window_chunks: 1,
+        })
+    }
+
+    /// Adds a reduction (Listing 1: `reduction(i_shape, o_shape, stage,
+    /// o_freq)`; `i_freq` implicitly 1, no reuse).
+    pub fn reduction(
+        &mut self,
+        name: &str,
+        i_shape: Shape,
+        o_shape: Shape,
+        stage: u32,
+        o_freq: u32,
+    ) -> NodeId {
+        self.push(StageNode {
+            name: name.to_owned(),
+            kind: OpKind::Reduction,
+            i_shape,
+            i_freq: 1,
+            o_shape,
+            o_freq,
+            stage_depth: stage,
+            reuse: (1, 1),
+            window_chunks: 1,
+        })
+    }
+
+    /// Adds an elementwise map stage (scaling, per-point MLP, …).
+    pub fn map(
+        &mut self,
+        name: &str,
+        i_shape: Shape,
+        o_shape: Shape,
+        stage: u32,
+    ) -> NodeId {
+        self.push(StageNode {
+            name: name.to_owned(),
+            kind: OpKind::Map,
+            i_shape,
+            i_freq: 1,
+            o_shape,
+            o_freq: 1,
+            stage_depth: stage,
+            reuse: (1, 1),
+            window_chunks: 1,
+        })
+    }
+
+    /// Adds a global-dependent operation (Listing 1: `global_op(i_shape,
+    /// o_shape, i_freq, o_freq, reuse, stage)`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn global_op(
+        &mut self,
+        name: &str,
+        i_shape: Shape,
+        i_freq: u32,
+        o_shape: Shape,
+        o_freq: u32,
+        reuse: (u32, u32),
+        stage: u32,
+    ) -> NodeId {
+        self.push(StageNode {
+            name: name.to_owned(),
+            kind: OpKind::GlobalOp,
+            i_shape,
+            i_freq,
+            o_shape,
+            o_freq,
+            stage_depth: stage,
+            reuse,
+            window_chunks: 1,
+        })
+    }
+
+    /// Sets the chunk-window span of a global op under compulsory
+    /// splitting (Fig. 7: a 1×2 kernel gives `window_chunks = 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a global op or `chunks == 0`.
+    pub fn set_window_chunks(&mut self, node: NodeId, chunks: u32) {
+        assert!(chunks > 0, "window must span at least one chunk");
+        let n = &mut self.nodes[node.0];
+        assert!(
+            matches!(n.kind, OpKind::GlobalOp),
+            "window_chunks only applies to global ops (stage {})",
+            n.name
+        );
+        n.window_chunks = chunks;
+    }
+
+    /// Connects `producer → consumer`; the edge is one line buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or the edge already exists.
+    pub fn connect(&mut self, producer: NodeId, consumer: NodeId) -> EdgeId {
+        assert!(producer.0 < self.nodes.len() && consumer.0 < self.nodes.len());
+        assert!(
+            !self.edges.contains(&(producer, consumer)),
+            "duplicate edge {} -> {}",
+            self.nodes[producer.0].name,
+            self.nodes[consumer.0].name
+        );
+        self.edges.push((producer, consumer));
+        EdgeId(self.edges.len() - 1)
+    }
+
+    /// Number of stages.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (line buffers).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The stage behind `id`.
+    pub fn node(&self, id: NodeId) -> &StageNode {
+        &self.nodes[id.0]
+    }
+
+    /// All stages with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &StageNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// All edges with their ids.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, c))| (EdgeId(i), p, c))
+    }
+
+    /// The endpoints of an edge.
+    pub fn edge(&self, id: EdgeId) -> (NodeId, NodeId) {
+        self.edges[id.0]
+    }
+
+    /// Consumers of `node`.
+    pub fn consumers(&self, node: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|&&(p, _)| p == node)
+            .map(|&(_, c)| c)
+            .collect()
+    }
+
+    /// Producers of `node`.
+    pub fn producers(&self, node: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|&&(_, c)| c == node)
+            .map(|&(p, _)| p)
+            .collect()
+    }
+
+    /// Topological order of the stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] when the graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for &(_, c) in &self.edges {
+            indeg[c.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(NodeId(i));
+            for &(p, c) in &self.edges {
+                if p.0 == i {
+                    indeg[c.0] -= 1;
+                    if indeg[c.0] == 0 {
+                        queue.push(c.0);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(GraphError::Cycle(stuck));
+        }
+        Ok(order)
+    }
+
+    /// Validates the graph: non-empty, acyclic, every non-source has a
+    /// producer, attribute widths match along edges, frequencies are
+    /// positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] found.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        for n in &self.nodes {
+            if n.i_freq == 0 || n.o_freq == 0 || n.reuse.0 == 0 || n.reuse.1 == 0 {
+                return Err(GraphError::ZeroFrequency(n.name.clone()));
+            }
+        }
+        self.topo_order()?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !matches!(n.kind, OpKind::Source) && self.producers(NodeId(i)).is_empty() {
+                return Err(GraphError::MissingProducer(n.name.clone()));
+            }
+        }
+        for &(p, c) in &self.edges {
+            let prod = &self.nodes[p.0];
+            let cons = &self.nodes[c.0];
+            if prod.o_shape.attrs != cons.i_shape.attrs {
+                return Err(GraphError::ShapeMismatch {
+                    producer: prod.name.clone(),
+                    consumer: cons.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Output volume `W_i` (elements per chunk) of every stage, given the
+    /// number of elements each source emits per chunk.
+    ///
+    /// `W` propagates along the chain: a stage running for
+    /// `d = W_producer / τ_in` cycles emits `d · τ_out` elements (Eqn. 7
+    /// uses `W_i / τ_out,i` as the stage's write duration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph fails [`DataflowGraph::validate`].
+    pub fn volumes(&self, source_elements: u64) -> Vec<u64> {
+        self.validate().expect("invalid graph");
+        let order = self.topo_order().expect("validated");
+        let mut w = vec![0u64; self.nodes.len()];
+        for id in order {
+            let node = &self.nodes[id.0];
+            match node.kind {
+                OpKind::Source => w[id.0] = source_elements,
+                _ => {
+                    let input: u64 = self
+                        .producers(id)
+                        .iter()
+                        .map(|p| w[p.0])
+                        .max()
+                        .unwrap_or(0);
+                    if matches!(node.kind, OpKind::Sink) {
+                        w[id.0] = input;
+                        continue;
+                    }
+                    let tau_in = node.tau_in();
+                    let tau_out = node.tau_out();
+                    // W_i = input · (τ_out / τ_in), in exact arithmetic.
+                    let num = input as u128 * tau_out.num() as u128 * tau_in.den() as u128;
+                    let den = tau_out.den() as u128 * tau_in.num() as u128;
+                    w[id.0] = ((num + den / 2) / den) as u64;
+                }
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig12() -> (DataflowGraph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = DataflowGraph::new();
+        let src = g.source("reader", Shape::new(1, 3), 1);
+        let knn = g.global_op("knn", Shape::new(1, 3), 1, Shape::new(4, 3), 8, (1, 1), 8);
+        let sten = g.stencil("stencil", Shape::new(1, 3), Shape::new(1, 1), 2, (2, 1));
+        let sink = g.sink("writer", Shape::new(1, 1), 1);
+        g.connect(src, knn);
+        g.connect(knn, sten);
+        g.connect(sten, sink);
+        (g, src, knn, sten, sink)
+    }
+
+    #[test]
+    fn fig12_throughputs() {
+        let (g, _, knn, sten, _) = fig12();
+        // kNN: reads 1×3 per cycle → τ_in = 3; writes 4×3 every 8 → τ_out = 12/8.
+        assert_eq!(g.node(knn).tau_in(), Rate::new(3, 1));
+        assert_eq!(g.node(knn).tau_out(), Rate::new(12, 8));
+        // Stencil with reuse (2,1): τ_in = 3/2, τ_out = 1.
+        assert_eq!(g.node(sten).tau_in(), Rate::new(3, 2));
+        assert_eq!(g.node(sten).tau_out(), Rate::ONE);
+    }
+
+    #[test]
+    fn validate_accepts_fig12() {
+        let (g, ..) = fig12();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn volumes_propagate() {
+        let (g, src, knn, sten, sink) = fig12();
+        // 256 points → 768 elements from the source.
+        let w = g.volumes(768);
+        assert_eq!(w[src.index()], 768);
+        // kNN: 768 input elements at τ_in=3 → 256 cycles; τ_out=1.5 → 384.
+        assert_eq!(w[knn.index()], 384);
+        // Stencil: 384 at τ_in=1.5 → 256 cycles; τ_out=1 → 256.
+        assert_eq!(w[sten.index()], 256);
+        assert_eq!(w[sink.index()], 256);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = DataflowGraph::new();
+        let a = g.map("a", Shape::new(1, 1), Shape::new(1, 1), 1);
+        let b = g.map("b", Shape::new(1, 1), Shape::new(1, 1), 1);
+        g.connect(a, b);
+        g.connect(b, a);
+        assert!(matches!(g.validate(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let mut g = DataflowGraph::new();
+        let s = g.source("src", Shape::new(1, 3), 1);
+        let m = g.map("m", Shape::new(1, 4), Shape::new(1, 4), 1);
+        g.connect(s, m);
+        assert!(matches!(g.validate(), Err(GraphError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn missing_producer_detected() {
+        let mut g = DataflowGraph::new();
+        let _orphan = g.map("orphan", Shape::new(1, 1), Shape::new(1, 1), 1);
+        assert!(matches!(g.validate(), Err(GraphError::MissingProducer(_))));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(DataflowGraph::new().validate(), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn duplicate_nodes_allowed_but_edges_unique() {
+        let mut g = DataflowGraph::new();
+        let s = g.source("s", Shape::new(1, 1), 1);
+        let k = g.sink("k", Shape::new(1, 1), 1);
+        g.connect(s, k);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            g.connect(s, k);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn fanout_consumers_listed() {
+        let mut g = DataflowGraph::new();
+        let s = g.source("s", Shape::new(1, 3), 1);
+        let a = g.map("a", Shape::new(1, 3), Shape::new(1, 3), 1);
+        let b = g.map("b", Shape::new(1, 3), Shape::new(1, 3), 1);
+        g.connect(s, a);
+        g.connect(s, b);
+        let mut cons = g.consumers(s);
+        cons.sort();
+        assert_eq!(cons, vec![a, b]);
+        assert_eq!(g.producers(a), vec![s]);
+    }
+
+    #[test]
+    fn reduction_volume_shrinks() {
+        let mut g = DataflowGraph::new();
+        let s = g.source("s", Shape::new(1, 1), 1);
+        // 8:1 reduction — reads 1 element/cycle, emits 1 every 8.
+        let r = g.reduction("max", Shape::new(1, 1), Shape::new(1, 1), 1, 8);
+        let k = g.sink("k", Shape::new(1, 1), 1);
+        g.connect(s, r);
+        g.connect(r, k);
+        let w = g.volumes(64);
+        assert_eq!(w[r.index()], 8);
+    }
+}

@@ -1,0 +1,209 @@
+//! Shapes and exact rational throughputs (Tbl. 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A data shape `[points, attributes]` — the paper's `i_shape`/`o_shape`
+/// tuples (e.g. `[1, 3]` is one xyz point, `[4, 3]` is four points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Number of points (`x` in the paper's `[x, y]`).
+    pub points: u32,
+    /// Attributes per point (`y`).
+    pub attrs: u32,
+}
+
+impl Shape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(points: u32, attrs: u32) -> Self {
+        assert!(points > 0 && attrs > 0, "shape dimensions must be positive");
+        Shape { points, attrs }
+    }
+
+    /// Total elements (`points × attrs`).
+    pub fn elements(&self) -> u64 {
+        self.points as u64 * self.attrs as u64
+    }
+}
+
+/// An exact non-negative rational, used for throughputs (ρ/f elements per
+/// cycle). Exact arithmetic keeps the ILP constraint coefficients free of
+/// float drift.
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_dataflow::Rate;
+///
+/// let tau = Rate::new(12, 8); // 12 elements every 8 cycles
+/// assert_eq!(tau, Rate::new(3, 2));
+/// assert_eq!(tau.as_f64(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Rate {
+    num: i64,
+    den: i64,
+}
+
+impl Rate {
+    /// Creates `num / den`, reduced to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or either part is negative.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "zero denominator");
+        assert!(num >= 0 && den > 0, "rates must be non-negative");
+        let g = gcd(num.max(1), den);
+        Rate { num: num / g, den: den / g }
+    }
+
+    /// Zero.
+    pub const ZERO: Rate = Rate { num: 0, den: 1 };
+
+    /// One element per cycle.
+    pub const ONE: Rate = Rate { num: 1, den: 1 };
+
+    /// Numerator after reduction.
+    pub fn num(&self) -> i64 {
+        self.num
+    }
+
+    /// Denominator after reduction.
+    pub fn den(&self) -> i64 {
+        self.den
+    }
+
+    /// The rate as a float.
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `true` when the rate is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Multiplies by an integer.
+    pub fn scale(&self, k: i64) -> Rate {
+        assert!(k >= 0, "negative scale");
+        Rate::new(self.num * k, self.den)
+    }
+
+    /// Divides by an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0`.
+    pub fn div(&self, k: i64) -> Rate {
+        assert!(k > 0, "divisor must be positive");
+        Rate::new(self.num, self.den * k)
+    }
+
+    /// Exact reciprocal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn recip(&self) -> Rate {
+        assert!(self.num > 0, "reciprocal of zero rate");
+        Rate { num: self.den, den: self.num }
+    }
+
+    /// Cycles needed to move `elements` at this rate, rounded up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn cycles_for(&self, elements: u64) -> u64 {
+        assert!(self.num > 0, "zero rate never finishes");
+        let num = elements as i128 * self.den as i128;
+        let den = self.num as i128;
+        ((num + den - 1) / den) as u64
+    }
+}
+
+impl PartialEq for Rate {
+    fn eq(&self, other: &Self) -> bool {
+        self.num as i128 * other.den as i128 == other.num as i128 * self.den as i128
+    }
+}
+
+impl Eq for Rate {}
+
+impl PartialOrd for Rate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.num as i128 * other.den as i128).cmp(&(other.num as i128 * self.den as i128))
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let r = Rate::new(6, 4);
+        assert_eq!(r.num(), 3);
+        assert_eq!(r.den(), 2);
+    }
+
+    #[test]
+    fn zero_rate() {
+        let z = Rate::new(0, 5);
+        assert!(z.is_zero());
+        assert_eq!(z.as_f64(), 0.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rate::new(1, 2) < Rate::new(2, 3));
+        assert_eq!(Rate::new(2, 4), Rate::new(1, 2));
+        assert!(Rate::new(3, 1) > Rate::ONE);
+    }
+
+    #[test]
+    fn cycles_for_rounds_up() {
+        // 3 elements every 2 cycles → 10 elements need ceil(20/3) = 7.
+        let r = Rate::new(3, 2);
+        assert_eq!(r.cycles_for(10), 7);
+        assert_eq!(r.cycles_for(0), 0);
+        assert_eq!(Rate::ONE.cycles_for(42), 42);
+    }
+
+    #[test]
+    fn scale_and_div() {
+        let r = Rate::new(1, 2);
+        assert_eq!(r.scale(4), Rate::new(2, 1));
+        assert_eq!(r.div(2), Rate::new(1, 4));
+        assert_eq!(r.recip(), Rate::new(2, 1));
+    }
+
+    #[test]
+    fn shape_elements() {
+        assert_eq!(Shape::new(4, 3).elements(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shape_panics() {
+        let _ = Shape::new(0, 3);
+    }
+}

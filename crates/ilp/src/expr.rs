@@ -1,0 +1,218 @@
+//! Linear expressions over model variables.
+
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a variable in a [`crate::model::Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The variable's index in the model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + constant`.
+///
+/// Expressions are built with operator overloading:
+///
+/// ```
+/// use streamgrid_ilp::{LinExpr, Model};
+///
+/// let mut m = Model::new();
+/// let x = m.add_var("x", 0.0, 10.0, false);
+/// let y = m.add_var("y", 0.0, 10.0, false);
+/// let e = LinExpr::from(x) * 2.0 + LinExpr::from(y) - 3.0;
+/// assert_eq!(e.coefficient(x), 2.0);
+/// assert_eq!(e.constant(), -3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinExpr {
+    /// Coefficients keyed by variable (BTreeMap keeps constraints
+    /// deterministic across runs).
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant_value(c: f64) -> Self {
+        LinExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// A single term `coef · var`.
+    pub fn term(var: VarId, coef: f64) -> Self {
+        let mut e = LinExpr::new();
+        e.add_term(var, coef);
+        e
+    }
+
+    /// Adds `coef · var` in place.
+    pub fn add_term(&mut self, var: VarId, coef: f64) {
+        let entry = self.terms.entry(var).or_insert(0.0);
+        *entry += coef;
+        if entry.abs() < 1e-12 {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// The coefficient of `var` (0 when absent).
+    pub fn coefficient(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The constant offset.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over `(var, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of variables with non-zero coefficients.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluates the expression at an assignment (indexed by
+    /// `VarId::index`).
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant + self.iter().map(|(v, c)| c * values[v.index()]).sum::<f64>()
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant_value(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.iter() {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.iter() {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: f64) -> LinExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        if rhs == 0.0 {
+            return LinExpr::new();
+        }
+        for c in self.terms.values_mut() {
+            *c *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> (VarId, VarId) {
+        (VarId(0), VarId(1))
+    }
+
+    #[test]
+    fn build_and_eval() {
+        let (x, y) = vars();
+        let e = LinExpr::term(x, 2.0) + LinExpr::term(y, -1.0) + 5.0;
+        assert_eq!(e.eval(&[3.0, 4.0]), 2.0 * 3.0 - 4.0 + 5.0);
+    }
+
+    #[test]
+    fn terms_merge_and_cancel() {
+        let (x, _) = vars();
+        let e = LinExpr::term(x, 2.0) + LinExpr::term(x, -2.0);
+        assert_eq!(e.term_count(), 0);
+        assert_eq!(e.coefficient(x), 0.0);
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let (x, y) = vars();
+        let e = LinExpr::from(x) - LinExpr::from(y);
+        assert_eq!(e.coefficient(x), 1.0);
+        assert_eq!(e.coefficient(y), -1.0);
+        let n = -e;
+        assert_eq!(n.coefficient(x), -1.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let (x, _) = vars();
+        let e = (LinExpr::from(x) + 1.0) * 3.0;
+        assert_eq!(e.coefficient(x), 3.0);
+        assert_eq!(e.constant(), 3.0);
+        let z = e * 0.0;
+        assert_eq!(z.term_count(), 0);
+        assert_eq!(z.constant(), 0.0);
+    }
+}

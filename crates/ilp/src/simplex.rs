@@ -1,0 +1,432 @@
+//! Dense two-phase primal simplex.
+//!
+//! Sized for the line-buffer optimizer's problems (tens of variables,
+//! up to a few thousand constraints after pruning — see the constraint-
+//! pruning ablation). The tableau is dense `f64`; Bland's rule guards
+//! against cycling once iterations exceed a threshold.
+
+use crate::model::{CmpOp, Model, Sense};
+
+/// Outcome of an LP relaxation solve.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LpOutcome {
+    /// Optimal assignment in original variable space plus objective value.
+    Optimal { values: Vec<f64>, objective: f64, iterations: u64 },
+    /// No feasible assignment.
+    Infeasible,
+    /// Objective unbounded in the optimization direction.
+    Unbounded,
+}
+
+const PIVOT_TOL: f64 = 1e-9;
+const COST_TOL: f64 = 1e-9;
+const FEAS_TOL: f64 = 1e-7;
+
+/// Solves the LP relaxation of `model` with per-variable bound overrides
+/// (used by branch & bound).
+pub(crate) fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> LpOutcome {
+    let n = model.var_count();
+    debug_assert_eq!(bounds.len(), n);
+    // Reject empty domains immediately (branching can create them).
+    for &(lo, hi) in bounds {
+        if lo > hi + FEAS_TOL {
+            return LpOutcome::Infeasible;
+        }
+    }
+
+    // Shift x = lo + x', x' >= 0. Collect rows in `a·x' (op) b` form.
+    struct Row {
+        coefs: Vec<(usize, f64)>,
+        op: CmpOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.constraint_count() + n);
+    for c in &model.constraints {
+        let mut shift = c.expr.constant();
+        let mut coefs = Vec::with_capacity(c.expr.term_count());
+        for (v, coef) in c.expr.iter() {
+            shift += coef * bounds[v.index()].0;
+            coefs.push((v.index(), coef));
+        }
+        rows.push(Row { coefs, op: c.op, rhs: c.rhs - shift });
+    }
+    // Finite upper bounds become rows x' <= hi - lo.
+    for (i, &(lo, hi)) in bounds.iter().enumerate() {
+        if hi.is_finite() {
+            rows.push(Row { coefs: vec![(i, 1.0)], op: CmpOp::Le, rhs: hi - lo });
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural n][slack/surplus s][artificial t][rhs].
+    let mut slack_count = 0usize;
+    for r in &rows {
+        if r.op != CmpOp::Eq {
+            slack_count += 1;
+        }
+    }
+    // Worst case every row needs an artificial.
+    let total = n + slack_count + m;
+    let rhs_col = total;
+    let mut tab = vec![vec![0.0f64; total + 1]; m];
+    let mut basic = vec![usize::MAX; m];
+    let mut artificial_cols: Vec<usize> = Vec::new();
+
+    let mut next_slack = n;
+    let mut next_artificial = n + slack_count;
+    for (i, r) in rows.iter().enumerate() {
+        let flip = r.rhs < 0.0;
+        let sgn = if flip { -1.0 } else { 1.0 };
+        for &(j, c) in &r.coefs {
+            tab[i][j] += sgn * c;
+        }
+        tab[i][rhs_col] = sgn * r.rhs;
+        match r.op {
+            CmpOp::Le | CmpOp::Ge => {
+                // Le → +1 slack, Ge → -1 surplus (before sign flip).
+                let base = if r.op == CmpOp::Le { 1.0 } else { -1.0 };
+                let coef = sgn * base;
+                tab[i][next_slack] = coef;
+                if coef > 0.0 {
+                    basic[i] = next_slack;
+                }
+                next_slack += 1;
+            }
+            CmpOp::Eq => {}
+        }
+        if basic[i] == usize::MAX {
+            tab[i][next_artificial] = 1.0;
+            basic[i] = next_artificial;
+            artificial_cols.push(next_artificial);
+            next_artificial += 1;
+        }
+    }
+    let art_start = n + slack_count;
+
+    let mut iterations = 0u64;
+
+    // Phase 1: minimize sum of artificials.
+    if !artificial_cols.is_empty() {
+        let mut obj = vec![0.0f64; total + 1];
+        for &c in &artificial_cols {
+            obj[c] = 1.0;
+        }
+        // Eliminate basic artificials from the objective row.
+        for (i, &b) in basic.iter().enumerate() {
+            if b >= art_start && obj[b] != 0.0 {
+                let f = obj[b];
+                for j in 0..=total {
+                    obj[j] -= f * tab[i][j];
+                }
+            }
+        }
+        match run_simplex(&mut tab, &mut obj, &mut basic, total, rhs_col, None, &mut iterations) {
+            SimplexEnd::Optimal => {}
+            SimplexEnd::Unbounded => return LpOutcome::Infeasible, // phase 1 is bounded below by 0
+        }
+        // -obj[rhs] is the phase-1 optimum.
+        if -obj[rhs_col] > FEAS_TOL {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any remaining basic artificials out (degenerate rows).
+        for i in 0..m {
+            if basic[i] >= art_start {
+                if let Some(j) = (0..art_start).find(|&j| tab[i][j].abs() > PIVOT_TOL) {
+                    pivot(&mut tab, &mut [0.0; 0], i, j, total, &mut basic);
+                }
+                // If no structural pivot exists the row is redundant
+                // (all-zero); the artificial stays at value 0 harmlessly.
+            }
+        }
+    }
+
+    // Phase 2: original objective over structural columns, as minimize.
+    let minimize_sign = match model.sense {
+        Some(Sense::Minimize) | None => 1.0,
+        Some(Sense::Maximize) => -1.0,
+    };
+    let mut obj = vec![0.0f64; total + 1];
+    for (v, c) in model.objective.iter() {
+        obj[v.index()] = minimize_sign * c;
+    }
+    // Eliminate basic structural costs.
+    for (i, &b) in basic.iter().enumerate() {
+        if b <= total && obj[b].abs() > 0.0 {
+            let f = obj[b];
+            for j in 0..=total {
+                obj[j] -= f * tab[i][j];
+            }
+        }
+    }
+    let forbid_from = art_start; // artificials may not re-enter
+    match run_simplex(
+        &mut tab,
+        &mut obj,
+        &mut basic,
+        total,
+        rhs_col,
+        Some(forbid_from),
+        &mut iterations,
+    ) {
+        SimplexEnd::Optimal => {}
+        SimplexEnd::Unbounded => return LpOutcome::Unbounded,
+    }
+
+    // Read out structural values and un-shift.
+    let mut shifted = vec![0.0f64; n];
+    for (i, &b) in basic.iter().enumerate() {
+        if b < n {
+            shifted[b] = tab[i][rhs_col];
+        }
+    }
+    let values: Vec<f64> = shifted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| bounds[i].0 + x)
+        .collect();
+    let objective = model.objective.eval(&values);
+    LpOutcome::Optimal { values, objective, iterations }
+}
+
+enum SimplexEnd {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs primal simplex iterations on the tableau until optimality or
+/// unboundedness. `forbid_from`: columns at or beyond this index may not
+/// enter the basis (used to lock out artificials in phase 2).
+fn run_simplex(
+    tab: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basic: &mut [usize],
+    total: usize,
+    rhs_col: usize,
+    forbid_from: Option<usize>,
+    iterations: &mut u64,
+) -> SimplexEnd {
+    let m = tab.len();
+    let limit = forbid_from.unwrap_or(total);
+    let bland_after = 20 * (m as u64 + total as u64) + 100;
+    loop {
+        *iterations += 1;
+        let use_bland = *iterations > bland_after;
+        // Entering column: most negative reduced cost (Dantzig) or first
+        // negative (Bland).
+        let mut entering = None;
+        let mut best = -COST_TOL;
+        for j in 0..limit {
+            if obj[j] < -COST_TOL {
+                if use_bland {
+                    entering = Some(j);
+                    break;
+                }
+                if obj[j] < best {
+                    best = obj[j];
+                    entering = Some(j);
+                }
+            }
+        }
+        let Some(e) = entering else { return SimplexEnd::Optimal };
+        // Ratio test.
+        let mut leaving = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = tab[i][e];
+            if a > PIVOT_TOL {
+                let ratio = tab[i][rhs_col] / a;
+                let better = ratio < best_ratio - 1e-12
+                    || (use_bland
+                        && (ratio - best_ratio).abs() <= 1e-12
+                        && leaving.map(|l: usize| basic[i] < basic[l]).unwrap_or(false));
+                if better {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let Some(l) = leaving else { return SimplexEnd::Unbounded };
+        pivot(tab, obj, l, e, total, basic);
+    }
+}
+
+/// Pivots the tableau (and objective row when non-empty) on `(row, col)`.
+fn pivot(
+    tab: &mut [Vec<f64>],
+    obj: &mut [f64],
+    row: usize,
+    col: usize,
+    total: usize,
+    basic: &mut [usize],
+) {
+    let p = tab[row][col];
+    debug_assert!(p.abs() > PIVOT_TOL, "pivot on near-zero element");
+    for j in 0..=total {
+        tab[row][j] /= p;
+    }
+    for i in 0..tab.len() {
+        if i != row {
+            let f = tab[i][col];
+            if f.abs() > 0.0 {
+                for j in 0..=total {
+                    tab[i][j] -= f * tab[row][j];
+                }
+            }
+        }
+    }
+    if !obj.is_empty() {
+        let f = obj[col];
+        if f.abs() > 0.0 {
+            for j in 0..=total {
+                obj[j] -= f * tab[row][j];
+            }
+        }
+    }
+    basic[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::Model;
+
+    fn bounds_of(m: &Model) -> Vec<(f64, f64)> {
+        m.vars.iter().map(|v| (v.lower, v.upper)).collect()
+    }
+
+    #[test]
+    fn textbook_maximize() {
+        // max 3x + 2y s.t. x + y <= 4, 2x + y <= 5 → x=1, y=3, obj 9.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, false);
+        m.add_constraint("c1", LinExpr::from(x) + LinExpr::from(y), CmpOp::Le, 4.0);
+        m.add_constraint("c2", LinExpr::from(x) * 2.0 + LinExpr::from(y), CmpOp::Le, 5.0);
+        m.set_objective(LinExpr::from(x) * 3.0 + LinExpr::from(y) * 2.0, Sense::Maximize);
+        match solve_lp(&m, &bounds_of(&m)) {
+            LpOutcome::Optimal { values, objective, .. } => {
+                assert!((objective - 9.0).abs() < 1e-6, "{objective}");
+                assert!((values[0] - 1.0).abs() < 1e-6);
+                assert!((values[1] - 3.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints_needs_phase1() {
+        // min x + y s.t. x + 2y >= 6, 3x + y >= 9 → intersection at
+        // (2.4, 1.8), obj 4.2.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, false);
+        m.add_constraint("c1", LinExpr::from(x) + LinExpr::from(y) * 2.0, CmpOp::Ge, 6.0);
+        m.add_constraint("c2", LinExpr::from(x) * 3.0 + LinExpr::from(y), CmpOp::Ge, 9.0);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y), Sense::Minimize);
+        match solve_lp(&m, &bounds_of(&m)) {
+            LpOutcome::Optimal { objective, values, .. } => {
+                assert!((objective - 4.2).abs() < 1e-6, "{objective} at {values:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x - y = 2 → x=6, y=4, obj 24.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, false);
+        m.add_constraint("sum", LinExpr::from(x) + LinExpr::from(y), CmpOp::Eq, 10.0);
+        m.add_constraint("diff", LinExpr::from(x) - LinExpr::from(y), CmpOp::Eq, 2.0);
+        m.set_objective(LinExpr::from(x) * 2.0 + LinExpr::from(y) * 3.0, Sense::Minimize);
+        match solve_lp(&m, &bounds_of(&m)) {
+            LpOutcome::Optimal { objective, values, .. } => {
+                assert!((values[0] - 6.0).abs() < 1e-6);
+                assert!((values[1] - 4.0).abs() < 1e-6);
+                assert!((objective - 24.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, false);
+        m.add_constraint("lo", LinExpr::from(x), CmpOp::Ge, 5.0);
+        m.add_constraint("hi", LinExpr::from(x), CmpOp::Le, 3.0);
+        m.set_objective(LinExpr::from(x), Sense::Minimize);
+        assert_eq!(solve_lp(&m, &bounds_of(&m)), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, false);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        assert_eq!(solve_lp(&m, &bounds_of(&m)), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn respects_variable_bounds() {
+        // max x with x <= 7 via bound only.
+        let mut m = Model::new();
+        let x = m.add_var("x", 2.0, 7.0, false);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        match solve_lp(&m, &bounds_of(&m)) {
+            LpOutcome::Optimal { values, .. } => assert!((values[0] - 7.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_lower_bounds_shift_correctly() {
+        // min x s.t. x >= -5 → -5.
+        let mut m = Model::new();
+        let x = m.add_var("x", -5.0, 5.0, false);
+        m.set_objective(LinExpr::from(x), Sense::Minimize);
+        match solve_lp(&m, &bounds_of(&m)) {
+            LpOutcome::Optimal { values, .. } => assert!((values[0] + 5.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalize() {
+        // x - y <= -1 with x,y in [0,10]: min y → y = x + 1 at x=0 → y=1.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0, false);
+        let y = m.add_var("y", 0.0, 10.0, false);
+        m.add_constraint("c", LinExpr::from(x) - LinExpr::from(y), CmpOp::Le, -1.0);
+        m.set_objective(LinExpr::from(y), Sense::Minimize);
+        match solve_lp(&m, &bounds_of(&m)) {
+            LpOutcome::Optimal { values, .. } => {
+                assert!((values[1] - 1.0).abs() < 1e-6, "{values:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, false);
+        for i in 0..6 {
+            m.add_constraint(
+                &format!("c{i}"),
+                LinExpr::from(x) * (1.0 + i as f64 * 1e-9) + LinExpr::from(y),
+                CmpOp::Le,
+                1.0,
+            );
+        }
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y), Sense::Maximize);
+        match solve_lp(&m, &bounds_of(&m)) {
+            LpOutcome::Optimal { objective, .. } => assert!((objective - 1.0).abs() < 1e-5),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Linear layers, shared MLPs, and the Adam optimizer.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Matrix;
+
+/// A fully-connected layer `y = x·W + b` with gradient accumulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f32>,
+    gw: Matrix,
+    gb: Vec<f32>,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new(inputs: usize, outputs: usize, rng: &mut SmallRng) -> Self {
+        let scale = (6.0 / (inputs + outputs) as f32).sqrt();
+        Linear {
+            w: Matrix::from_fn(inputs, outputs, |_, _| rng.random_range(-scale..scale)),
+            b: vec![0.0; outputs],
+            gw: Matrix::zeros(inputs, outputs),
+            gb: vec![0.0; outputs],
+        }
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass over a batch (rows = samples).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// input gradient.
+    pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
+        let gw = x.t_matmul(dy);
+        for (g, n) in self.gw.data_mut().iter_mut().zip(gw.data()) {
+            *g += n;
+        }
+        for r in 0..dy.rows() {
+            for (g, &d) in self.gb.iter_mut().zip(dy.row(r)) {
+                *g += d;
+            }
+        }
+        dy.matmul_t(&self.w)
+    }
+
+    fn params_and_grads(&mut self) -> (Vec<&mut f32>, Vec<f32>) {
+        let grads: Vec<f32> =
+            self.gw.data().iter().chain(self.gb.iter()).copied().collect();
+        let params: Vec<&mut f32> =
+            self.w.data_mut().iter_mut().chain(self.b.iter_mut()).collect();
+        (params, grads)
+    }
+
+    fn zero_grad(&mut self) {
+        for g in self.gw.data_mut() {
+            *g = 0.0;
+        }
+        for g in &mut self.gb {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+}
+
+/// A shared MLP: linear layers with ReLU between (none after the last).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+/// Forward activations cached for the backward pass.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    inputs: Vec<Matrix>,
+    masks: Vec<Vec<bool>>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[3, 32, 64]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], rng: &mut SmallRng) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs()
+    }
+
+    /// Forward pass; the cache feeds [`Mlp::backward`].
+    pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCache) {
+        let mut cache = MlpCache { inputs: Vec::new(), masks: Vec::new() };
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            cache.inputs.push(cur.clone());
+            let mut y = layer.forward(&cur);
+            if i + 1 < self.layers.len() {
+                cache.masks.push(y.relu_inplace());
+            }
+            cur = y;
+        }
+        (cur, cache)
+    }
+
+    /// Backward pass; returns the gradient w.r.t. the input batch.
+    pub fn backward(&mut self, cache: &MlpCache, dy: &Matrix) -> Matrix {
+        let mut grad = dy.clone();
+        for i in (0..self.layers.len()).rev() {
+            if i < self.cache_mask_len(cache) && i + 1 < self.layers.len() {
+                grad.mask_inplace(&cache.masks[i]);
+            }
+            grad = self.layers[i].backward(&cache.inputs[i], &grad);
+        }
+        grad
+    }
+
+    fn cache_mask_len(&self, cache: &MlpCache) -> usize {
+        cache.masks.len() + 1
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Collects `(parameter, gradient)` pairs for the optimizer.
+    pub fn params_and_grads(&mut self) -> (Vec<&mut f32>, Vec<f32>) {
+        let mut params = Vec::new();
+        let mut grads = Vec::new();
+        for l in &mut self.layers {
+            let (p, g) = l.params_and_grads();
+            params.extend(p);
+            grads.extend(g);
+        }
+        (params, grads)
+    }
+}
+
+/// Adam optimizer state over a flat parameter vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates Adam for `n` parameters at learning rate `lr`.
+    pub fn new(n: usize, lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+
+    /// One update step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter/gradient counts differ from `n`.
+    pub fn step(&mut self, params: &mut [&mut f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count changed");
+        assert_eq!(grads.len(), self.m.len(), "gradient count changed");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..grads.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            *params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Deterministic RNG for parameter initialization.
+pub fn init_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::softmax_cross_entropy;
+
+    #[test]
+    fn linear_forward_shape() {
+        let mut rng = init_rng(1);
+        let l = Linear::new(3, 5, &mut rng);
+        let x = Matrix::zeros(4, 3);
+        let y = l.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 5));
+    }
+
+    #[test]
+    fn mlp_gradient_check() {
+        // Numeric gradient check of dLoss/dInput through a 2-layer MLP.
+        let mut rng = init_rng(2);
+        let mut mlp = Mlp::new(&[3, 6, 2], &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.8, 0.1, 0.9, -0.4]);
+        let labels = vec![0u32, 1];
+        let (logits, cache) = mlp.forward(&x);
+        let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+        let dx = mlp.backward(&cache, &dlogits);
+        let eps = 1e-3;
+        for idx in 0..x.data().len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let (lp, _) = softmax_cross_entropy(&mlp.forward(&xp).0, &labels);
+            let (lm, _) = softmax_cross_entropy(&mlp.forward(&xm).0, &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[idx]).abs() < 2e-3,
+                "input {idx}: numeric {numeric} vs analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_problem() {
+        // Learn XOR-ish separation in a few Adam steps.
+        let mut rng = init_rng(3);
+        let mut mlp = Mlp::new(&[2, 16, 2], &mut rng);
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let labels = vec![0u32, 1, 1, 0];
+        let mut adam = Adam::new(mlp.param_count(), 0.03);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..200 {
+            mlp.zero_grad();
+            let (logits, cache) = mlp.forward(&x);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &labels);
+            mlp.backward(&cache, &dlogits);
+            let (mut params, grads) = mlp.params_and_grads();
+            adam.step(&mut params, &grads);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.2,
+            "loss {last_loss} vs initial {}",
+            first_loss.unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut rng = init_rng(4);
+        let mut mlp = Mlp::new(&[2, 3], &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let (_, cache) = mlp.forward(&x);
+        let dy = Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]);
+        mlp.backward(&cache, &dy);
+        let (_, grads) = mlp.params_and_grads();
+        assert!(grads.iter().any(|&g| g != 0.0));
+        mlp.zero_grad();
+        let (_, grads) = mlp.params_and_grads();
+        assert!(grads.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn param_count_is_consistent() {
+        let mut rng = init_rng(5);
+        let mlp = Mlp::new(&[3, 8, 4], &mut rng);
+        assert_eq!(mlp.param_count(), 3 * 8 + 8 + 8 * 4 + 4);
+    }
+}

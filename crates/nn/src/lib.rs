@@ -1,0 +1,42 @@
+//! Neural substrate: PointNet++-style networks with integrated
+//! co-training.
+//!
+//! This crate implements the `PointNet++(c)`/`PointNet++(s)` pipelines
+//! of the paper's Tbl. 2 from scratch — tensors, layers, Adam, farthest
+//! point sampling, ball-query grouping, set abstraction, feature
+//! propagation — with one twist that carries the paper's contribution:
+//! the grouping operation (the global-dependent range search) is
+//! pluggable ([`sampling::SearchMode`]), so the same network can run
+//! with canonical search (Base), compulsory splitting (CS), or
+//! splitting plus deterministic termination (CS+DT), both at inference
+//! and *during training* — the integrated co-training of Sec. 4.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use streamgrid_nn::pointnet::ClsNet;
+//! use streamgrid_nn::sampling::SearchMode;
+//! use streamgrid_pointcloud::Point3;
+//!
+//! let points: Vec<Point3> = (0..64)
+//!     .map(|i| Point3::new((i % 8) as f32 / 8.0, (i / 8) as f32 / 8.0, 0.0))
+//!     .collect();
+//! let net = ClsNet::new(4, 42);
+//! let (logits, _) = net.forward(&points, &SearchMode::Exact, 0);
+//! assert_eq!(logits.cols(), 4);
+//! ```
+
+pub mod layers;
+pub mod pointnet;
+pub mod sampling;
+pub mod tensor;
+pub mod train;
+
+pub use layers::{Adam, Linear, Mlp};
+pub use pointnet::{ClsNet, SaConfig, SaLayer, SegNet};
+pub use sampling::{farthest_point_sampling, group_neighbors, GroupingConfig, SearchMode};
+pub use tensor::{argmax_rows, softmax_cross_entropy, Matrix};
+pub use train::{
+    eval_classifier, eval_segmenter, train_classifier, train_segmenter, ClsSample, SegSample,
+    TrainConfig, TrainStats,
+};

@@ -1,0 +1,597 @@
+//! PointNet++-style networks: set abstraction, feature propagation,
+//! classification and segmentation heads.
+//!
+//! These are the `PointNet++(c)` and `PointNet++(s)` pipelines of
+//! Tbl. 2, scaled to run from scratch on a laptop. Grouping (the
+//! global-dependent range search) is pluggable via
+//! [`crate::sampling::SearchMode`], which is how Base/CS/CS+DT inference
+//! and co-training are expressed. Gradients flow through the MLPs and
+//! pooling only — never through sampling or grouping — matching the
+//! paper's Fig. 10.
+
+use streamgrid_pointcloud::Point3;
+
+use crate::layers::{init_rng, Adam, Mlp, MlpCache};
+use crate::sampling::{farthest_point_sampling, group_neighbors, GroupingConfig, SearchMode};
+use crate::tensor::Matrix;
+
+/// One set-abstraction level's hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaConfig {
+    /// Centroids sampled by FPS.
+    pub centroids: usize,
+    /// Neighbors per group.
+    pub group_size: usize,
+    /// Ball radius.
+    pub radius: f32,
+    /// Hidden/output widths of the shared MLP (input width is derived:
+    /// 3 relative coordinates + incoming feature width).
+    pub mlp_widths: Vec<usize>,
+}
+
+/// A set-abstraction layer: FPS → ball grouping → shared MLP → max pool.
+#[derive(Debug, Clone)]
+pub struct SaLayer {
+    config: SaConfig,
+    mlp: Mlp,
+    in_features: usize,
+}
+
+/// Forward cache of one SA invocation.
+#[derive(Debug, Clone)]
+pub struct SaCache {
+    centroid_indices: Vec<u32>,
+    groups: Vec<Vec<u32>>,
+    mlp_cache: MlpCache,
+    /// Row index (into the MLP batch) whose activation won the max pool,
+    /// per (centroid, output channel).
+    argmax: Matrix,
+    group_rows: usize,
+}
+
+impl SaLayer {
+    /// Creates the layer; `in_features` is the incoming per-point
+    /// feature width (0 for raw clouds).
+    pub fn new(config: SaConfig, in_features: usize, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        let mut widths = vec![3 + in_features];
+        widths.extend_from_slice(&config.mlp_widths);
+        SaLayer { mlp: Mlp::new(&widths, &mut rng), config, in_features }
+    }
+
+    /// Output feature width.
+    pub fn out_features(&self) -> usize {
+        self.mlp.outputs()
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.mlp.param_count()
+    }
+
+    /// Forward pass.
+    ///
+    /// Returns `(centroid positions, centroid features, cache)`.
+    pub fn forward(
+        &self,
+        points: &[Point3],
+        features: Option<&Matrix>,
+        mode: &SearchMode,
+        seed: u64,
+    ) -> (Vec<Point3>, Matrix, SaCache) {
+        let in_f = features.map(|f| f.cols()).unwrap_or(0);
+        assert_eq!(in_f, self.in_features, "feature width mismatch");
+        let m = self.config.centroids.min(points.len());
+        let centroid_indices = farthest_point_sampling(points, m, seed);
+        let grouping = GroupingConfig {
+            radius: self.config.radius,
+            group_size: self.config.group_size,
+            mode: mode.clone(),
+        };
+        let groups = group_neighbors(points, &centroid_indices, &grouping);
+        let k = self.config.group_size;
+        let cols = 3 + self.in_features;
+        let mut x = Matrix::zeros(m * k, cols);
+        for (gi, group) in groups.iter().enumerate() {
+            let c = points[centroid_indices[gi] as usize];
+            for (ni, &pi) in group.iter().enumerate() {
+                let row = gi * k + ni;
+                let rel = points[pi as usize] - c;
+                x.set(row, 0, rel.x);
+                x.set(row, 1, rel.y);
+                x.set(row, 2, rel.z);
+                if let Some(f) = features {
+                    for (j, &v) in f.row(pi as usize).iter().enumerate() {
+                        x.set(row, 3 + j, v);
+                    }
+                }
+            }
+        }
+        let (y, mlp_cache) = self.mlp.forward(&x);
+        let out_f = y.cols();
+        let mut pooled = Matrix::zeros(m, out_f);
+        let mut argmax = Matrix::zeros(m, out_f);
+        for gi in 0..m {
+            for j in 0..out_f {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_row = gi * k;
+                for ni in 0..k {
+                    let v = y.get(gi * k + ni, j);
+                    if v > best {
+                        best = v;
+                        best_row = gi * k + ni;
+                    }
+                }
+                pooled.set(gi, j, best);
+                argmax.set(gi, j, best_row as f32);
+            }
+        }
+        let centroid_points: Vec<Point3> = centroid_indices
+            .iter()
+            .map(|&i| points[i as usize])
+            .collect();
+        (
+            centroid_points,
+            pooled,
+            SaCache { centroid_indices, groups, mlp_cache, argmax, group_rows: m * k },
+        )
+    }
+
+    /// Backward pass: takes the gradient w.r.t. pooled centroid features
+    /// and returns the gradient w.r.t. the incoming per-point features
+    /// (`None` when the layer consumed a raw cloud).
+    pub fn backward(
+        &mut self,
+        cache: &SaCache,
+        d_pooled: &Matrix,
+        n_points: usize,
+    ) -> Option<Matrix> {
+        let out_f = d_pooled.cols();
+        let mut dy = Matrix::zeros(cache.group_rows, out_f);
+        for gi in 0..d_pooled.rows() {
+            for j in 0..out_f {
+                let row = cache.argmax.get(gi, j) as usize;
+                let cur = dy.get(row, j);
+                dy.set(row, j, cur + d_pooled.get(gi, j));
+            }
+        }
+        let dx = self.mlp.backward(&cache.mlp_cache, &dy);
+        if self.in_features == 0 {
+            return None;
+        }
+        let k = self.config.group_size;
+        let mut d_features = Matrix::zeros(n_points, self.in_features);
+        for (gi, group) in cache.groups.iter().enumerate() {
+            for (ni, &pi) in group.iter().enumerate() {
+                let row = gi * k + ni;
+                for j in 0..self.in_features {
+                    let cur = d_features.get(pi as usize, j);
+                    d_features.set(pi as usize, j, cur + dx.get(row, 3 + j));
+                }
+            }
+        }
+        Some(d_features)
+    }
+
+    /// Zeroes the layer's accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.mlp.zero_grad();
+    }
+
+    /// Parameter/gradient access for the optimizer.
+    pub fn params_and_grads(&mut self) -> (Vec<&mut f32>, Vec<f32>) {
+        self.mlp.params_and_grads()
+    }
+}
+
+/// The classification network: SA1 → SA2 → global max pool → head MLP.
+#[derive(Debug, Clone)]
+pub struct ClsNet {
+    /// First set-abstraction level.
+    pub sa1: SaLayer,
+    /// Second set-abstraction level.
+    pub sa2: SaLayer,
+    head: Mlp,
+    classes: usize,
+}
+
+/// Forward cache for [`ClsNet`].
+#[derive(Debug)]
+pub struct ClsCache {
+    sa1: SaCache,
+    sa2: SaCache,
+    sa1_points: usize,
+    sa2_points: usize,
+    sa1_features: Matrix,
+    global_argmax: Vec<usize>,
+    head_cache: MlpCache,
+    head_in: Matrix,
+}
+
+impl ClsNet {
+    /// Builds the network. `seed` controls initialization.
+    pub fn new(classes: usize, seed: u64) -> Self {
+        let sa1 = SaLayer::new(
+            SaConfig {
+                centroids: 48,
+                group_size: 12,
+                radius: 0.35,
+                mlp_widths: vec![24, 48],
+            },
+            0,
+            seed,
+        );
+        let sa2 = SaLayer::new(
+            SaConfig {
+                centroids: 12,
+                group_size: 8,
+                radius: 0.9,
+                mlp_widths: vec![48, 96],
+            },
+            sa1.out_features(),
+            seed ^ 0x9e37,
+        );
+        let mut rng = init_rng(seed ^ 0x51f0);
+        let head = Mlp::new(&[sa2.out_features(), 48, classes], &mut rng);
+        ClsNet { sa1, sa2, head, classes }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.sa1.param_count() + self.sa2.param_count() + self.head.param_count()
+    }
+
+    /// Forward pass on one cloud; returns `(logits row, cache)`.
+    pub fn forward(
+        &self,
+        points: &[Point3],
+        mode: &SearchMode,
+        seed: u64,
+    ) -> (Matrix, ClsCache) {
+        let (c1, f1, sa1_cache) = self.sa1.forward(points, None, mode, seed);
+        let (_, f2, sa2_cache) = self.sa2.forward(&c1, Some(&f1), mode, seed ^ 1);
+        // Global max pool over centroids.
+        let out_f = f2.cols();
+        let mut pooled = Matrix::zeros(1, out_f);
+        let mut argmax = vec![0usize; out_f];
+        for j in 0..out_f {
+            let mut best = f32::NEG_INFINITY;
+            for r in 0..f2.rows() {
+                if f2.get(r, j) > best {
+                    best = f2.get(r, j);
+                    argmax[j] = r;
+                }
+            }
+            pooled.set(0, j, best);
+        }
+        let (logits, head_cache) = self.head.forward(&pooled);
+        (
+            logits,
+            ClsCache {
+                sa1: sa1_cache,
+                sa2: sa2_cache,
+                sa1_points: points.len(),
+                sa2_points: c1.len(),
+                sa1_features: f2,
+                global_argmax: argmax,
+                head_cache,
+                head_in: pooled,
+            },
+        )
+    }
+
+    /// Backward pass from the logits gradient.
+    pub fn backward(&mut self, cache: &ClsCache, d_logits: &Matrix) {
+        let d_pooled = self.head.backward(&cache.head_cache, d_logits);
+        let _ = &cache.head_in;
+        let out_f = d_pooled.cols();
+        let mut d_f2 = Matrix::zeros(cache.sa1_features.rows(), out_f);
+        for j in 0..out_f {
+            let r = cache.global_argmax[j];
+            d_f2.set(r, j, d_pooled.get(0, j));
+        }
+        let d_f1 = self
+            .sa2
+            .backward(&cache.sa2, &d_f2, cache.sa2_points)
+            .expect("sa2 consumes features");
+        let none = self.sa1.backward(&cache.sa1, &d_f1, cache.sa1_points);
+        debug_assert!(none.is_none(), "sa1 consumes a raw cloud");
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.sa1.zero_grad();
+        self.sa2.zero_grad();
+        self.head.zero_grad();
+    }
+
+    /// Flattened parameter/gradient access.
+    pub fn params_and_grads(&mut self) -> (Vec<&mut f32>, Vec<f32>) {
+        let (mut p, mut g) = self.sa1.params_and_grads();
+        let (p2, g2) = self.sa2.params_and_grads();
+        p.extend(p2);
+        g.extend(g2);
+        let (p3, g3) = self.head.params_and_grads();
+        p.extend(p3);
+        g.extend(g3);
+        (p, g)
+    }
+
+    /// Creates a matching Adam optimizer.
+    pub fn adam(&self, lr: f32) -> Adam {
+        Adam::new(self.param_count(), lr)
+    }
+}
+
+/// The segmentation network: SA1 → 3-NN feature propagation back to all
+/// points → per-point head MLP.
+#[derive(Debug, Clone)]
+pub struct SegNet {
+    /// The set-abstraction level.
+    pub sa1: SaLayer,
+    head: Mlp,
+    classes: usize,
+}
+
+/// Forward cache for [`SegNet`].
+#[derive(Debug)]
+pub struct SegCache {
+    sa1: SaCache,
+    n_points: usize,
+    /// Per point: the 3 nearest centroid rows and their interpolation
+    /// weights.
+    interp: Vec<[(usize, f32); 3]>,
+    head_cache: MlpCache,
+    sa1_out_f: usize,
+}
+
+impl SegNet {
+    /// Builds the network.
+    pub fn new(classes: usize, seed: u64) -> Self {
+        let sa1 = SaLayer::new(
+            SaConfig {
+                centroids: 48,
+                group_size: 12,
+                radius: 0.35,
+                mlp_widths: vec![24, 48],
+            },
+            0,
+            seed,
+        );
+        let mut rng = init_rng(seed ^ 0xabcd);
+        // Head input: interpolated SA features + 3 raw coordinates.
+        let head = Mlp::new(&[sa1.out_features() + 3, 48, classes], &mut rng);
+        SegNet { sa1, head, classes }
+    }
+
+    /// Number of part classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.sa1.param_count() + self.head.param_count()
+    }
+
+    /// Forward pass; returns `(per-point logits, cache)`.
+    pub fn forward(
+        &self,
+        points: &[Point3],
+        mode: &SearchMode,
+        seed: u64,
+    ) -> (Matrix, SegCache) {
+        let (centroids, f1, sa1_cache) = self.sa1.forward(points, None, mode, seed);
+        let out_f = f1.cols();
+        // 3-NN inverse-distance interpolation back to every point.
+        let mut interp = Vec::with_capacity(points.len());
+        let mut head_in = Matrix::zeros(points.len(), out_f + 3);
+        for (pi, &p) in points.iter().enumerate() {
+            let mut best = [(usize::MAX, f32::INFINITY); 3];
+            for (ci, &c) in centroids.iter().enumerate() {
+                let d = p.dist_sq(c);
+                if d < best[2].1 {
+                    best[2] = (ci, d);
+                    best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN"));
+                }
+            }
+            let mut weights = [0.0f32; 3];
+            let mut total = 0.0;
+            for (s, &(ci, d)) in best.iter().enumerate() {
+                if ci == usize::MAX {
+                    continue;
+                }
+                weights[s] = 1.0 / (d + 1e-6);
+                total += weights[s];
+            }
+            let mut entry = [(0usize, 0.0f32); 3];
+            for (s, &(ci, _)) in best.iter().enumerate() {
+                if ci == usize::MAX {
+                    continue;
+                }
+                let w = weights[s] / total;
+                entry[s] = (ci, w);
+                for j in 0..out_f {
+                    let cur = head_in.get(pi, j);
+                    head_in.set(pi, j, cur + w * f1.get(ci, j));
+                }
+            }
+            head_in.set(pi, out_f, p.x);
+            head_in.set(pi, out_f + 1, p.y);
+            head_in.set(pi, out_f + 2, p.z);
+            interp.push(entry);
+        }
+        let (logits, head_cache) = self.head.forward(&head_in);
+        (
+            logits,
+            SegCache {
+                sa1: sa1_cache,
+                n_points: points.len(),
+                interp,
+                head_cache,
+                sa1_out_f: out_f,
+            },
+        )
+    }
+
+    /// Backward pass from the per-point logits gradient.
+    pub fn backward(&mut self, cache: &SegCache, d_logits: &Matrix) {
+        let d_head_in = self.head.backward(&cache.head_cache, d_logits);
+        let out_f = cache.sa1_out_f;
+        let centroid_count = cache.sa1.centroid_indices.len();
+        let mut d_f1 = Matrix::zeros(centroid_count, out_f);
+        for (pi, entry) in cache.interp.iter().enumerate() {
+            for &(ci, w) in entry {
+                if w == 0.0 {
+                    continue;
+                }
+                for j in 0..out_f {
+                    let cur = d_f1.get(ci, j);
+                    d_f1.set(ci, j, cur + w * d_head_in.get(pi, j));
+                }
+            }
+        }
+        let none = self.sa1.backward(&cache.sa1, &d_f1, cache.n_points);
+        debug_assert!(none.is_none());
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.sa1.zero_grad();
+        self.head.zero_grad();
+    }
+
+    /// Flattened parameter/gradient access.
+    pub fn params_and_grads(&mut self) -> (Vec<&mut f32>, Vec<f32>) {
+        let (mut p, mut g) = self.sa1.params_and_grads();
+        let (p2, g2) = self.head.params_and_grads();
+        p.extend(p2);
+        g.extend(g2);
+        (p, g)
+    }
+
+    /// Creates a matching Adam optimizer.
+    pub fn adam(&self, lr: f32) -> Adam {
+        Adam::new(self.param_count(), lr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::softmax_cross_entropy;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sa_forward_shapes() {
+        let pts = cloud(100, 1);
+        let sa = SaLayer::new(
+            SaConfig { centroids: 8, group_size: 4, radius: 0.5, mlp_widths: vec![8, 16] },
+            0,
+            1,
+        );
+        let (c, f, cache) = sa.forward(&pts, None, &SearchMode::Exact, 0);
+        assert_eq!(c.len(), 8);
+        assert_eq!((f.rows(), f.cols()), (8, 16));
+        assert_eq!(cache.groups.len(), 8);
+    }
+
+    #[test]
+    fn cls_forward_logits_shape() {
+        let pts = cloud(128, 2);
+        let net = ClsNet::new(4, 7);
+        let (logits, _) = net.forward(&pts, &SearchMode::Exact, 0);
+        assert_eq!((logits.rows(), logits.cols()), (1, 4));
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cls_backward_produces_gradients() {
+        let pts = cloud(128, 3);
+        let mut net = ClsNet::new(4, 7);
+        net.zero_grad();
+        let (logits, cache) = net.forward(&pts, &SearchMode::Exact, 0);
+        let (_, d_logits) = softmax_cross_entropy(&logits, &[2]);
+        net.backward(&cache, &d_logits);
+        let (_, grads) = net.params_and_grads();
+        let nonzero = grads.iter().filter(|&&g| g != 0.0).count();
+        assert!(nonzero > grads.len() / 10, "only {nonzero}/{} grads nonzero", grads.len());
+    }
+
+    #[test]
+    fn cls_training_step_reduces_loss() {
+        let pts = cloud(96, 4);
+        let mut net = ClsNet::new(3, 5);
+        let mut adam = net.adam(0.01);
+        let label = vec![1u32];
+        let mut losses = Vec::new();
+        for _ in 0..12 {
+            net.zero_grad();
+            let (logits, cache) = net.forward(&pts, &SearchMode::Exact, 0);
+            let (loss, d) = softmax_cross_entropy(&logits, &label);
+            losses.push(loss);
+            net.backward(&cache, &d);
+            let (mut p, g) = net.params_and_grads();
+            adam.step(&mut p, &g);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "losses {losses:?}"
+        );
+    }
+
+    #[test]
+    fn seg_forward_per_point_logits() {
+        let pts = cloud(80, 6);
+        let net = SegNet::new(3, 9);
+        let (logits, _) = net.forward(&pts, &SearchMode::Exact, 0);
+        assert_eq!((logits.rows(), logits.cols()), (80, 3));
+    }
+
+    #[test]
+    fn seg_training_step_reduces_loss() {
+        let pts = cloud(64, 7);
+        // Labels split by z sign — learnable from coordinates alone.
+        let labels: Vec<u32> = pts.iter().map(|p| (p.z > 0.0) as u32).collect();
+        let mut net = SegNet::new(2, 11);
+        let mut adam = net.adam(0.01);
+        let mut losses = Vec::new();
+        for _ in 0..15 {
+            net.zero_grad();
+            let (logits, cache) = net.forward(&pts, &SearchMode::Exact, 0);
+            let (loss, d) = softmax_cross_entropy(&logits, &labels);
+            losses.push(loss);
+            net.backward(&cache, &d);
+            let (mut p, g) = net.params_and_grads();
+            adam.step(&mut p, &g);
+        }
+        assert!(losses.last().unwrap() < &losses[0], "losses {losses:?}");
+    }
+
+    #[test]
+    fn streaming_mode_runs_through_network() {
+        let pts = cloud(128, 8);
+        let net = ClsNet::new(4, 13);
+        let (logits, _) = net.forward(&pts, &SearchMode::paper_cls(), 0);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,295 @@
+//! Point sampling and neighborhood grouping.
+//!
+//! [`group_neighbors`] is where the paper's algorithmic transforms enter
+//! the network: under [`SearchMode::Exact`] grouping uses canonical
+//! range search over the whole cloud; under [`SearchMode::Streaming`]
+//! it uses compulsory splitting (chunk-window search, Fig. 7) and,
+//! optionally, deterministic termination (step-capped traversal,
+//! Fig. 9). Co-training (Sec. 4.3) simply trains with the streaming
+//! mode in the forward pass — gradients never flow through grouping, so
+//! the non-differentiability of CS/DT is irrelevant (Fig. 10).
+
+use streamgrid_pointcloud::{Aabb, ChunkGrid, GridDims, Point3, WindowSpec};
+use streamgrid_spatial::kdtree::StepBudget;
+use streamgrid_spatial::{bruteforce, ChunkedIndex};
+
+/// Farthest point sampling: `m` indices spreading over the cloud.
+///
+/// Deterministic for a given `seed` (the seed picks the starting point).
+///
+/// # Panics
+///
+/// Panics if the cloud is empty or `m == 0`.
+pub fn farthest_point_sampling(points: &[Point3], m: usize, seed: u64) -> Vec<u32> {
+    assert!(!points.is_empty(), "empty cloud");
+    assert!(m > 0, "m must be positive");
+    let m = m.min(points.len());
+    let mut selected = Vec::with_capacity(m);
+    let mut dist = vec![f32::INFINITY; points.len()];
+    let mut cur = (seed % points.len() as u64) as usize;
+    selected.push(cur as u32);
+    for _ in 1..m {
+        let p = points[cur];
+        let mut far = 0usize;
+        let mut far_d = -1.0f32;
+        for (i, &q) in points.iter().enumerate() {
+            let d = p.dist_sq(q);
+            if d < dist[i] {
+                dist[i] = d;
+            }
+            if dist[i] > far_d {
+                far_d = dist[i];
+                far = i;
+            }
+        }
+        cur = far;
+        selected.push(cur as u32);
+    }
+    selected
+}
+
+/// How neighborhoods are found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchMode {
+    /// Canonical global range search (the Base algorithm).
+    Exact,
+    /// Compulsory splitting (+ optional deterministic termination).
+    Streaming {
+        /// Chunk grid dimensions.
+        dims: GridDims,
+        /// Chunk-window kernel/stride (Fig. 7).
+        window: WindowSpec,
+        /// DT deadline as a fraction of the profiled full traversal
+        /// (`None` = CS only; `Some(0.25)` is the paper's setting).
+        deadline_fraction: Option<f64>,
+    },
+}
+
+impl SearchMode {
+    /// The paper's classification setting: 3×3×1 chunks, 2×2 kernel,
+    /// 25% deadline.
+    pub fn paper_cls() -> Self {
+        SearchMode::Streaming {
+            dims: GridDims::new(3, 3, 1),
+            window: WindowSpec::new((2, 2, 1), (1, 1, 1)),
+            deadline_fraction: Some(0.25),
+        }
+    }
+}
+
+/// Ball-query grouping parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingConfig {
+    /// Ball radius.
+    pub radius: f32,
+    /// Neighbors per group (short groups pad with the closest found or
+    /// the centroid itself).
+    pub group_size: usize,
+    /// Search mode.
+    pub mode: SearchMode,
+}
+
+/// Groups `group_size` neighbors of each centroid.
+///
+/// Returns one index list per centroid, each exactly `group_size` long.
+pub fn group_neighbors(
+    points: &[Point3],
+    centroid_indices: &[u32],
+    config: &GroupingConfig,
+) -> Vec<Vec<u32>> {
+    match &config.mode {
+        SearchMode::Exact => centroid_indices
+            .iter()
+            .map(|&c| {
+                let q = points[c as usize];
+                let hits = bruteforce::range(points, q, config.radius);
+                pad_group(hits.iter().map(|n| n.index), c, config.group_size)
+            })
+            .collect(),
+        SearchMode::Streaming { dims, window, deadline_fraction } => {
+            let bounds = Aabb::from_points(points.iter().copied())
+                .unwrap_or_else(|| Aabb::point(Point3::ZERO));
+            let grid = ChunkGrid::new(bounds, *dims);
+            let index = ChunkedIndex::build(points, grid.clone());
+            // Offline profiling for the DT deadline: mean steps of
+            // uncapped window searches over a centroid sample.
+            let budget = match deadline_fraction {
+                None => StepBudget::Unlimited,
+                Some(frac) => {
+                    let sample = centroid_indices.iter().take(16);
+                    let mut total = 0u64;
+                    let mut n = 0u64;
+                    for &c in sample {
+                        let q = points[c as usize];
+                        let win = index.window_for_chunk(grid.chunk_of(q), window);
+                        let (_, stats) = index.range_in_window(
+                            q,
+                            config.radius,
+                            &win,
+                            StepBudget::Unlimited,
+                        );
+                        total += stats.steps;
+                        n += win.len().max(1) as u64;
+                    }
+                    let mean_per_chunk = (total as f64 / n.max(1) as f64).max(1.0);
+                    // The deadline trims backtracking, never the
+                    // root-to-leaf descent (Fig. 9 covers the descent) —
+                    // and a ball query must reach at least `group_size`
+                    // leaves to fill its group.
+                    let floor = (index.max_tree_depth() + 2 * config.group_size) as u64;
+                    StepBudget::Capped(((mean_per_chunk * frac).round() as u64).max(floor))
+                }
+            };
+            centroid_indices
+                .iter()
+                .map(|&c| {
+                    let q = points[c as usize];
+                    let win = index.window_for_chunk(grid.chunk_of(q), window);
+                    let (hits, _) = index.range_in_window(q, config.radius, &win, budget);
+                    pad_group(hits.iter().map(|n| n.index), c, config.group_size)
+                })
+                .collect()
+        }
+    }
+}
+
+fn pad_group(hits: impl Iterator<Item = u32>, centroid: u32, k: usize) -> Vec<u32> {
+    let mut group: Vec<u32> = hits.take(k).collect();
+    if group.is_empty() {
+        group.push(centroid);
+    }
+    let filled = group.len();
+    for i in filled..k {
+        group.push(group[i % filled]);
+    }
+    group
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fps_spreads_points() {
+        let pts = cloud(200, 1);
+        let idx = farthest_point_sampling(&pts, 10, 0);
+        assert_eq!(idx.len(), 10);
+        // No duplicates.
+        let mut sorted = idx.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        // FPS minimum pairwise distance beats random sampling's.
+        let min_pair = |ids: &[u32]| -> f32 {
+            let mut best = f32::INFINITY;
+            for (a, &i) in ids.iter().enumerate() {
+                for &j in &ids[a + 1..] {
+                    best = best.min(pts[i as usize].dist_sq(pts[j as usize]));
+                }
+            }
+            best
+        };
+        let random: Vec<u32> = (0..10).collect();
+        assert!(min_pair(&idx) > min_pair(&random));
+    }
+
+    #[test]
+    fn fps_clamps_to_cloud_size() {
+        let pts = cloud(5, 2);
+        assert_eq!(farthest_point_sampling(&pts, 50, 0).len(), 5);
+    }
+
+    #[test]
+    fn exact_groups_are_within_radius() {
+        let pts = cloud(300, 3);
+        let centroids = farthest_point_sampling(&pts, 8, 0);
+        let cfg = GroupingConfig { radius: 0.5, group_size: 12, mode: SearchMode::Exact };
+        let groups = group_neighbors(&pts, &centroids, &cfg);
+        assert_eq!(groups.len(), 8);
+        for (gi, group) in groups.iter().enumerate() {
+            assert_eq!(group.len(), 12);
+            let c = pts[centroids[gi] as usize];
+            // The first (unpadded) hits are within the radius.
+            let first = group[0];
+            assert!(pts[first as usize].dist(c) <= 0.5 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn streaming_groups_match_exact_for_interior_points() {
+        // With a large window covering the whole grid, CS equals exact.
+        let pts = cloud(300, 4);
+        let centroids = farthest_point_sampling(&pts, 10, 0);
+        let exact = group_neighbors(
+            &pts,
+            &centroids,
+            &GroupingConfig { radius: 0.4, group_size: 8, mode: SearchMode::Exact },
+        );
+        let streaming = group_neighbors(
+            &pts,
+            &centroids,
+            &GroupingConfig {
+                radius: 0.4,
+                group_size: 8,
+                mode: SearchMode::Streaming {
+                    dims: GridDims::new(2, 2, 1),
+                    window: WindowSpec::new((2, 2, 1), (1, 1, 1)),
+                    deadline_fraction: None,
+                },
+            },
+        );
+        // Full-grid window ⇒ identical neighbor sets.
+        for (e, s) in exact.iter().zip(&streaming) {
+            let mut e = e.clone();
+            let mut s = s.clone();
+            e.sort();
+            s.sort();
+            assert_eq!(e, s);
+        }
+    }
+
+    #[test]
+    fn dt_budget_changes_results_but_not_shape() {
+        let pts = cloud(500, 5);
+        let centroids = farthest_point_sampling(&pts, 16, 0);
+        let cfg = GroupingConfig {
+            radius: 0.6,
+            group_size: 8,
+            mode: SearchMode::Streaming {
+                dims: GridDims::new(3, 3, 1),
+                window: WindowSpec::new((2, 2, 1), (1, 1, 1)),
+                deadline_fraction: Some(0.1),
+            },
+        };
+        let groups = group_neighbors(&pts, &centroids, &cfg);
+        assert_eq!(groups.len(), 16);
+        assert!(groups.iter().all(|g| g.len() == 8));
+    }
+
+    #[test]
+    fn empty_neighborhood_pads_with_centroid() {
+        // One far-away centroid with no neighbors in radius.
+        let mut pts = cloud(50, 6);
+        pts.push(Point3::splat(100.0));
+        let centroids = vec![50u32];
+        let cfg = GroupingConfig { radius: 0.1, group_size: 4, mode: SearchMode::Exact };
+        let groups = group_neighbors(&pts, &centroids, &cfg);
+        // Range search finds the centroid itself (distance 0).
+        assert!(groups[0].iter().all(|&i| i == 50));
+    }
+}

@@ -1,0 +1,295 @@
+//! Dense row-major `f32` matrices — the minimal tensor substrate the
+//! PointNet++-style networks need (no autograd; layers implement their
+//! own backward passes).
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a generator `f(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (used for weight gradients).
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.get(r, i);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[r * other.cols..(r + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (used for input gradients).
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for j in 0..other.rows {
+                let mut s = 0.0;
+                let arow = self.row(i);
+                let brow = other.row(j);
+                for (a, b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    /// In-place ReLU; returns the activation mask for the backward pass.
+    pub fn relu_inplace(&mut self) -> Vec<bool> {
+        self.data
+            .iter_mut()
+            .map(|v| {
+                if *v > 0.0 {
+                    true
+                } else {
+                    *v = 0.0;
+                    false
+                }
+            })
+            .collect()
+    }
+
+    /// Applies a ReLU mask to a gradient in place.
+    pub fn mask_inplace(&mut self, mask: &[bool]) {
+        assert_eq!(self.data.len(), mask.len(), "mask size mismatch");
+        for (v, &m) in self.data.iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// Softmax cross-entropy over logits rows; returns `(loss, dlogits)`
+/// where loss is averaged over rows.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of
+/// range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "label count mismatch");
+    let n = logits.rows();
+    let c = logits.cols();
+    let mut grad = Matrix::zeros(n, c);
+    let mut loss = 0.0f32;
+    for r in 0..n {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let label = labels[r] as usize;
+        assert!(label < c, "label {label} out of range {c}");
+        let p = exps[label] / sum;
+        loss -= p.max(1e-12).ln();
+        for j in 0..c {
+            grad.set(r, j, (exps[j] / sum - if j == label { 1.0 } else { 0.0 }) / n as f32);
+        }
+    }
+    (loss / n as f32, grad)
+}
+
+/// Row-wise argmax (predictions from logits).
+pub fn argmax_rows(m: &Matrix) -> Vec<u32> {
+    (0..m.rows())
+        .map(|r| {
+            let row = m.row(r);
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_products_agree() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32).collect());
+        // aᵀ·b via t_matmul must equal manual transpose.
+        let at = Matrix::from_fn(2, 3, |r, c| a.get(c, r));
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+        // a·bᵀ with matching cols.
+        let c = Matrix::from_vec(5, 2, (0..10).map(|i| i as f32).collect());
+        let ct = Matrix::from_fn(2, 5, |r, cc| c.get(cc, r));
+        assert_eq!(a.matmul_t(&c), a.matmul(&ct));
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut m = Matrix::from_vec(1, 4, vec![-1.0, 2.0, 0.0, 3.0]);
+        let mask = m.relu_inplace();
+        assert_eq!(m.data(), &[0.0, 2.0, 0.0, 3.0]);
+        assert_eq!(mask, vec![false, true, false, true]);
+        let mut g = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        g.mask_inplace(&mask);
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_low_loss() {
+        let logits = Matrix::from_vec(1, 3, vec![10.0, -10.0, -10.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+        // Gradient pushes the correct class up (negative gradient).
+        assert!(grad.get(0, 0) < 0.0 || grad.get(0, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_numerically() {
+        let logits = Matrix::from_vec(1, 3, vec![0.2, -0.3, 0.5]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut plus = logits.clone();
+            plus.set(0, j, plus.get(0, j) + eps);
+            let mut minus = logits.clone();
+            minus.set(0, j, minus.get(0, j) - eps);
+            let (lp, _) = softmax_cross_entropy(&plus, &[1]);
+            let (lm, _) = softmax_cross_entropy(&minus, &[1]);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.get(0, j)).abs() < 1e-3,
+                "channel {j}: numeric {numeric} vs analytic {}",
+                grad.get(0, j)
+            );
+        }
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 5.0, 2.0, 9.0, 0.0, 3.0]);
+        assert_eq!(argmax_rows(&m), vec![1, 0]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Training loops, evaluation, and integrated co-training (Sec. 4.3).
+//!
+//! Co-training is expressed by the `mode` in [`TrainConfig`]: training
+//! with [`SearchMode::Exact`] is the conventional baseline; training
+//! with a streaming mode simulates compulsory splitting and
+//! deterministic termination inside the forward pass, making the model
+//! robust to them at inference (Fig. 16). The simulated transforms are
+//! not differentiable, and don't need to be — gradients only flow
+//! through the local-dependent operations (Fig. 10).
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use streamgrid_pointcloud::datasets::shapenet;
+use streamgrid_pointcloud::Point3;
+
+use crate::pointnet::{ClsNet, SegNet};
+use crate::sampling::SearchMode;
+use crate::tensor::{argmax_rows, softmax_cross_entropy};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed for sampling/shuffling.
+    pub seed: u64,
+    /// Grouping mode used in the training forward pass (co-training =
+    /// streaming mode).
+    pub mode: SearchMode,
+    /// Samples per optimizer step (gradient accumulation).
+    pub batch: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 8, lr: 0.01, seed: 0, mode: SearchMode::Exact, batch: 4 }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds (used for the co-training overhead claim).
+    pub wall_seconds: f64,
+}
+
+/// A labeled classification sample.
+pub type ClsSample = (Vec<Point3>, u32);
+
+/// A per-point-labeled segmentation sample.
+pub type SegSample = (Vec<Point3>, Vec<u32>);
+
+/// Trains the classifier in place.
+pub fn train_classifier(
+    net: &mut ClsNet,
+    samples: &[ClsSample],
+    config: &TrainConfig,
+) -> TrainStats {
+    let start = Instant::now();
+    let mut adam = net.adam(config.lr);
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xc1a5);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let batch = config.batch.max(1);
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0f32;
+        net.zero_grad();
+        let mut in_batch = 0usize;
+        for (i, &si) in order.iter().enumerate() {
+            let (points, label) = &samples[si];
+            let seed = config.seed ^ ((epoch * samples.len() + i) as u64);
+            let (logits, cache) = net.forward(points, &config.mode, seed);
+            let (loss, d_logits) = softmax_cross_entropy(&logits, &[*label]);
+            total += loss;
+            net.backward(&cache, &d_logits);
+            in_batch += 1;
+            if in_batch == batch || i + 1 == order.len() {
+                let (mut params, grads) = net.params_and_grads();
+                let scaled: Vec<f32> = grads.iter().map(|g| g / in_batch as f32).collect();
+                adam.step(&mut params, &scaled);
+                net.zero_grad();
+                in_batch = 0;
+            }
+        }
+        epoch_losses.push(total / samples.len().max(1) as f32);
+    }
+    TrainStats { epoch_losses, wall_seconds: start.elapsed().as_secs_f64() }
+}
+
+/// Classification accuracy under the given inference mode.
+pub fn eval_classifier(net: &ClsNet, samples: &[ClsSample], mode: &SearchMode) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (i, (points, label)) in samples.iter().enumerate() {
+        let (logits, _) = net.forward(points, mode, 1_000_003 * (i as u64 + 1));
+        if argmax_rows(&logits)[0] == *label {
+            correct += 1;
+        }
+    }
+    correct as f64 / samples.len() as f64
+}
+
+/// Trains the segmentation network in place.
+pub fn train_segmenter(
+    net: &mut SegNet,
+    samples: &[SegSample],
+    config: &TrainConfig,
+) -> TrainStats {
+    let start = Instant::now();
+    let mut adam = net.adam(config.lr);
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5e6);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let batch = config.batch.max(1);
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0f32;
+        net.zero_grad();
+        let mut in_batch = 0usize;
+        for (i, &si) in order.iter().enumerate() {
+            let (points, labels) = &samples[si];
+            let seed = config.seed ^ ((epoch * samples.len() + i) as u64);
+            let (logits, cache) = net.forward(points, &config.mode, seed);
+            let (loss, d_logits) = softmax_cross_entropy(&logits, labels);
+            total += loss;
+            net.backward(&cache, &d_logits);
+            in_batch += 1;
+            if in_batch == batch || i + 1 == order.len() {
+                let (mut params, grads) = net.params_and_grads();
+                let scaled: Vec<f32> = grads.iter().map(|g| g / in_batch as f32).collect();
+                adam.step(&mut params, &scaled);
+                net.zero_grad();
+                in_batch = 0;
+            }
+        }
+        epoch_losses.push(total / samples.len().max(1) as f32);
+    }
+    TrainStats { epoch_losses, wall_seconds: start.elapsed().as_secs_f64() }
+}
+
+/// Mean IoU over samples under the given inference mode.
+pub fn eval_segmenter(
+    net: &SegNet,
+    samples: &[SegSample],
+    mode: &SearchMode,
+    part_count: usize,
+) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (i, (points, labels)) in samples.iter().enumerate() {
+        let (logits, _) = net.forward(points, mode, 2_000_003 * (i as u64 + 1));
+        let pred = argmax_rows(&logits);
+        total += shapenet::miou(&pred, labels, part_count);
+    }
+    total / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamgrid_pointcloud::datasets::modelnet::{self, ModelNetConfig};
+
+    fn tiny_cls_dataset(per_class: usize, seed: u64) -> Vec<ClsSample> {
+        // Two well-separated classes: sphere vs slabs.
+        let cfg = ModelNetConfig { classes: 10, points: 96, noise: 0.0 };
+        let mut out = Vec::new();
+        for i in 0..per_class {
+            for (slot, class) in [0u32, 8].iter().enumerate() {
+                let s = modelnet::sample(&cfg, *class, seed ^ (i as u64) << 8 ^ slot as u64);
+                out.push((s.cloud.points().to_vec(), slot as u32));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn classifier_learns_two_easy_classes() {
+        let train = tiny_cls_dataset(6, 1);
+        let test = tiny_cls_dataset(4, 99);
+        let mut net = ClsNet::new(2, 42);
+        let stats = train_classifier(
+            &mut net,
+            &train,
+            &TrainConfig { epochs: 6, lr: 0.01, ..TrainConfig::default() },
+        );
+        assert!(stats.epoch_losses.last().unwrap() < &stats.epoch_losses[0]);
+        let acc = eval_classifier(&net, &test, &SearchMode::Exact);
+        assert!(acc >= 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn cotraining_runs_with_streaming_mode() {
+        let train = tiny_cls_dataset(2, 3);
+        let mut net = ClsNet::new(2, 7);
+        let stats = train_classifier(
+            &mut net,
+            &train,
+            &TrainConfig {
+                epochs: 2,
+                lr: 0.01,
+                mode: SearchMode::paper_cls(),
+                ..TrainConfig::default()
+            },
+        );
+        assert_eq!(stats.epoch_losses.len(), 2);
+        assert!(stats.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn segmenter_learns_spatial_split() {
+        // Synthetic 2-part objects: label = upper/lower half.
+        let mut samples = Vec::new();
+        for seed in 0..6u64 {
+            let s = shapenet::sample(shapenet::Category::Table, 96, seed);
+            let points = s.cloud.points().to_vec();
+            let labels = s.cloud.labels().to_vec();
+            samples.push((points, labels));
+        }
+        let mut net = SegNet::new(2, 5);
+        let stats = train_segmenter(
+            &mut net,
+            &samples[..4],
+            &TrainConfig { epochs: 8, lr: 0.02, ..TrainConfig::default() },
+        );
+        assert!(stats.epoch_losses.last().unwrap() < &stats.epoch_losses[0]);
+        let miou = eval_segmenter(&net, &samples[4..], &SearchMode::Exact, 2);
+        assert!(miou > 0.5, "mIoU {miou}");
+    }
+
+    #[test]
+    fn eval_on_empty_set_is_zero() {
+        let net = ClsNet::new(2, 1);
+        assert_eq!(eval_classifier(&net, &[], &SearchMode::Exact), 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Axis-aligned bounding boxes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point3;
+
+/// An axis-aligned bounding box, stored as inclusive `min`/`max` corners.
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_pointcloud::{Aabb, Point3};
+///
+/// let b = Aabb::from_points([Point3::ZERO, Point3::new(1.0, 2.0, 3.0)]).unwrap();
+/// assert!(b.contains(Point3::new(0.5, 1.0, 1.5)));
+/// assert_eq!(b.extent(), Point3::new(1.0, 2.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    min: Point3,
+    max: Point3,
+}
+
+impl Aabb {
+    /// Creates a box from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `min` exceeds the matching component of
+    /// `max`.
+    pub fn new(min: Point3, max: Point3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "invalid AABB: min {min} exceeds max {max}"
+        );
+        Aabb { min, max }
+    }
+
+    /// Creates a degenerate box covering a single point.
+    pub fn point(p: Point3) -> Self {
+        Aabb { min: p, max: p }
+    }
+
+    /// Smallest box enclosing all points in the iterator, or `None` when
+    /// the iterator is empty.
+    pub fn from_points<I: IntoIterator<Item = Point3>>(points: I) -> Option<Self> {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut bb = Aabb::point(first);
+        for p in iter {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// The minimum corner.
+    #[inline]
+    pub fn min(&self) -> Point3 {
+        self.min
+    }
+
+    /// The maximum corner.
+    #[inline]
+    pub fn max(&self) -> Point3 {
+        self.max
+    }
+
+    /// Side lengths along each axis.
+    #[inline]
+    pub fn extent(&self) -> Point3 {
+        self.max - self.min
+    }
+
+    /// Geometric center.
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Grows the box (in place) to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: Point3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Returns the smallest box containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Returns a copy inflated by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative enough to invert the box.
+    pub fn inflated(&self, margin: f32) -> Aabb {
+        Aabb::new(self.min - Point3::splat(margin), self.max + Point3::splat(margin))
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// `true` when the two boxes overlap (boundary contact counts).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Squared distance from `p` to the closest point of the box
+    /// (zero when `p` is inside).
+    ///
+    /// This is the pruning bound used by kd-tree and octree traversal:
+    /// a subtree can be skipped when `dist_sq_to_point` exceeds the
+    /// current worst candidate distance.
+    #[inline]
+    pub fn dist_sq_to_point(&self, p: Point3) -> f32 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        let dz = (self.min.z - p.z).max(0.0).max(p.z - self.max.z);
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// `true` when the sphere at `center` with radius `radius` overlaps
+    /// the box.
+    #[inline]
+    pub fn intersects_sphere(&self, center: Point3, radius: f32) -> bool {
+        self.dist_sq_to_point(center) <= radius * radius
+    }
+
+    /// Volume of the box.
+    #[inline]
+    pub fn volume(&self) -> f32 {
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// Splits the box in two along `axis` at coordinate `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is outside the box along `axis` or `axis >= 3`.
+    pub fn split(&self, axis: usize, at: f32) -> (Aabb, Aabb) {
+        assert!(
+            at >= self.min.axis(axis) && at <= self.max.axis(axis),
+            "split coordinate {at} outside box along axis {axis}"
+        );
+        let lo = Aabb::new(self.min, self.max.with_axis(axis, at));
+        let hi = Aabb::new(self.min.with_axis(axis, at), self.max);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb {
+        Aabb::new(Point3::ZERO, Point3::splat(1.0))
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point3::new(0.0, 5.0, -1.0),
+            Point3::new(2.0, -3.0, 4.0),
+            Point3::new(1.0, 1.0, 1.0),
+        ];
+        let bb = Aabb::from_points(pts).unwrap();
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb.min(), Point3::new(0.0, -3.0, -1.0));
+        assert_eq!(bb.max(), Point3::new(2.0, 5.0, 4.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let bb = unit();
+        assert!(bb.contains(Point3::ZERO));
+        assert!(bb.contains(Point3::splat(1.0)));
+        assert!(!bb.contains(Point3::splat(1.0001)));
+    }
+
+    #[test]
+    fn intersects_is_symmetric() {
+        let a = unit();
+        let b = Aabb::new(Point3::splat(0.5), Point3::splat(2.0));
+        let c = Aabb::new(Point3::splat(1.5), Point3::splat(2.0));
+        assert!(a.intersects(&b) && b.intersects(&a));
+        assert!(!a.intersects(&c) && !c.intersects(&a));
+    }
+
+    #[test]
+    fn dist_sq_inside_is_zero() {
+        let bb = unit();
+        assert_eq!(bb.dist_sq_to_point(Point3::splat(0.5)), 0.0);
+        let d = bb.dist_sq_to_point(Point3::new(2.0, 0.5, 0.5));
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sphere_intersection() {
+        let bb = unit();
+        assert!(bb.intersects_sphere(Point3::new(1.5, 0.5, 0.5), 0.6));
+        assert!(!bb.intersects_sphere(Point3::new(1.5, 0.5, 0.5), 0.4));
+    }
+
+    #[test]
+    fn split_partitions_volume() {
+        let bb = unit();
+        let (lo, hi) = bb.split(0, 0.25);
+        assert!((lo.volume() + hi.volume() - bb.volume()).abs() < 1e-6);
+        assert_eq!(lo.max().x, 0.25);
+        assert_eq!(hi.min().x, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AABB")]
+    fn inverted_box_panics() {
+        let _ = Aabb::new(Point3::splat(1.0), Point3::ZERO);
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = unit();
+        let b = Aabb::new(Point3::splat(3.0), Point3::splat(4.0));
+        let u = a.union(&b);
+        assert!(u.contains(Point3::ZERO) && u.contains(Point3::splat(4.0)));
+    }
+
+    #[test]
+    fn inflated_grows_every_side() {
+        let bb = unit().inflated(0.5);
+        assert_eq!(bb.min(), Point3::splat(-0.5));
+        assert_eq!(bb.max(), Point3::splat(1.5));
+    }
+}

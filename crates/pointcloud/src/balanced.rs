@@ -1,0 +1,200 @@
+//! Density-balanced splitting — the "more fine-grained splitting
+//! strategies" the paper leaves as future work (Sec. 4.1 "When to
+//! Split").
+//!
+//! Uniform grids give chunks of wildly different populations on real
+//! clouds (LiDAR density falls with range), which makes the per-chunk
+//! work of a compulsorily-split pipeline uneven and forces the
+//! initiation interval to the heaviest chunk. A *balanced* split places
+//! the cut planes at coordinate quantiles instead, equalizing chunk
+//! populations at the cost of non-uniform chunk extents. The partition
+//! is still deterministic and offline, so it composes with everything
+//! else in the pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{ChunkId, ChunkPartition, PartitionKind};
+use crate::point::Point3;
+
+/// A quantile-balanced recursive split along alternating axes.
+///
+/// `levels` halvings produce `2^levels` chunks, each holding an equal
+/// share of the points (±1). Splits cut the longest axis of each cell's
+/// population at its median.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BalancedSplit {
+    levels: u32,
+}
+
+impl BalancedSplit {
+    /// Creates a splitter producing `2^levels` chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels > 16` (65,536 chunks is already far beyond the
+    /// paper's configurations).
+    pub fn new(levels: u32) -> Self {
+        assert!(levels <= 16, "too many split levels");
+        BalancedSplit { levels }
+    }
+
+    /// Number of chunks produced.
+    pub fn chunk_count(&self) -> usize {
+        1 << self.levels
+    }
+
+    /// Partitions `points` into `2^levels` population-balanced chunks.
+    ///
+    /// Chunk order follows the recursive split (a space-filling order:
+    /// neighbors in chunk id are spatial neighbors), so chunk-window
+    /// reads retain the locality compulsory splitting needs.
+    pub fn partition(&self, points: &[Point3]) -> ChunkPartition {
+        let mut cells: Vec<Vec<u32>> = vec![(0..points.len() as u32).collect()];
+        for _ in 0..self.levels {
+            let mut next = Vec::with_capacity(cells.len() * 2);
+            for mut cell in cells {
+                if cell.len() < 2 {
+                    next.push(cell.clone());
+                    next.push(Vec::new());
+                    continue;
+                }
+                // Split along the widest axis of this cell's population.
+                let (mut lo, mut hi) = (Point3::splat(f32::INFINITY), Point3::splat(f32::NEG_INFINITY));
+                for &i in &cell {
+                    lo = lo.min(points[i as usize]);
+                    hi = hi.max(points[i as usize]);
+                }
+                let ext = hi - lo;
+                let axis = if ext.x >= ext.y && ext.x >= ext.z {
+                    0
+                } else if ext.y >= ext.z {
+                    1
+                } else {
+                    2
+                };
+                let mid = cell.len() / 2;
+                cell.select_nth_unstable_by(mid, |&a, &b| {
+                    points[a as usize]
+                        .axis(axis)
+                        .partial_cmp(&points[b as usize].axis(axis))
+                        .expect("NaN coordinate")
+                });
+                let right = cell.split_off(mid);
+                next.push(cell);
+                next.push(right);
+            }
+            cells = next;
+        }
+        ChunkPartition::from_chunks(cells, PartitionKind::Serial { chunk_points: 0 })
+    }
+
+    /// Population imbalance of a partition: `max_chunk / mean_chunk`
+    /// (1.0 = perfectly balanced).
+    pub fn imbalance(partition: &ChunkPartition) -> f64 {
+        let n = partition.chunk_count();
+        if n == 0 || partition.total_points() == 0 {
+            return 1.0;
+        }
+        let mean = partition.total_points() as f64 / n as f64;
+        partition.max_chunk_len() as f64 / mean.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{ChunkGrid, GridDims};
+    use crate::Aabb;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A LiDAR-like radially-decaying density.
+    fn skewed_cloud(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let r = rng.random_range(0.0f32..1.0).powi(3) * 50.0;
+                let theta = rng.random_range(0.0..std::f32::consts::TAU);
+                Point3::new(r * theta.cos(), r * theta.sin(), rng.random_range(0.0..2.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn produces_requested_chunk_count() {
+        let pts = skewed_cloud(1000, 1);
+        let part = BalancedSplit::new(3).partition(&pts);
+        assert_eq!(part.chunk_count(), 8);
+        assert_eq!(part.total_points(), 1000);
+    }
+
+    #[test]
+    fn chunks_are_population_balanced() {
+        let pts = skewed_cloud(2048, 2);
+        let part = BalancedSplit::new(4).partition(&pts); // 16 chunks
+        let imb = BalancedSplit::imbalance(&part);
+        assert!(imb < 1.01, "imbalance {imb}");
+    }
+
+    #[test]
+    fn beats_uniform_grid_on_skewed_clouds() {
+        let pts = skewed_cloud(4096, 3);
+        let balanced = BalancedSplit::new(4).partition(&pts);
+        let bounds = Aabb::from_points(pts.iter().copied()).unwrap();
+        let uniform = ChunkGrid::new(bounds, GridDims::new(4, 4, 1)).partition(&pts);
+        let bi = BalancedSplit::imbalance(&balanced);
+        let ui = BalancedSplit::imbalance(&uniform);
+        assert!(
+            bi < ui / 2.0,
+            "balanced {bi} should be far below uniform {ui} on skewed density"
+        );
+    }
+
+    #[test]
+    fn chunks_are_spatially_coherent() {
+        // Every chunk's bounding box should be much smaller than the
+        // cloud's (median splits keep chunks contiguous).
+        let pts = skewed_cloud(2048, 4);
+        let part = BalancedSplit::new(3).partition(&pts);
+        let cloud_bb = Aabb::from_points(pts.iter().copied()).unwrap();
+        for (_, idxs) in part.iter() {
+            if idxs.len() < 2 {
+                continue;
+            }
+            let bb = Aabb::from_points(idxs.iter().map(|&i| pts[i as usize])).unwrap();
+            assert!(bb.volume() < cloud_bb.volume() * 0.6);
+        }
+    }
+
+    #[test]
+    fn every_point_assigned_exactly_once() {
+        let pts = skewed_cloud(777, 5);
+        let part = BalancedSplit::new(4).partition(&pts);
+        let mut seen = vec![false; pts.len()];
+        for (_, idxs) in part.iter() {
+            for &i in idxs {
+                assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn single_level_is_median_cut() {
+        let pts: Vec<Point3> = (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let part = BalancedSplit::new(1).partition(&pts);
+        assert_eq!(part.chunk_count(), 2);
+        let left = part.chunk(ChunkId(0));
+        assert_eq!(left.len(), 5);
+        assert!(left.iter().all(|&i| pts[i as usize].x < 5.0));
+    }
+
+    #[test]
+    fn tiny_cloud_degenerates_gracefully() {
+        let pts = vec![Point3::ZERO];
+        let part = BalancedSplit::new(3).partition(&pts);
+        assert_eq!(part.chunk_count(), 8);
+        assert_eq!(part.total_points(), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Point clouds with optional per-point attributes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aabb::Aabb;
+use crate::point::Point3;
+
+/// A point cloud: positions plus optional fixed-width per-point features
+/// and optional per-point integer labels.
+///
+/// Positions, features, and labels are stored in struct-of-arrays layout —
+/// the layout the streaming accelerator consumes (`[x, y, z]` triples per
+/// cycle, Tbl. 1's `i_shape = [n, 3]`).
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_pointcloud::{Point3, PointCloud};
+///
+/// let mut cloud = PointCloud::new();
+/// cloud.push(Point3::new(0.0, 0.0, 0.0));
+/// cloud.push(Point3::new(1.0, 0.0, 0.0));
+/// assert_eq!(cloud.len(), 2);
+/// assert_eq!(cloud.centroid(), Some(Point3::new(0.5, 0.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointCloud {
+    points: Vec<Point3>,
+    /// Flat row-major feature matrix, `len() * feature_dim` long.
+    features: Vec<f32>,
+    feature_dim: usize,
+    labels: Vec<u32>,
+}
+
+impl PointCloud {
+    /// Creates an empty cloud with no features and no labels.
+    pub fn new() -> Self {
+        PointCloud::default()
+    }
+
+    /// Creates an empty cloud with room for `n` points.
+    pub fn with_capacity(n: usize) -> Self {
+        PointCloud { points: Vec::with_capacity(n), ..PointCloud::default() }
+    }
+
+    /// Creates a cloud from bare positions.
+    pub fn from_points(points: Vec<Point3>) -> Self {
+        PointCloud { points, ..PointCloud::default() }
+    }
+
+    /// Creates a cloud from positions and per-point labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn from_labeled(points: Vec<Point3>, labels: Vec<u32>) -> Self {
+        assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+        PointCloud { points, labels, ..PointCloud::default() }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the cloud holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Appends a point (with zeroed features if the cloud carries features,
+    /// and label 0 if it carries labels).
+    pub fn push(&mut self, p: Point3) {
+        self.points.push(p);
+        if self.feature_dim > 0 {
+            self.features.extend(std::iter::repeat(0.0).take(self.feature_dim));
+        }
+        if !self.labels.is_empty() {
+            self.labels.push(0);
+        }
+    }
+
+    /// The positions as a slice.
+    #[inline]
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Mutable access to the positions.
+    #[inline]
+    pub fn points_mut(&mut self) -> &mut [Point3] {
+        &mut self.points
+    }
+
+    /// The point at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn point(&self, index: usize) -> Point3 {
+        self.points[index]
+    }
+
+    /// Width of the per-point feature vectors (0 when absent).
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Attaches a feature matrix (row per point, `dim` columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.len() * dim`.
+    pub fn set_features(&mut self, features: Vec<f32>, dim: usize) {
+        assert_eq!(
+            features.len(),
+            self.points.len() * dim,
+            "feature matrix must be len() * dim long"
+        );
+        self.features = features;
+        self.feature_dim = dim;
+    }
+
+    /// The feature row of point `index`, or an empty slice when the cloud
+    /// carries no features.
+    pub fn feature(&self, index: usize) -> &[f32] {
+        if self.feature_dim == 0 {
+            &[]
+        } else {
+            &self.features[index * self.feature_dim..(index + 1) * self.feature_dim]
+        }
+    }
+
+    /// Per-point labels (empty when absent).
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Attaches per-point labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != self.len()`.
+    pub fn set_labels(&mut self, labels: Vec<u32>) {
+        assert_eq!(labels.len(), self.points.len(), "labels must match point count");
+        self.labels = labels;
+    }
+
+    /// Iterates over positions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point3> {
+        self.points.iter()
+    }
+
+    /// Bounding box of the cloud, `None` when empty.
+    pub fn bounds(&self) -> Option<Aabb> {
+        Aabb::from_points(self.points.iter().copied())
+    }
+
+    /// Arithmetic mean of the positions, `None` when empty.
+    pub fn centroid(&self) -> Option<Point3> {
+        if self.is_empty() {
+            return None;
+        }
+        let sum = self.points.iter().fold(Point3::ZERO, |acc, &p| acc + p);
+        Some(sum / self.points.len() as f32)
+    }
+
+    /// Applies `f` to every position in place.
+    pub fn transform<F: FnMut(Point3) -> Point3>(&mut self, mut f: F) {
+        for p in &mut self.points {
+            *p = f(*p);
+        }
+    }
+
+    /// Returns a sub-cloud containing the points at `indices`
+    /// (features and labels follow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[u32]) -> PointCloud {
+        let points = indices.iter().map(|&i| self.points[i as usize]).collect();
+        let mut out = PointCloud { points, ..PointCloud::default() };
+        if self.feature_dim > 0 {
+            let mut features = Vec::with_capacity(indices.len() * self.feature_dim);
+            for &i in indices {
+                features.extend_from_slice(self.feature(i as usize));
+            }
+            out.features = features;
+            out.feature_dim = self.feature_dim;
+        }
+        if !self.labels.is_empty() {
+            out.labels = indices.iter().map(|&i| self.labels[i as usize]).collect();
+        }
+        out
+    }
+
+    /// Appends all points (and labels, if both clouds carry them) of
+    /// `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature widths differ.
+    pub fn append(&mut self, other: &PointCloud) {
+        assert_eq!(self.feature_dim, other.feature_dim, "feature width mismatch");
+        self.points.extend_from_slice(&other.points);
+        self.features.extend_from_slice(&other.features);
+        if !self.labels.is_empty() || !other.labels.is_empty() {
+            self.labels.resize(self.points.len() - other.points.len(), 0);
+            if other.labels.is_empty() {
+                self.labels.resize(self.points.len(), 0);
+            } else {
+                self.labels.extend_from_slice(&other.labels);
+            }
+        }
+    }
+}
+
+impl FromIterator<Point3> for PointCloud {
+    fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
+        PointCloud::from_points(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Point3> for PointCloud {
+    fn extend<I: IntoIterator<Item = Point3>>(&mut self, iter: I) {
+        for p in iter {
+            self.push(p);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PointCloud {
+    type Item = &'a Point3;
+    type IntoIter = std::slice::Iter<'a, Point3>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointCloud {
+        let mut c = PointCloud::from_points(vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 2.0, 0.0),
+            Point3::new(0.0, 0.0, 4.0),
+        ]);
+        c.set_labels(vec![0, 1, 2, 3]);
+        c.set_features(vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1], 2);
+        c
+    }
+
+    #[test]
+    fn centroid_and_bounds() {
+        let c = sample();
+        assert_eq!(c.centroid(), Some(Point3::new(0.25, 0.5, 1.0)));
+        let bb = c.bounds().unwrap();
+        assert_eq!(bb.min(), Point3::ZERO);
+        assert_eq!(bb.max(), Point3::new(1.0, 2.0, 4.0));
+    }
+
+    #[test]
+    fn empty_cloud_has_no_stats() {
+        let c = PointCloud::new();
+        assert!(c.is_empty());
+        assert!(c.centroid().is_none());
+        assert!(c.bounds().is_none());
+    }
+
+    #[test]
+    fn select_carries_attributes() {
+        let c = sample();
+        let s = c.select(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.point(0), Point3::new(0.0, 2.0, 0.0));
+        assert_eq!(s.labels(), &[2, 0]);
+        assert_eq!(s.feature(0), &[2.0, 2.1]);
+        assert_eq!(s.feature(1), &[0.0, 0.1]);
+    }
+
+    #[test]
+    fn push_extends_attributes() {
+        let mut c = sample();
+        c.push(Point3::splat(9.0));
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.labels().len(), 5);
+        assert_eq!(c.feature(4), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn transform_applies_everywhere() {
+        let mut c = sample();
+        c.transform(|p| p + Point3::splat(1.0));
+        assert_eq!(c.point(0), Point3::splat(1.0));
+        assert_eq!(c.point(3), Point3::new(1.0, 1.0, 5.0));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: PointCloud = (0..5).map(|i| Point3::splat(i as f32)).collect();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.point(4), Point3::splat(4.0));
+    }
+
+    #[test]
+    fn append_merges_labels() {
+        let mut a = sample();
+        let b = sample();
+        a.append(&b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.labels().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature matrix")]
+    fn bad_feature_width_panics() {
+        let mut c = PointCloud::from_points(vec![Point3::ZERO]);
+        c.set_features(vec![1.0, 2.0, 3.0], 2);
+    }
+}

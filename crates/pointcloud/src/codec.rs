@@ -1,0 +1,174 @@
+//! Compact binary point-cloud codec.
+//!
+//! The streaming accelerator moves points over narrow on-chip links; this
+//! codec models the quantized wire format: each coordinate is quantized to
+//! 16 bits inside the cloud's bounding box (48 bits/point + a small
+//! header), which is also the element width the energy model charges per
+//! line-buffer access.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::aabb::Aabb;
+use crate::cloud::PointCloud;
+use crate::point::Point3;
+
+/// Bytes per encoded point (3 × u16).
+pub const BYTES_PER_POINT: usize = 6;
+
+/// Error decoding a point-cloud byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared point count was read.
+    Truncated {
+        /// Points the header declared.
+        expected: usize,
+        /// Bytes actually available for payload.
+        available: usize,
+    },
+    /// The magic tag did not match.
+    BadMagic(u32),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { expected, available } => write!(
+                f,
+                "truncated stream: header declares {expected} points but only {available} payload bytes remain"
+            ),
+            DecodeError::BadMagic(m) => write!(f, "bad magic tag {m:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: u32 = 0x5347_5043; // "SGPC"
+
+/// Encodes a cloud into the quantized wire format.
+///
+/// Positions are quantized to 16 bits per axis within the cloud bounds;
+/// features and labels are not encoded (the accelerator streams them on
+/// separate lanes).
+pub fn encode(cloud: &PointCloud) -> Bytes {
+    let bounds = cloud
+        .bounds()
+        .unwrap_or_else(|| Aabb::new(Point3::ZERO, Point3::ZERO));
+    let mut buf = BytesMut::with_capacity(4 + 4 + 24 + cloud.len() * BYTES_PER_POINT);
+    buf.put_u32(MAGIC);
+    buf.put_u32(cloud.len() as u32);
+    for v in [bounds.min(), bounds.max()] {
+        buf.put_f32(v.x);
+        buf.put_f32(v.y);
+        buf.put_f32(v.z);
+    }
+    let ext = bounds.extent();
+    let q = |v: f32, lo: f32, e: f32| -> u16 {
+        if e <= 0.0 {
+            0
+        } else {
+            (((v - lo) / e) * 65535.0).round().clamp(0.0, 65535.0) as u16
+        }
+    };
+    let min = bounds.min();
+    for &p in cloud.points() {
+        buf.put_u16(q(p.x, min.x, ext.x));
+        buf.put_u16(q(p.y, min.y, ext.y));
+        buf.put_u16(q(p.z, min.z, ext.z));
+    }
+    buf.freeze()
+}
+
+/// Decodes a cloud previously produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError::BadMagic`] when the stream does not start with
+/// the codec tag, and [`DecodeError::Truncated`] when the payload is
+/// shorter than the header declares.
+pub fn decode(mut data: Bytes) -> Result<PointCloud, DecodeError> {
+    if data.remaining() < 8 {
+        return Err(DecodeError::Truncated { expected: 0, available: data.remaining() });
+    }
+    let magic = data.get_u32();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let n = data.get_u32() as usize;
+    if data.remaining() < 24 {
+        return Err(DecodeError::Truncated { expected: n, available: data.remaining() });
+    }
+    let min = Point3::new(data.get_f32(), data.get_f32(), data.get_f32());
+    let max = Point3::new(data.get_f32(), data.get_f32(), data.get_f32());
+    if data.remaining() < n * BYTES_PER_POINT {
+        return Err(DecodeError::Truncated { expected: n, available: data.remaining() });
+    }
+    let ext = max - min;
+    let mut cloud = PointCloud::with_capacity(n);
+    for _ in 0..n {
+        let dq = |q: u16, lo: f32, e: f32| lo + q as f32 / 65535.0 * e;
+        let p = Point3::new(
+            dq(data.get_u16(), min.x, ext.x),
+            dq(data.get_u16(), min.y, ext.y),
+            dq(data.get_u16(), min.z, ext.z),
+        );
+        cloud.push(p);
+    }
+    Ok(cloud)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point3::new(0.0, -1.0, 2.0),
+            Point3::new(10.0, 5.0, -3.0),
+            Point3::new(4.2, 0.1, 0.7),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_within_quantization_error() {
+        let cloud = sample();
+        let decoded = decode(encode(&cloud)).unwrap();
+        assert_eq!(decoded.len(), cloud.len());
+        let ext = cloud.bounds().unwrap().extent();
+        let tol = ext.norm() / 65535.0 * 2.0;
+        for (a, b) in cloud.iter().zip(decoded.iter()) {
+            assert!(a.dist(*b) <= tol, "{a} vs {b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn empty_cloud_roundtrips() {
+        let decoded = decode(encode(&PointCloud::new())).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u32(0xdead_beef);
+        raw.put_u32(0);
+        raw.put_slice(&[0u8; 24]);
+        assert!(matches!(decode(raw.freeze()), Err(DecodeError::BadMagic(0xdead_beef))));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let encoded = encode(&sample());
+        let cut = encoded.slice(0..encoded.len() - 3);
+        match decode(cut) {
+            Err(DecodeError::Truncated { expected: 3, .. }) => {}
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encoded_size_is_header_plus_payload() {
+        let cloud = sample();
+        assert_eq!(encode(&cloud).len(), 8 + 24 + cloud.len() * BYTES_PER_POINT);
+    }
+}

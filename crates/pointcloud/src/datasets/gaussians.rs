@@ -1,0 +1,176 @@
+//! Synthetic 3-D Gaussian scenes (Tanks&Temples / DeepBlending stand-ins).
+//!
+//! 3DGS scenes are sets of anisotropic translucent Gaussians. The
+//! generator builds clustered scenes whose only property the paper's
+//! techniques interact with is *depth ordering under translucency*: the
+//! renderer must alpha-composite splats front to back, which makes sorting
+//! the global-dependent operation (Tbl. 2).
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::aabb::Aabb;
+use crate::point::Point3;
+
+/// One anisotropic Gaussian primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneGaussian {
+    /// Center position.
+    pub center: Point3,
+    /// Per-axis standard deviations (before rotation).
+    pub scale: Point3,
+    /// Rotation about z in radians (full quaternions are overkill for the
+    /// sorting study; the renderer treats splats as oriented ellipses).
+    pub yaw: f32,
+    /// RGB color in `[0, 1]`.
+    pub color: [f32; 3],
+    /// Opacity in `(0, 1]`.
+    pub opacity: f32,
+}
+
+/// Scene flavor, matching the paper's two rendering datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SceneKind {
+    /// Outdoor-scale scene: large extent, sparse clusters
+    /// (Tanks&Temple-like).
+    TanksAndTemples,
+    /// Indoor scene: small extent, dense clusters (DeepBlending-like).
+    DeepBlending,
+}
+
+/// A generated Gaussian scene.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianScene {
+    /// The splats.
+    pub gaussians: Vec<SceneGaussian>,
+    /// Scene bounds (covers all centers).
+    pub bounds: Aabb,
+    /// Which flavor generated the scene.
+    pub kind: SceneKind,
+}
+
+impl GaussianScene {
+    /// Number of splats.
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// `true` when the scene holds no splats.
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+}
+
+/// Generates a clustered Gaussian scene with roughly `count` splats.
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_pointcloud::datasets::gaussians::{generate, SceneKind};
+///
+/// let scene = generate(SceneKind::DeepBlending, 500, 1);
+/// assert_eq!(scene.len(), 500);
+/// ```
+pub fn generate(kind: SceneKind, count: usize, seed: u64) -> GaussianScene {
+    let mut rng = super::rng(seed);
+    let (extent, clusters, base_scale) = match kind {
+        SceneKind::TanksAndTemples => (30.0f32, 24usize, 0.35f32),
+        SceneKind::DeepBlending => (8.0f32, 10usize, 0.12f32),
+    };
+    let centers: Vec<Point3> = (0..clusters)
+        .map(|_| {
+            Point3::new(
+                rng.random_range(-extent..extent),
+                rng.random_range(-extent..extent),
+                rng.random_range(-extent * 0.3..extent * 0.3),
+            )
+        })
+        .collect();
+    // A palette per cluster so nearby splats share hue (real scenes have
+    // coherent surfaces, which is what makes mis-sorting visible).
+    let palettes: Vec<[f32; 3]> = (0..clusters)
+        .map(|_| {
+            [
+                rng.random_range(0.1..1.0),
+                rng.random_range(0.1..1.0),
+                rng.random_range(0.1..1.0),
+            ]
+        })
+        .collect();
+    let mut gaussians = Vec::with_capacity(count);
+    for _ in 0..count {
+        let ci = rng.random_range(0..clusters);
+        let spread = extent / clusters as f32 * 3.0;
+        let center = centers[ci]
+            + Point3::new(
+                rng.random_range(-spread..spread),
+                rng.random_range(-spread..spread),
+                rng.random_range(-spread * 0.5..spread * 0.5),
+            );
+        let aniso = rng.random_range(0.5..2.0f32);
+        gaussians.push(SceneGaussian {
+            center,
+            scale: Point3::new(
+                base_scale * aniso,
+                base_scale / aniso,
+                base_scale * rng.random_range(0.5..1.5),
+            ),
+            yaw: rng.random_range(0.0..std::f32::consts::TAU),
+            color: [
+                (palettes[ci][0] + rng.random_range(-0.1..0.1)).clamp(0.0, 1.0),
+                (palettes[ci][1] + rng.random_range(-0.1..0.1)).clamp(0.0, 1.0),
+                (palettes[ci][2] + rng.random_range(-0.1..0.1)).clamp(0.0, 1.0),
+            ],
+            opacity: rng.random_range(0.3..0.95),
+        });
+    }
+    let bounds = Aabb::from_points(gaussians.iter().map(|g| g.center))
+        .unwrap_or_else(|| Aabb::point(Point3::ZERO));
+    GaussianScene { gaussians, bounds, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let scene = generate(SceneKind::TanksAndTemples, 1000, 3);
+        assert_eq!(scene.len(), 1000);
+        assert!(!scene.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(SceneKind::DeepBlending, 100, 5);
+        let b = generate(SceneKind::DeepBlending, 100, 5);
+        assert_eq!(a.gaussians, b.gaussians);
+    }
+
+    #[test]
+    fn outdoor_scenes_are_larger() {
+        let tt = generate(SceneKind::TanksAndTemples, 2000, 7);
+        let db = generate(SceneKind::DeepBlending, 2000, 7);
+        assert!(tt.bounds.volume() > db.bounds.volume());
+    }
+
+    #[test]
+    fn opacity_and_color_in_range() {
+        let scene = generate(SceneKind::DeepBlending, 500, 11);
+        for g in &scene.gaussians {
+            assert!(g.opacity > 0.0 && g.opacity <= 1.0);
+            for c in g.color {
+                assert!((0.0..=1.0).contains(&c));
+            }
+            assert!(g.scale.x > 0.0 && g.scale.y > 0.0 && g.scale.z > 0.0);
+        }
+    }
+
+    #[test]
+    fn bounds_cover_all_centers() {
+        let scene = generate(SceneKind::TanksAndTemples, 300, 13);
+        for g in &scene.gaussians {
+            assert!(scene.bounds.contains(g.center));
+        }
+    }
+}

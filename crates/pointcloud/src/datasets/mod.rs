@@ -1,0 +1,32 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The paper evaluates on KITTI, ModelNet10/40, ShapeNet, Tanks&Temples and
+//! DeepBlending. Those assets are not redistributable, so this module
+//! generates procedural stand-ins that preserve the *properties the
+//! paper's techniques interact with*:
+//!
+//! * [`lidar`] — rotating-beam scans of structured scenes; the serialized
+//!   acquisition order has spatial locality (the property the LiDAR split
+//!   of Sec. 4.1 relies on) and scan-line continuity (the property A-LOAM
+//!   feature extraction relies on).
+//! * [`modelnet`] — CAD-like surface-sampled shapes in N classes, for
+//!   classification.
+//! * [`shapenet`] — part-labeled objects, for segmentation (mIoU).
+//! * [`gaussians`] — translucent anisotropic Gaussian scenes, for the
+//!   3DGS rendering pipeline where depth sorting is the global operation.
+//!
+//! Every generator takes an explicit seed and is deterministic for a given
+//! seed, so experiments are reproducible run-to-run.
+
+pub mod gaussians;
+pub mod lidar;
+pub mod modelnet;
+pub mod shapenet;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Creates the deterministic RNG used by all generators.
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

@@ -1,0 +1,356 @@
+//! CAD-like shape classification datasets (ModelNet10/40 stand-ins).
+//!
+//! Each class is a parametric surface; samples draw points uniformly on
+//! the surface, apply a random rotation about z, scale jitter, and
+//! Gaussian noise, then normalize into the unit sphere — the standard
+//! ModelNet preprocessing. `ModelNet40`-like variants multiply the 10 base
+//! shapes by 4 parameter regimes.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::cloud::PointCloud;
+use crate::point::Point3;
+
+/// The ten base shape families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// Unit sphere surface.
+    Sphere,
+    /// Axis-aligned cube surface.
+    Cube,
+    /// Upright cylinder (side + caps).
+    Cylinder,
+    /// Upright cone.
+    Cone,
+    /// Torus in the xy plane.
+    Torus,
+    /// Square pyramid.
+    Pyramid,
+    /// Capsule (cylinder with hemispherical caps).
+    Capsule,
+    /// Ellipsoid with distinct radii.
+    Ellipsoid,
+    /// Two parallel slabs (table-like).
+    Slabs,
+    /// Cross of three boxes.
+    Cross,
+}
+
+impl Shape {
+    /// All base shapes in class-label order.
+    pub const ALL: [Shape; 10] = [
+        Shape::Sphere,
+        Shape::Cube,
+        Shape::Cylinder,
+        Shape::Cone,
+        Shape::Torus,
+        Shape::Pyramid,
+        Shape::Capsule,
+        Shape::Ellipsoid,
+        Shape::Slabs,
+        Shape::Cross,
+    ];
+
+    fn sample_surface(self, rng: &mut SmallRng, style: f32) -> Point3 {
+        match self {
+            Shape::Sphere => unit_sphere(rng),
+            Shape::Cube => cube_surface(rng, 1.0, 1.0, 1.0),
+            Shape::Cylinder => cylinder_surface(rng, 0.5 + 0.3 * style, 1.0),
+            Shape::Cone => cone_surface(rng, 0.6 + 0.2 * style, 1.2),
+            Shape::Torus => torus_surface(rng, 0.7, 0.15 + 0.15 * style),
+            Shape::Pyramid => pyramid_surface(rng, 0.8, 1.0 + 0.4 * style),
+            Shape::Capsule => capsule_surface(rng, 0.35 + 0.1 * style, 0.9),
+            Shape::Ellipsoid => {
+                let p = unit_sphere(rng);
+                Point3::new(p.x * (0.9 + 0.3 * style), p.y * 0.6, p.z * 0.4)
+            }
+            Shape::Slabs => {
+                let p = cube_surface(rng, 1.0, 1.0, 0.08);
+                let dz = if rng.random_bool(0.5) { 0.5 } else { -0.5 - 0.3 * style };
+                p + Point3::new(0.0, 0.0, dz)
+            }
+            Shape::Cross => {
+                let arm = rng.random_range(0..3u32);
+                let p = cube_surface(rng, 1.0, 0.25 + 0.1 * style, 0.25);
+                match arm {
+                    0 => p,
+                    1 => Point3::new(p.y, p.x, p.z),
+                    _ => Point3::new(p.z, p.y, p.x),
+                }
+            }
+        }
+    }
+}
+
+fn unit_sphere(rng: &mut SmallRng) -> Point3 {
+    loop {
+        let p = Point3::new(
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+        );
+        let n = p.norm();
+        if n > 1e-3 && n <= 1.0 {
+            return p / n;
+        }
+    }
+}
+
+fn cube_surface(rng: &mut SmallRng, sx: f32, sy: f32, sz: f32) -> Point3 {
+    let face = rng.random_range(0..6u32);
+    let u = rng.random_range(-0.5..0.5f32);
+    let v = rng.random_range(-0.5..0.5f32);
+    let p = match face {
+        0 => Point3::new(0.5, u, v),
+        1 => Point3::new(-0.5, u, v),
+        2 => Point3::new(u, 0.5, v),
+        3 => Point3::new(u, -0.5, v),
+        4 => Point3::new(u, v, 0.5),
+        _ => Point3::new(u, v, -0.5),
+    };
+    Point3::new(p.x * sx * 2.0, p.y * sy * 2.0, p.z * sz * 2.0) * 0.5
+}
+
+fn cylinder_surface(rng: &mut SmallRng, r: f32, h: f32) -> Point3 {
+    let side_area = std::f32::consts::TAU * r * h;
+    let cap_area = std::f32::consts::PI * r * r;
+    let pick: f32 = rng.random_range(0.0..side_area + 2.0 * cap_area);
+    let theta = rng.random_range(0.0..std::f32::consts::TAU);
+    if pick < side_area {
+        Point3::new(r * theta.cos(), r * theta.sin(), rng.random_range(-h / 2.0..h / 2.0))
+    } else {
+        let rr = r * rng.random_range(0.0f32..1.0).sqrt();
+        let z = if pick < side_area + cap_area { h / 2.0 } else { -h / 2.0 };
+        Point3::new(rr * theta.cos(), rr * theta.sin(), z)
+    }
+}
+
+fn cone_surface(rng: &mut SmallRng, r: f32, h: f32) -> Point3 {
+    let theta = rng.random_range(0.0..std::f32::consts::TAU);
+    if rng.random_bool(0.75) {
+        // Lateral surface: radius shrinks linearly with height.
+        let t = rng.random_range(0.0f32..1.0).sqrt();
+        let rr = r * (1.0 - t);
+        Point3::new(rr * theta.cos(), rr * theta.sin(), -h / 2.0 + t * h)
+    } else {
+        let rr = r * rng.random_range(0.0f32..1.0).sqrt();
+        Point3::new(rr * theta.cos(), rr * theta.sin(), -h / 2.0)
+    }
+}
+
+fn torus_surface(rng: &mut SmallRng, major: f32, minor: f32) -> Point3 {
+    let u = rng.random_range(0.0..std::f32::consts::TAU);
+    let v = rng.random_range(0.0..std::f32::consts::TAU);
+    Point3::new(
+        (major + minor * v.cos()) * u.cos(),
+        (major + minor * v.cos()) * u.sin(),
+        minor * v.sin(),
+    )
+}
+
+fn pyramid_surface(rng: &mut SmallRng, half_base: f32, h: f32) -> Point3 {
+    let face = rng.random_range(0..5u32);
+    if face == 4 {
+        // Base.
+        Point3::new(
+            rng.random_range(-half_base..half_base),
+            rng.random_range(-half_base..half_base),
+            -h / 2.0,
+        )
+    } else {
+        // A triangular side: interpolate between base edge and apex.
+        let t = rng.random_range(0.0f32..1.0);
+        let s = rng.random_range(-1.0f32..1.0) * (1.0 - t);
+        let apex = Point3::new(0.0, 0.0, h / 2.0);
+        let base_mid = match face {
+            0 => Point3::new(half_base, 0.0, -h / 2.0),
+            1 => Point3::new(-half_base, 0.0, -h / 2.0),
+            2 => Point3::new(0.0, half_base, -h / 2.0),
+            _ => Point3::new(0.0, -half_base, -h / 2.0),
+        };
+        let edge_dir = if face < 2 {
+            Point3::new(0.0, half_base, 0.0)
+        } else {
+            Point3::new(half_base, 0.0, 0.0)
+        };
+        base_mid.lerp(apex, t) + edge_dir * s
+    }
+}
+
+fn capsule_surface(rng: &mut SmallRng, r: f32, h: f32) -> Point3 {
+    if rng.random_bool(0.6) {
+        let theta = rng.random_range(0.0..std::f32::consts::TAU);
+        Point3::new(r * theta.cos(), r * theta.sin(), rng.random_range(-h / 2.0..h / 2.0))
+    } else {
+        let p = unit_sphere(rng) * r;
+        if p.z >= 0.0 {
+            p + Point3::new(0.0, 0.0, h / 2.0)
+        } else {
+            p + Point3::new(0.0, 0.0, -h / 2.0)
+        }
+    }
+}
+
+/// Dataset configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelNetConfig {
+    /// Number of classes: 10 (base shapes) or 40 (shapes × 4 styles).
+    pub classes: usize,
+    /// Points per cloud.
+    pub points: usize,
+    /// Gaussian surface noise sigma (after unit normalization).
+    pub noise: f32,
+}
+
+impl Default for ModelNetConfig {
+    fn default() -> Self {
+        ModelNetConfig { classes: 10, points: 512, noise: 0.01 }
+    }
+}
+
+/// A labeled classification sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// The point cloud, normalized into the unit sphere.
+    pub cloud: PointCloud,
+    /// Class label in `0..config.classes`.
+    pub label: u32,
+}
+
+/// Generates one sample of class `label`.
+///
+/// # Panics
+///
+/// Panics if `label >= config.classes` or `config.classes` is not 10 or 40.
+pub fn sample(config: &ModelNetConfig, label: u32, seed: u64) -> Sample {
+    assert!(
+        config.classes == 10 || config.classes == 40,
+        "classes must be 10 or 40 (got {})",
+        config.classes
+    );
+    assert!((label as usize) < config.classes, "label out of range");
+    let mut rng = super::rng(seed);
+    let shape = Shape::ALL[(label as usize) % 10];
+    let style = (label as usize / 10) as f32 / 3.0; // 0, 1/3, 2/3, 1
+    let yaw = rng.random_range(0.0..std::f32::consts::TAU);
+    let (s, c) = yaw.sin_cos();
+    let scale = rng.random_range(0.8..1.2f32);
+    let mut pts = Vec::with_capacity(config.points);
+    for _ in 0..config.points {
+        let p = shape.sample_surface(&mut rng, style);
+        let rotated = Point3::new(p.x * c - p.y * s, p.x * s + p.y * c, p.z) * scale;
+        pts.push(rotated);
+    }
+    let mut cloud = PointCloud::from_points(pts);
+    normalize_unit_sphere(&mut cloud);
+    if config.noise > 0.0 {
+        let noise = config.noise;
+        cloud.transform(|p| {
+            p + Point3::new(
+                gauss(&mut rng) * noise,
+                gauss(&mut rng) * noise,
+                gauss(&mut rng) * noise,
+            )
+        });
+    }
+    Sample { cloud, label }
+}
+
+/// Generates a balanced dataset of `per_class` samples per class.
+pub fn dataset(config: &ModelNetConfig, per_class: usize, seed: u64) -> Vec<Sample> {
+    let mut out = Vec::with_capacity(config.classes * per_class);
+    for label in 0..config.classes as u32 {
+        for i in 0..per_class {
+            out.push(sample(config, label, seed ^ (label as u64) << 32 ^ i as u64));
+        }
+    }
+    out
+}
+
+/// Centers the cloud and scales it so the farthest point sits on the unit
+/// sphere.
+pub fn normalize_unit_sphere(cloud: &mut PointCloud) {
+    let Some(centroid) = cloud.centroid() else { return };
+    cloud.transform(|p| p - centroid);
+    let max_norm = cloud.iter().map(|p| p.norm()).fold(0.0f32, f32::max);
+    if max_norm > 0.0 {
+        cloud.transform(|p| p / max_norm);
+    }
+}
+
+fn gauss(rng: &mut SmallRng) -> f32 {
+    let u1: f32 = rng.random_range(1e-7..1.0f32);
+    let u2: f32 = rng.random_range(0.0..1.0f32);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_unit_normalized() {
+        let cfg = ModelNetConfig::default();
+        for label in 0..10 {
+            let s = sample(&cfg, label, 42);
+            assert_eq!(s.cloud.len(), cfg.points);
+            let max_norm = s.cloud.iter().map(|p| p.norm()).fold(0.0f32, f32::max);
+            assert!(max_norm <= 1.0 + 4.0 * cfg.noise, "class {label}: {max_norm}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ModelNetConfig::default();
+        let a = sample(&cfg, 3, 7);
+        let b = sample(&cfg, 3, 7);
+        assert_eq!(a.cloud, b.cloud);
+        let c = sample(&cfg, 3, 8);
+        assert_ne!(a.cloud, c.cloud);
+    }
+
+    #[test]
+    fn dataset_is_balanced() {
+        let cfg = ModelNetConfig { classes: 10, points: 64, noise: 0.0 };
+        let ds = dataset(&cfg, 3, 1);
+        assert_eq!(ds.len(), 30);
+        for label in 0..10u32 {
+            assert_eq!(ds.iter().filter(|s| s.label == label).count(), 3);
+        }
+    }
+
+    #[test]
+    fn modelnet40_styles_differ() {
+        let cfg = ModelNetConfig { classes: 40, points: 256, noise: 0.0 };
+        // Same base shape (cylinder = 2), different style regimes.
+        let a = sample(&cfg, 2, 9);
+        let b = sample(&cfg, 32, 9);
+        assert_ne!(a.cloud, b.cloud);
+        assert_eq!(a.label, 2);
+        assert_eq!(b.label, 32);
+    }
+
+    #[test]
+    fn shapes_are_distinguishable_by_spread() {
+        // Sphere points all sit at norm 1 before noise; torus has a
+        // bimodal radial profile. A crude spread statistic should differ.
+        let cfg = ModelNetConfig { classes: 10, points: 512, noise: 0.0 };
+        let radial_std = |s: &Sample| {
+            let norms: Vec<f32> = s.cloud.iter().map(|p| p.norm()).collect();
+            let mean = norms.iter().sum::<f32>() / norms.len() as f32;
+            (norms.iter().map(|n| (n - mean).powi(2)).sum::<f32>() / norms.len() as f32).sqrt()
+        };
+        let sphere = radial_std(&sample(&cfg, 0, 3));
+        let cross = radial_std(&sample(&cfg, 9, 3));
+        assert!(sphere < cross, "sphere {sphere} vs cross {cross}");
+    }
+
+    #[test]
+    #[should_panic(expected = "classes must be 10 or 40")]
+    fn bad_class_count_panics() {
+        let cfg = ModelNetConfig { classes: 13, ..ModelNetConfig::default() };
+        let _ = sample(&cfg, 0, 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Part-labeled segmentation datasets (ShapeNet-Part stand-in).
+//!
+//! Objects are assemblies of simple parts; every point carries the label
+//! of the part it was sampled from. The segmentation metric is the
+//! standard mean Intersection-over-Union, computed per shape and averaged
+//! (the "mIoU" of the paper's Tbl. 2).
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::cloud::PointCloud;
+use crate::point::Point3;
+
+/// Object categories with part decompositions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Top slab + 4 legs (2 parts: top, legs).
+    Table,
+    /// Base + pole + shade (3 parts).
+    Lamp,
+    /// Body + wings + tail (3 parts).
+    Airplane,
+    /// Seat + back + legs (3 parts).
+    Chair,
+}
+
+impl Category {
+    /// All categories in label order.
+    pub const ALL: [Category; 4] =
+        [Category::Table, Category::Lamp, Category::Airplane, Category::Chair];
+
+    /// Number of part labels for this category.
+    pub fn part_count(self) -> usize {
+        match self {
+            Category::Table => 2,
+            Category::Lamp => 3,
+            Category::Airplane => 3,
+            Category::Chair => 3,
+        }
+    }
+}
+
+/// A segmentation sample: positions plus per-point part labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegSample {
+    /// The point cloud with `labels()` filled with part ids.
+    pub cloud: PointCloud,
+    /// The object category.
+    pub category: Category,
+}
+
+fn box_point(rng: &mut SmallRng, c: Point3, half: Point3) -> Point3 {
+    c + Point3::new(
+        rng.random_range(-half.x..half.x.max(1e-6)),
+        rng.random_range(-half.y..half.y.max(1e-6)),
+        rng.random_range(-half.z..half.z.max(1e-6)),
+    )
+}
+
+fn cylinder_point(rng: &mut SmallRng, c: Point3, r: f32, h: f32) -> Point3 {
+    let theta = rng.random_range(0.0..std::f32::consts::TAU);
+    let rr = r * rng.random_range(0.0f32..1.0).sqrt();
+    c + Point3::new(rr * theta.cos(), rr * theta.sin(), rng.random_range(-h / 2.0..h / 2.0))
+}
+
+/// Generates one part-labeled object.
+pub fn sample(category: Category, points: usize, seed: u64) -> SegSample {
+    let mut rng = super::rng(seed);
+    let jitter = rng.random_range(0.85..1.15f32);
+    let mut pts = Vec::with_capacity(points);
+    let mut labels = Vec::with_capacity(points);
+    for _ in 0..points {
+        let (p, l) = match category {
+            Category::Table => {
+                if rng.random_bool(0.45) {
+                    (
+                        box_point(
+                            &mut rng,
+                            Point3::new(0.0, 0.0, 0.5),
+                            Point3::new(0.8, 0.5, 0.04) * jitter,
+                        ),
+                        0u32,
+                    )
+                } else {
+                    let lx = if rng.random_bool(0.5) { 0.7 } else { -0.7 };
+                    let ly = if rng.random_bool(0.5) { 0.4 } else { -0.4 };
+                    (
+                        cylinder_point(
+                            &mut rng,
+                            Point3::new(lx * jitter, ly * jitter, 0.0),
+                            0.05,
+                            1.0,
+                        ),
+                        1,
+                    )
+                }
+            }
+            Category::Lamp => {
+                let r: f32 = rng.random_range(0.0..1.0);
+                if r < 0.25 {
+                    (cylinder_point(&mut rng, Point3::new(0.0, 0.0, -0.6), 0.3 * jitter, 0.08), 0)
+                } else if r < 0.55 {
+                    (cylinder_point(&mut rng, Point3::ZERO, 0.04, 1.2 * jitter), 1)
+                } else {
+                    (cylinder_point(&mut rng, Point3::new(0.0, 0.0, 0.65), 0.35 * jitter, 0.4), 2)
+                }
+            }
+            Category::Airplane => {
+                let r: f32 = rng.random_range(0.0..1.0);
+                if r < 0.4 {
+                    (cylinder_point(&mut rng, Point3::ZERO, 0.12 * jitter, 1.6).yz_swap(), 0)
+                } else if r < 0.8 {
+                    (
+                        box_point(
+                            &mut rng,
+                            Point3::ZERO,
+                            Point3::new(0.15, 1.0 * jitter, 0.02),
+                        ),
+                        1,
+                    )
+                } else {
+                    (
+                        box_point(
+                            &mut rng,
+                            Point3::new(-0.75 * jitter, 0.0, 0.15),
+                            Point3::new(0.1, 0.3, 0.15),
+                        ),
+                        2,
+                    )
+                }
+            }
+            Category::Chair => {
+                let r: f32 = rng.random_range(0.0..1.0);
+                if r < 0.35 {
+                    (
+                        box_point(
+                            &mut rng,
+                            Point3::new(0.0, 0.0, 0.0),
+                            Point3::new(0.45, 0.45, 0.05) * jitter,
+                        ),
+                        0,
+                    )
+                } else if r < 0.65 {
+                    (
+                        box_point(
+                            &mut rng,
+                            Point3::new(0.0, -0.42 * jitter, 0.5),
+                            Point3::new(0.45, 0.05, 0.5),
+                        ),
+                        1,
+                    )
+                } else {
+                    let lx = if rng.random_bool(0.5) { 0.38 } else { -0.38 };
+                    let ly = if rng.random_bool(0.5) { 0.38 } else { -0.38 };
+                    (cylinder_point(&mut rng, Point3::new(lx, ly, -0.4), 0.04, 0.8), 2)
+                }
+            }
+        };
+        pts.push(p);
+        labels.push(l);
+    }
+    let mut cloud = PointCloud::from_labeled(pts, labels);
+    super::modelnet::normalize_unit_sphere(&mut cloud);
+    SegSample { cloud, category }
+}
+
+trait YzSwap {
+    fn yz_swap(self) -> Self;
+}
+
+impl YzSwap for Point3 {
+    /// Airplane bodies lie along x; reuse the upright cylinder by swapping
+    /// axes.
+    fn yz_swap(self) -> Point3 {
+        Point3::new(self.z, self.y, self.x)
+    }
+}
+
+/// Generates a dataset with `per_category` samples per category.
+pub fn dataset(points: usize, per_category: usize, seed: u64) -> Vec<SegSample> {
+    let mut out = Vec::new();
+    for (ci, &cat) in Category::ALL.iter().enumerate() {
+        for i in 0..per_category {
+            out.push(sample(cat, points, seed ^ ((ci as u64) << 40) ^ i as u64));
+        }
+    }
+    out
+}
+
+/// Mean Intersection-over-Union between predicted and true part labels for
+/// one shape, averaged over the parts present in either labeling.
+///
+/// # Panics
+///
+/// Panics if the two label slices have different lengths.
+pub fn miou(pred: &[u32], truth: &[u32], part_count: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label length mismatch");
+    let mut inter = vec![0usize; part_count];
+    let mut union = vec![0usize; part_count];
+    for (&p, &t) in pred.iter().zip(truth) {
+        let (p, t) = (p as usize, t as usize);
+        if p == t {
+            if p < part_count {
+                inter[p] += 1;
+                union[p] += 1;
+            }
+        } else {
+            if p < part_count {
+                union[p] += 1;
+            }
+            if t < part_count {
+                union[t] += 1;
+            }
+        }
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for part in 0..part_count {
+        if union[part] > 0 {
+            sum += inter[part] as f64 / union[part] as f64;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_has_all_parts() {
+        for &cat in &Category::ALL {
+            let s = sample(cat, 1024, 5);
+            assert_eq!(s.cloud.len(), 1024);
+            let labels = s.cloud.labels();
+            for part in 0..cat.part_count() as u32 {
+                assert!(
+                    labels.contains(&part),
+                    "{cat:?} missing part {part}"
+                );
+            }
+            assert!(labels.iter().all(|&l| (l as usize) < cat.part_count()));
+        }
+    }
+
+    #[test]
+    fn miou_perfect_is_one() {
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        assert_eq!(miou(&labels, &labels, 3), 1.0);
+    }
+
+    #[test]
+    fn miou_disjoint_is_zero() {
+        let pred = vec![0, 0, 0];
+        let truth = vec![1, 1, 1];
+        assert_eq!(miou(&pred, &truth, 2), 0.0);
+    }
+
+    #[test]
+    fn miou_partial_overlap() {
+        // Part 0: pred {0,1}, truth {0}; part 1: pred {2}, truth {1,2}.
+        let pred = vec![0, 0, 1];
+        let truth = vec![0, 1, 1];
+        let m = miou(&pred, &truth, 2);
+        assert!((m - 0.5).abs() < 1e-9, "{m}");
+    }
+
+    #[test]
+    fn parts_are_spatially_separated() {
+        // Table top points should be above table leg points on average.
+        let s = sample(Category::Table, 2048, 3);
+        let mut top_z = 0.0f32;
+        let mut top_n = 0;
+        let mut leg_z = 0.0f32;
+        let mut leg_n = 0;
+        for (i, &l) in s.cloud.labels().iter().enumerate() {
+            if l == 0 {
+                top_z += s.cloud.point(i).z;
+                top_n += 1;
+            } else {
+                leg_z += s.cloud.point(i).z;
+                leg_n += 1;
+            }
+        }
+        assert!(top_z / top_n as f32 > leg_z / leg_n as f32);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = sample(Category::Chair, 128, 9);
+        let b = sample(Category::Chair, 128, 9);
+        assert_eq!(a.cloud, b.cloud);
+    }
+}

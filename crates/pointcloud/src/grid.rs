@@ -1,0 +1,460 @@
+//! Uniform chunk grids — the substrate of *compulsory splitting*.
+//!
+//! Sec. 4.1 of the paper splits a point cloud into spatially even chunks
+//! (CAD-style clouds) or into even runs of the serialized acquisition order
+//! (LiDAR clouds), then lets global-dependent operations read chunks in a
+//! sliding-window fashion like a coarse-grained stencil (Fig. 7). This
+//! module provides both splitters plus the chunk-window iterator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aabb::Aabb;
+use crate::point::Point3;
+
+/// Identifier of a chunk within a partition (dense, `0..chunk_count`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChunkId(pub u32);
+
+impl ChunkId {
+    /// The chunk id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Grid dimensions (chunks per axis) for spatial splitting.
+///
+/// The paper uses e.g. `3×3×1` chunks with a `2×2` kernel for
+/// classification, `8×8` (×1) for the Fig. 6 study, and `80×60×75` for
+/// 3DGS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridDims {
+    /// Chunks along x.
+    pub nx: u32,
+    /// Chunks along y.
+    pub ny: u32,
+    /// Chunks along z.
+    pub nz: u32,
+}
+
+impl GridDims {
+    /// Creates grid dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(nx: u32, ny: u32, nz: u32) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        GridDims { nx, ny, nz }
+    }
+
+    /// Total number of chunks.
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.nx as usize * self.ny as usize * self.nz as usize
+    }
+
+    /// Linearizes 3-D chunk coordinates (x-major, then y, then z).
+    #[inline]
+    pub fn linear(&self, cx: u32, cy: u32, cz: u32) -> ChunkId {
+        debug_assert!(cx < self.nx && cy < self.ny && cz < self.nz);
+        ChunkId(cx + self.nx * (cy + self.ny * cz))
+    }
+
+    /// Inverse of [`GridDims::linear`].
+    #[inline]
+    pub fn coords(&self, id: ChunkId) -> (u32, u32, u32) {
+        let i = id.0;
+        (i % self.nx, (i / self.nx) % self.ny, i / (self.nx * self.ny))
+    }
+}
+
+/// A uniform spatial chunk grid over a bounding box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkGrid {
+    bounds: Aabb,
+    dims: GridDims,
+}
+
+impl ChunkGrid {
+    /// Creates a grid covering `bounds` with `dims` chunks.
+    pub fn new(bounds: Aabb, dims: GridDims) -> Self {
+        ChunkGrid { bounds, dims }
+    }
+
+    /// The covered bounds.
+    #[inline]
+    pub fn bounds(&self) -> &Aabb {
+        &self.bounds
+    }
+
+    /// The grid dimensions.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Total number of chunks.
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.dims.chunk_count()
+    }
+
+    /// The chunk containing `p`. Points outside the bounds clamp to the
+    /// nearest boundary chunk, so every point maps to some chunk.
+    pub fn chunk_of(&self, p: Point3) -> ChunkId {
+        let ext = self.bounds.extent();
+        let min = self.bounds.min();
+        let cell = |v: f32, lo: f32, e: f32, n: u32| -> u32 {
+            if e <= 0.0 {
+                return 0;
+            }
+            let t = ((v - lo) / e * n as f32).floor();
+            (t.clamp(0.0, (n - 1) as f32)) as u32
+        };
+        self.dims.linear(
+            cell(p.x, min.x, ext.x, self.dims.nx),
+            cell(p.y, min.y, ext.y, self.dims.ny),
+            cell(p.z, min.z, ext.z, self.dims.nz),
+        )
+    }
+
+    /// Bounding box of chunk `id`.
+    pub fn chunk_bounds(&self, id: ChunkId) -> Aabb {
+        let (cx, cy, cz) = self.dims.coords(id);
+        let ext = self.bounds.extent();
+        let min = self.bounds.min();
+        let step = Point3::new(
+            ext.x / self.dims.nx as f32,
+            ext.y / self.dims.ny as f32,
+            ext.z / self.dims.nz as f32,
+        );
+        let lo = min
+            + Point3::new(step.x * cx as f32, step.y * cy as f32, step.z * cz as f32);
+        Aabb::new(lo, lo + step)
+    }
+
+    /// Partitions `points` into per-chunk index lists.
+    pub fn partition(&self, points: &[Point3]) -> ChunkPartition {
+        let mut chunks = vec![Vec::new(); self.chunk_count()];
+        for (i, &p) in points.iter().enumerate() {
+            chunks[self.chunk_of(p).index()].push(i as u32);
+        }
+        ChunkPartition { chunks, kind: PartitionKind::Spatial { grid: self.clone() } }
+    }
+}
+
+/// How a partition was produced (spatial grid or serialized order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// Spatially even chunks over a [`ChunkGrid`].
+    Spatial {
+        /// The grid that produced the partition.
+        grid: ChunkGrid,
+    },
+    /// Even runs of the acquisition (serialized) order — the LiDAR split:
+    /// points `1..=N` in chunk 0, `N+1..=2N` in chunk 1, and so on.
+    Serial {
+        /// Points per chunk (`N`).
+        chunk_points: usize,
+    },
+}
+
+/// The result of compulsory splitting: per-chunk lists of point indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkPartition {
+    chunks: Vec<Vec<u32>>,
+    kind: PartitionKind,
+}
+
+impl ChunkPartition {
+    /// Builds a partition from explicit per-chunk index lists (used by
+    /// custom splitters such as [`crate::balanced::BalancedSplit`]).
+    pub fn from_chunks(chunks: Vec<Vec<u32>>, kind: PartitionKind) -> Self {
+        ChunkPartition { chunks, kind }
+    }
+
+    /// Splits by serialized acquisition order into chunks of
+    /// `chunk_points` points (the last chunk may be short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_points == 0`.
+    pub fn serial(total_points: usize, chunk_points: usize) -> Self {
+        assert!(chunk_points > 0, "chunk_points must be positive");
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        while start < total_points {
+            let end = (start + chunk_points).min(total_points);
+            chunks.push((start as u32..end as u32).collect());
+            start = end;
+        }
+        if chunks.is_empty() {
+            chunks.push(Vec::new());
+        }
+        ChunkPartition { chunks, kind: PartitionKind::Serial { chunk_points } }
+    }
+
+    /// Number of chunks.
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Point indices of chunk `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn chunk(&self, id: ChunkId) -> &[u32] {
+        &self.chunks[id.index()]
+    }
+
+    /// Iterates over `(ChunkId, indices)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ChunkId, &[u32])> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ChunkId(i as u32), v.as_slice()))
+    }
+
+    /// How the partition was produced.
+    #[inline]
+    pub fn kind(&self) -> &PartitionKind {
+        &self.kind
+    }
+
+    /// Total points across all chunks.
+    pub fn total_points(&self) -> usize {
+        self.chunks.iter().map(Vec::len).sum()
+    }
+
+    /// Size of the largest chunk.
+    pub fn max_chunk_len(&self) -> usize {
+        self.chunks.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Gathers the point indices of all chunks in `window`, in chunk
+    /// order.
+    pub fn window_points(&self, window: &[ChunkId]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for &c in window {
+            out.extend_from_slice(self.chunk(c));
+        }
+        out
+    }
+}
+
+/// Kernel/stride configuration for chunk-window (coarse stencil) reads.
+///
+/// A `1×2` kernel with stride 1 over `1×4` chunks reproduces Fig. 7: the
+/// global-dependent operation starts once chunks `{C0, C1}` arrive, then
+/// slides to `{C1, C2}` reading only `C2` fresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Kernel size (chunks per window) along each axis.
+    pub kernel: (u32, u32, u32),
+    /// Stride (chunks) along each axis.
+    pub stride: (u32, u32, u32),
+}
+
+impl WindowSpec {
+    /// Creates a window spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any kernel or stride component is zero.
+    pub fn new(kernel: (u32, u32, u32), stride: (u32, u32, u32)) -> Self {
+        assert!(
+            kernel.0 > 0 && kernel.1 > 0 && kernel.2 > 0,
+            "kernel components must be positive"
+        );
+        assert!(
+            stride.0 > 0 && stride.1 > 0 && stride.2 > 0,
+            "stride components must be positive"
+        );
+        WindowSpec { kernel, stride }
+    }
+
+    /// A window covering exactly one chunk (naive splitting).
+    pub fn naive() -> Self {
+        WindowSpec::new((1, 1, 1), (1, 1, 1))
+    }
+
+    /// Number of chunks per window.
+    pub fn chunks_per_window(&self) -> usize {
+        (self.kernel.0 * self.kernel.1 * self.kernel.2) as usize
+    }
+
+    /// Enumerates the chunk windows over `dims`, x-fastest.
+    ///
+    /// Windows are anchored at strides and clipped so the kernel always
+    /// fits; when a kernel exceeds the grid along an axis the anchor is
+    /// clamped to 0 and the kernel to the axis size.
+    pub fn windows(&self, dims: GridDims) -> Vec<Vec<ChunkId>> {
+        let axis_anchors = |n: u32, k: u32, s: u32| -> Vec<(u32, u32)> {
+            let k = k.min(n);
+            let last = n - k;
+            let mut anchors = Vec::new();
+            let mut a = 0;
+            loop {
+                anchors.push((a, k));
+                if a >= last {
+                    break;
+                }
+                a = (a + s).min(last);
+            }
+            anchors
+        };
+        let xs = axis_anchors(dims.nx, self.kernel.0, self.stride.0);
+        let ys = axis_anchors(dims.ny, self.kernel.1, self.stride.1);
+        let zs = axis_anchors(dims.nz, self.kernel.2, self.stride.2);
+        let mut out = Vec::with_capacity(xs.len() * ys.len() * zs.len());
+        for &(az, kz) in &zs {
+            for &(ay, ky) in &ys {
+                for &(ax, kx) in &xs {
+                    let mut win = Vec::with_capacity((kx * ky * kz) as usize);
+                    for dz in 0..kz {
+                        for dy in 0..ky {
+                            for dx in 0..kx {
+                                win.push(dims.linear(ax + dx, ay + dy, az + dz));
+                            }
+                        }
+                    }
+                    out.push(win);
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates windows over a serial partition with `n_chunks` chunks
+    /// (1-D sliding window using the x components of kernel/stride).
+    pub fn serial_windows(&self, n_chunks: usize) -> Vec<Vec<ChunkId>> {
+        self.windows(GridDims::new(n_chunks.max(1) as u32, 1, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_4x3() -> ChunkGrid {
+        ChunkGrid::new(
+            Aabb::new(Point3::ZERO, Point3::new(4.0, 3.0, 1.0)),
+            GridDims::new(4, 3, 1),
+        )
+    }
+
+    #[test]
+    fn chunk_of_maps_cells() {
+        let g = grid_4x3();
+        assert_eq!(g.chunk_of(Point3::new(0.5, 0.5, 0.5)), ChunkId(0));
+        assert_eq!(g.chunk_of(Point3::new(3.5, 0.5, 0.5)), ChunkId(3));
+        assert_eq!(g.chunk_of(Point3::new(0.5, 2.5, 0.5)), ChunkId(8));
+        // Out-of-bounds points clamp.
+        assert_eq!(g.chunk_of(Point3::new(-5.0, -5.0, 0.5)), ChunkId(0));
+        assert_eq!(g.chunk_of(Point3::new(99.0, 99.0, 0.5)), ChunkId(11));
+    }
+
+    #[test]
+    fn partition_preserves_every_point() {
+        let g = grid_4x3();
+        let pts: Vec<Point3> = (0..100)
+            .map(|i| Point3::new((i % 10) as f32 * 0.4, (i / 10) as f32 * 0.3, 0.5))
+            .collect();
+        let part = g.partition(&pts);
+        assert_eq!(part.total_points(), pts.len());
+        let mut seen = vec![false; pts.len()];
+        for (_, idxs) in part.iter() {
+            for &i in idxs {
+                assert!(!seen[i as usize], "point {i} assigned twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn chunk_bounds_tile_the_box() {
+        let g = grid_4x3();
+        let mut vol = 0.0;
+        for i in 0..g.chunk_count() {
+            vol += g.chunk_bounds(ChunkId(i as u32)).volume();
+        }
+        assert!((vol - g.bounds().volume()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn points_land_in_their_chunk_bounds() {
+        let g = grid_4x3();
+        let p = Point3::new(2.2, 1.7, 0.3);
+        let id = g.chunk_of(p);
+        assert!(g.chunk_bounds(id).contains(p));
+    }
+
+    #[test]
+    fn serial_partition_is_contiguous() {
+        let part = ChunkPartition::serial(10, 4);
+        assert_eq!(part.chunk_count(), 3);
+        assert_eq!(part.chunk(ChunkId(0)), &[0, 1, 2, 3]);
+        assert_eq!(part.chunk(ChunkId(2)), &[8, 9]);
+        assert!(matches!(part.kind(), PartitionKind::Serial { chunk_points: 4 }));
+    }
+
+    #[test]
+    fn fig7_windows_1x4_kernel_1x2() {
+        // Fig. 7: 1×4 chunks, 1×2 kernel, stride 1 → {C0,C1}, {C1,C2}, {C2,C3}.
+        let spec = WindowSpec::new((2, 1, 1), (1, 1, 1));
+        let wins = spec.serial_windows(4);
+        assert_eq!(
+            wins,
+            vec![
+                vec![ChunkId(0), ChunkId(1)],
+                vec![ChunkId(1), ChunkId(2)],
+                vec![ChunkId(2), ChunkId(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_cls_config_3x3_kernel_2x2() {
+        // Sec. 8.1: 3×3×1 chunks with 2×2 kernel "equivalent to partitioning
+        // the point cloud into 4 chunks" → 2×2 = 4 windows.
+        let spec = WindowSpec::new((2, 2, 1), (1, 1, 1));
+        let wins = spec.windows(GridDims::new(3, 3, 1));
+        assert_eq!(wins.len(), 4);
+        assert!(wins.iter().all(|w| w.len() == 4));
+    }
+
+    #[test]
+    fn kernel_larger_than_grid_clamps() {
+        let spec = WindowSpec::new((8, 1, 1), (1, 1, 1));
+        let wins = spec.serial_windows(3);
+        assert_eq!(wins.len(), 1);
+        assert_eq!(wins[0].len(), 3);
+    }
+
+    #[test]
+    fn naive_window_is_one_chunk() {
+        let spec = WindowSpec::naive();
+        let wins = spec.windows(GridDims::new(2, 2, 1));
+        assert_eq!(wins.len(), 4);
+        assert!(wins.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn window_points_gathers_in_order() {
+        let part = ChunkPartition::serial(6, 2);
+        let pts = part.window_points(&[ChunkId(1), ChunkId(2)]);
+        assert_eq!(pts, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_kernel_panics() {
+        let _ = WindowSpec::new((0, 1, 1), (1, 1, 1));
+    }
+}

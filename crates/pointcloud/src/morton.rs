@@ -1,0 +1,166 @@
+//! 3-D Morton (Z-order) codes.
+//!
+//! Morton order linearizes 3-D space while preserving locality; the
+//! hierarchical chunk sort (`Split for Sorting`, Sec. 4.1 of the paper) and
+//! the octree both rely on it. Codes interleave 21 bits per axis into a
+//! 63-bit key.
+
+use crate::aabb::Aabb;
+use crate::point::Point3;
+
+/// Number of bits kept per axis.
+pub const BITS_PER_AXIS: u32 = 21;
+const AXIS_MASK: u64 = (1 << BITS_PER_AXIS) - 1;
+
+/// Spreads the low 21 bits of `v` so consecutive bits land 3 apart.
+#[inline]
+fn spread(v: u64) -> u64 {
+    let mut x = v & AXIS_MASK;
+    x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`spread`]: collects every third bit back into the low 21.
+#[inline]
+fn compact(v: u64) -> u64 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x >> 8)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x >> 16)) & 0x001f_0000_0000_ffff;
+    x = (x | (x >> 32)) & AXIS_MASK;
+    x
+}
+
+/// Interleaves three 21-bit integer coordinates into a Morton code.
+///
+/// Coordinates above `2^21 - 1` are truncated to 21 bits.
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_pointcloud::morton;
+///
+/// let code = morton::encode(1, 0, 0);
+/// assert_eq!(code, 0b001);
+/// assert_eq!(morton::decode(code), (1, 0, 0));
+/// ```
+#[inline]
+pub fn encode(x: u32, y: u32, z: u32) -> u64 {
+    spread(x as u64) | (spread(y as u64) << 1) | (spread(z as u64) << 2)
+}
+
+/// Recovers the three coordinates of a Morton code.
+#[inline]
+pub fn decode(code: u64) -> (u32, u32, u32) {
+    (compact(code) as u32, compact(code >> 1) as u32, compact(code >> 2) as u32)
+}
+
+/// Quantizes a point inside `bounds` to a Morton code at `bits` bits per
+/// axis (max [`BITS_PER_AXIS`]).
+///
+/// Points outside `bounds` are clamped. Degenerate axes (zero extent)
+/// quantize to coordinate 0.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `bits > BITS_PER_AXIS`.
+pub fn encode_in_bounds(p: Point3, bounds: &Aabb, bits: u32) -> u64 {
+    assert!(bits >= 1 && bits <= BITS_PER_AXIS, "bits must be in 1..={BITS_PER_AXIS}");
+    let cells = (1u64 << bits) as f32;
+    let ext = bounds.extent();
+    let q = |v: f32, lo: f32, e: f32| -> u32 {
+        if e <= 0.0 {
+            return 0;
+        }
+        let t = ((v - lo) / e * cells).floor();
+        (t.clamp(0.0, cells - 1.0)) as u32
+    };
+    let min = bounds.min();
+    encode(q(p.x, min.x, ext.x), q(p.y, min.y, ext.y), q(p.z, min.z, ext.z))
+}
+
+/// Sorts `indices` into the cloud by Morton code (stable, ascending).
+///
+/// Used by hierarchical sorting: chunk-major order is already implied by
+/// the split, and each chunk sorts internally by Morton code.
+pub fn sort_indices_by_code(points: &[Point3], bounds: &Aabb, bits: u32, indices: &mut [u32]) {
+    let mut keyed: Vec<(u64, u32)> = indices
+        .iter()
+        .map(|&i| (encode_in_bounds(points[i as usize], bounds, bits), i))
+        .collect();
+    keyed.sort();
+    for (slot, (_, i)) in keyed.into_iter().enumerate() {
+        indices[slot] = i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for &(x, y, z) in &[(0, 0, 0), (1, 2, 3), (1023, 511, 255), (2097151, 0, 2097151)] {
+            assert_eq!(decode(encode(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn unit_coordinates_map_to_axis_bits() {
+        assert_eq!(encode(1, 0, 0), 0b001);
+        assert_eq!(encode(0, 1, 0), 0b010);
+        assert_eq!(encode(0, 0, 1), 0b100);
+    }
+
+    #[test]
+    fn locality_nearby_points_share_prefix() {
+        let bounds = Aabb::new(Point3::ZERO, Point3::splat(100.0));
+        let a = encode_in_bounds(Point3::new(1.0, 1.0, 1.0), &bounds, 10);
+        let b = encode_in_bounds(Point3::new(1.5, 1.2, 1.1), &bounds, 10);
+        let c = encode_in_bounds(Point3::new(99.0, 99.0, 99.0), &bounds, 10);
+        // Nearby points differ in fewer leading bits than distant ones.
+        assert!((a ^ b).leading_zeros() > (a ^ c).leading_zeros());
+    }
+
+    #[test]
+    fn clamps_out_of_bounds() {
+        let bounds = Aabb::new(Point3::ZERO, Point3::splat(1.0));
+        let inside = encode_in_bounds(Point3::splat(0.999), &bounds, 8);
+        let outside = encode_in_bounds(Point3::splat(42.0), &bounds, 8);
+        assert_eq!(inside, outside);
+    }
+
+    #[test]
+    fn degenerate_axis_quantizes_to_zero() {
+        let bounds = Aabb::new(Point3::ZERO, Point3::new(1.0, 0.0, 1.0));
+        let code = encode_in_bounds(Point3::new(0.5, 0.0, 0.5), &bounds, 4);
+        let (_, y, _) = decode(code);
+        assert_eq!(y, 0);
+    }
+
+    #[test]
+    fn sort_orders_by_code() {
+        let bounds = Aabb::new(Point3::ZERO, Point3::splat(8.0));
+        let pts = vec![
+            Point3::splat(7.0),
+            Point3::splat(0.5),
+            Point3::splat(4.0),
+            Point3::splat(2.0),
+        ];
+        let mut idx: Vec<u32> = (0..4).collect();
+        sort_indices_by_code(&pts, &bounds, 3, &mut idx);
+        assert_eq!(idx, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bits_panics() {
+        let bounds = Aabb::new(Point3::ZERO, Point3::splat(1.0));
+        let _ = encode_in_bounds(Point3::ZERO, &bounds, 0);
+    }
+}

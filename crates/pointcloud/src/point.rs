@@ -1,0 +1,335 @@
+//! 3-D point and vector primitives.
+//!
+//! [`Point3`] doubles as a position and a displacement vector; point-cloud
+//! payloads in this workspace are `f32` because the paper's accelerator
+//! datapath is single-precision fixed/float hardware.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-D point (or vector) with `f32` coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_pointcloud::Point3;
+///
+/// let p = Point3::new(1.0, 2.0, 2.0);
+/// assert_eq!(p.norm(), 3.0);
+/// assert_eq!(p + Point3::ZERO, p);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// The x coordinate.
+    pub x: f32,
+    /// The y coordinate.
+    pub y: f32,
+    /// The z coordinate.
+    pub z: f32,
+}
+
+impl Point3 {
+    /// The origin, `(0, 0, 0)`.
+    pub const ZERO: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from its three coordinates.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Creates a point with all three coordinates equal to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Point3 { x: v, y: v, z: v }
+    }
+
+    /// Returns the coordinates as a `[x, y, z]` array.
+    #[inline]
+    pub const fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Point3) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product with `other`.
+    #[inline]
+    pub fn cross(self, other: Point3) -> Point3 {
+        Point3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// kNN and range search compare squared distances to avoid the square
+    /// root in the accelerator's distance units, so this is the primitive
+    /// the rest of the workspace uses.
+    #[inline]
+    pub fn dist_sq(self, other: Point3) -> f32 {
+        (self - other).norm_sq()
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point3) -> f32 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Returns the unit vector pointing in the same direction, or `None`
+    /// for the zero vector.
+    #[inline]
+    pub fn normalized(self) -> Option<Point3> {
+        let n = self.norm();
+        if n > 0.0 {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Linear interpolation: `self` at `t == 0`, `other` at `t == 1`.
+    #[inline]
+    pub fn lerp(self, other: Point3, t: f32) -> Point3 {
+        self + (other - self) * t
+    }
+
+    /// Returns the coordinate along `axis` (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 3`.
+    #[inline]
+    pub fn axis(self, axis: usize) -> f32 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis {axis} out of range (expected 0..3)"),
+        }
+    }
+
+    /// Returns a copy with the coordinate along `axis` replaced by `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 3`.
+    #[inline]
+    pub fn with_axis(mut self, axis: usize, v: f32) -> Point3 {
+        match axis {
+            0 => self.x = v,
+            1 => self.y = v,
+            2 => self.z = v,
+            _ => panic!("axis {axis} out of range (expected 0..3)"),
+        }
+        self
+    }
+
+    /// `true` when all coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl From<[f32; 3]> for Point3 {
+    #[inline]
+    fn from(a: [f32; 3]) -> Self {
+        Point3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Point3> for [f32; 3] {
+    #[inline]
+    fn from(p: Point3) -> Self {
+        p.to_array()
+    }
+}
+
+impl Index<usize> for Point3 {
+    type Output = f32;
+
+    fn index(&self, axis: usize) -> &f32 {
+        match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis {axis} out of range (expected 0..3)"),
+        }
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Point3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Point3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Point3 {
+        Point3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Div<f32> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn div(self, rhs: f32) -> Point3 {
+        Point3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn neg(self) -> Point3 {
+        Point3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Point3::new(1.0, -2.0, 3.0);
+        let b = Point3::new(0.5, 4.0, -1.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!(-(-a), a);
+        assert_eq!(a * 2.0 / 2.0, a);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn dot_cross_orthogonality() {
+        let a = Point3::new(1.0, 0.0, 0.0);
+        let b = Point3::new(0.0, 1.0, 0.0);
+        let c = a.cross(b);
+        assert_eq!(c, Point3::new(0.0, 0.0, 1.0));
+        assert_eq!(c.dot(a), 0.0);
+        assert_eq!(c.dot(b), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-4.0, 0.0, 2.5);
+        assert_eq!(a.dist_sq(b), b.dist_sq(a));
+        assert!((a.dist(b).powi(2) - a.dist_sq(b)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn axis_access_matches_fields() {
+        let p = Point3::new(7.0, 8.0, 9.0);
+        assert_eq!(p.axis(0), 7.0);
+        assert_eq!(p.axis(1), 8.0);
+        assert_eq!(p.axis(2), 9.0);
+        assert_eq!(p[0], 7.0);
+        assert_eq!(p.with_axis(1, 0.0), Point3::new(7.0, 0.0, 9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn axis_out_of_range_panics() {
+        let _ = Point3::ZERO.axis(3);
+    }
+
+    #[test]
+    fn normalized_unit_norm() {
+        let p = Point3::new(3.0, 4.0, 0.0).normalized().unwrap();
+        assert!((p.norm() - 1.0).abs() < 1e-6);
+        assert!(Point3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Point3::new(1.0, 5.0, -2.0);
+        let b = Point3::new(2.0, 3.0, -1.0);
+        assert_eq!(a.min(b), Point3::new(1.0, 3.0, -2.0));
+        assert_eq!(a.max(b), Point3::new(2.0, 5.0, -1.0));
+    }
+
+    #[test]
+    fn array_conversion_roundtrip() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        let a: [f32; 3] = p.into();
+        assert_eq!(Point3::from(a), p);
+    }
+}

@@ -1,0 +1,167 @@
+//! A-LOAM-style feature extraction: per-scan-line curvature, edge and
+//! planar point selection.
+
+use serde::{Deserialize, Serialize};
+use streamgrid_pointcloud::datasets::lidar::LidarScan;
+use streamgrid_pointcloud::Point3;
+
+/// Extracted features of one sweep.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScanFeatures {
+    /// High-curvature points (edges/corners).
+    pub edges: Vec<Point3>,
+    /// Low-curvature points (planar surfaces).
+    pub planars: Vec<Point3>,
+}
+
+impl ScanFeatures {
+    /// Total feature points.
+    pub fn len(&self) -> usize {
+        self.edges.len() + self.planars.len()
+    }
+
+    /// `true` when no features were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty() && self.planars.is_empty()
+    }
+}
+
+/// Feature extraction parameters (A-LOAM defaults scaled down).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Neighbors on each side used in the curvature sum.
+    pub half_window: usize,
+    /// Ring sectors; per sector the top edges/planars are kept.
+    pub sectors: usize,
+    /// Edge points kept per sector.
+    pub edges_per_sector: usize,
+    /// Planar points kept per sector.
+    pub planars_per_sector: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { half_window: 5, sectors: 6, edges_per_sector: 3, planars_per_sector: 6 }
+    }
+}
+
+/// Curvature of point `i` within its ring slice (Zhang & Singh's
+/// definition: squared norm of the displacement sum over the window,
+/// range-normalized).
+fn curvature(ring: &[Point3], i: usize, half: usize) -> f32 {
+    let mut sum = Point3::ZERO;
+    for j in i - half..=i + half {
+        if j != i {
+            sum += ring[j] - ring[i];
+        }
+    }
+    let norm = ring[i].norm().max(1e-3);
+    sum.norm_sq() / (norm * norm)
+}
+
+/// Extracts edge and planar features from a sweep.
+///
+/// Points are processed per scan line (ring) in serialized order —
+/// exactly the order the LiDAR emits them, which is what makes this a
+/// *local-dependent* stencil-like operation in the paper's taxonomy
+/// (Fig. 2a computes curvature with adjacent points).
+pub fn extract_features(scan: &LidarScan, config: &FeatureConfig) -> ScanFeatures {
+    let points = scan.cloud.points();
+    let mut features = ScanFeatures::default();
+    if points.is_empty() {
+        return features;
+    }
+    // Ring boundaries (rings are contiguous in the serialized stream).
+    let mut ring_start = 0usize;
+    let mut r = 0usize;
+    while r < points.len() {
+        let ring_id = scan.rings[r];
+        let mut ring_end = r;
+        while ring_end < points.len() && scan.rings[ring_end] == ring_id {
+            ring_end += 1;
+        }
+        process_ring(&points[ring_start..ring_end], config, &mut features);
+        r = ring_end;
+        ring_start = ring_end;
+    }
+    features
+}
+
+fn process_ring(ring: &[Point3], config: &FeatureConfig, out: &mut ScanFeatures) {
+    let half = config.half_window;
+    if ring.len() < 2 * half + 1 {
+        return;
+    }
+    let valid = half..ring.len() - half;
+    let mut scored: Vec<(f32, usize)> = valid
+        .clone()
+        .map(|i| (curvature(ring, i, half), i))
+        .collect();
+    // Per sector, pick the largest curvatures as edges and the smallest
+    // as planars.
+    let sector_len = scored.len().div_ceil(config.sectors.max(1));
+    for sector in scored.chunks_mut(sector_len.max(1)) {
+        sector.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN curvature"));
+        for &(_, i) in sector.iter().take(config.planars_per_sector) {
+            out.planars.push(ring[i]);
+        }
+        for &(c, i) in sector.iter().rev().take(config.edges_per_sector) {
+            // Require a real corner, not noise.
+            if c > 1e-4 {
+                out.edges.push(ring[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamgrid_pointcloud::datasets::lidar::{scan, LidarConfig, Scene};
+    use streamgrid_pointcloud::PointCloud;
+
+    #[test]
+    fn corner_has_higher_curvature_than_wall() {
+        // An L-shaped polyline: corner at index 5.
+        let mut pts = Vec::new();
+        for i in 0..=5 {
+            pts.push(Point3::new(i as f32, 5.0, 0.0));
+        }
+        for i in 1..=5 {
+            pts.push(Point3::new(5.0, 5.0 - i as f32, 0.0));
+        }
+        let c_corner = curvature(&pts, 5, 3);
+        let c_wall = curvature(&pts, 3, 3);
+        assert!(c_corner > 3.0 * c_wall, "corner {c_corner} vs wall {c_wall}");
+    }
+
+    #[test]
+    fn extracts_features_from_synthetic_scan() {
+        let scene = Scene::urban(2, 40.0, 14, 6);
+        let cfg = LidarConfig { beams: 8, azimuth_steps: 360, ..LidarConfig::default() };
+        let sweep = scan(&scene, &cfg, Point3::ZERO, 0.0, 3);
+        let features = extract_features(&sweep, &FeatureConfig::default());
+        assert!(!features.is_empty());
+        assert!(features.planars.len() >= features.edges.len());
+    }
+
+    #[test]
+    fn empty_scan_yields_no_features() {
+        let sweep = LidarScan {
+            cloud: PointCloud::new(),
+            rings: vec![],
+            sensor_origin: Point3::ZERO,
+        };
+        assert!(extract_features(&sweep, &FeatureConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn short_rings_are_skipped() {
+        let sweep = LidarScan {
+            cloud: PointCloud::from_points(vec![Point3::ZERO; 4]),
+            rings: vec![0, 0, 1, 1],
+            sensor_origin: Point3::ZERO,
+        };
+        assert!(extract_features(&sweep, &FeatureConfig::default()).is_empty());
+    }
+}

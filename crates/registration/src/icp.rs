@@ -1,0 +1,394 @@
+//! Scan-to-scan alignment: point-to-line / point-to-plane Gauss–Newton.
+//!
+//! kNN correspondence search is the global-dependent, non-deterministic
+//! operation of the registration pipeline (Tbl. 2: A-LOAM / kNN
+//! search). [`CorrespondenceMode`] selects the canonical search (Base)
+//! or the compulsory-splitting window search with an optional
+//! deterministic-termination deadline (CS / CS+DT).
+
+use serde::{Deserialize, Serialize};
+use streamgrid_pointcloud::{Aabb, ChunkGrid, GridDims, Point3, WindowSpec};
+use streamgrid_spatial::kdtree::{KdTree, StepBudget};
+use streamgrid_spatial::{ChunkedIndex, Neighbor};
+
+use crate::features::ScanFeatures;
+use crate::se3::{solve6, Pose};
+
+/// How correspondences are searched in the previous scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorrespondenceMode {
+    /// Canonical full kd-tree search.
+    Exact,
+    /// Compulsory splitting (+ optional DT deadline fraction).
+    Streaming {
+        /// Chunk grid over the previous scan's features.
+        dims: GridDims,
+        /// Chunk window kernel/stride.
+        window: WindowSpec,
+        /// DT deadline as a fraction of the profiled full traversal.
+        deadline_fraction: Option<f64>,
+    },
+}
+
+impl CorrespondenceMode {
+    /// The paper's registration setting: "equivalent to partitioning
+    /// the point cloud into 4 chunks" (2×2 grid read through a 2×2
+    /// kernel — the window spans the partition, so CS restructures the
+    /// search into four small per-chunk trees without shrinking the
+    /// search region), deadline 25% of a full traversal.
+    pub fn paper_registration() -> Self {
+        CorrespondenceMode::Streaming {
+            dims: GridDims::new(2, 2, 1),
+            window: WindowSpec::new((2, 2, 1), (1, 1, 1)),
+            deadline_fraction: Some(0.25),
+        }
+    }
+}
+
+/// ICP parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcpConfig {
+    /// Gauss–Newton iterations.
+    pub iterations: usize,
+    /// Correspondences farther than this are rejected (metres).
+    pub max_corr_dist: f32,
+    /// Levenberg damping added to the normal equations.
+    pub damping: f64,
+    /// Correspondence search mode.
+    pub mode: CorrespondenceMode,
+}
+
+impl Default for IcpConfig {
+    fn default() -> Self {
+        IcpConfig {
+            iterations: 8,
+            max_corr_dist: 2.0,
+            damping: 1e-3,
+            mode: CorrespondenceMode::Exact,
+        }
+    }
+}
+
+/// Alignment diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IcpStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Mean |residual| at the last iteration.
+    pub final_cost: f64,
+    /// Correspondences used at the last iteration.
+    pub correspondences: usize,
+    /// Total kd-traversal steps spent on searches.
+    pub search_steps: u64,
+}
+
+enum Searcher {
+    Exact { tree: KdTree, points: Vec<Point3> },
+    Streaming { index: ChunkedIndex, grid: ChunkGrid, window: WindowSpec, budget: StepBudget },
+}
+
+impl Searcher {
+    fn build(points: &[Point3], mode: &CorrespondenceMode) -> Option<Searcher> {
+        if points.is_empty() {
+            return None;
+        }
+        match mode {
+            CorrespondenceMode::Exact => Some(Searcher::Exact {
+                tree: KdTree::build(points),
+                points: points.to_vec(),
+            }),
+            CorrespondenceMode::Streaming { dims, window, deadline_fraction } => {
+                let bounds = Aabb::from_points(points.iter().copied())?;
+                let grid = ChunkGrid::new(bounds, *dims);
+                let index = ChunkedIndex::build(points, grid.clone());
+                let budget = match deadline_fraction {
+                    None => StepBudget::Unlimited,
+                    Some(frac) => {
+                        // Offline profile: mean uncapped steps per chunk
+                        // over a point sample.
+                        let mut total = 0u64;
+                        let mut n = 0u64;
+                        for &q in points.iter().take(16) {
+                            let win = index.window_for_chunk(grid.chunk_of(q), window);
+                            let (_, stats) =
+                                index.knn_in_window(q, 3, &win, StepBudget::Unlimited);
+                            total += stats.steps;
+                            n += win.len().max(1) as u64;
+                        }
+                        let mean = (total as f64 / n.max(1) as f64).max(1.0);
+                        // The deadline trims backtracking, never the
+                        // root-to-leaf descent.
+                        let floor = (index.max_tree_depth() + 3) as u64;
+                        StepBudget::Capped(((mean * frac).round() as u64).max(floor))
+                    }
+                };
+                Some(Searcher::Streaming { index, grid, window: *window, budget })
+            }
+        }
+    }
+
+    fn knn(&self, q: Point3, k: usize) -> (Vec<Neighbor>, u64) {
+        match self {
+            Searcher::Exact { tree, points } => {
+                let (hits, stats) = tree.knn(points, q, k, StepBudget::Unlimited);
+                (hits, stats.steps)
+            }
+            Searcher::Streaming { index, grid, window, budget } => {
+                let win = index.window_for_chunk(grid.chunk_of(q), window);
+                let (hits, stats) = index.knn_in_window(q, k, &win, *budget);
+                (hits, stats.steps)
+            }
+        }
+    }
+
+    fn point(&self, index: u32) -> Point3 {
+        match self {
+            Searcher::Exact { points, .. } => points[index as usize],
+            Searcher::Streaming { .. } => unreachable!("streaming returns global indices"),
+        }
+    }
+}
+
+/// Estimates the pose mapping `current`-frame coordinates into the
+/// `previous` frame.
+///
+/// Returns the refined pose and diagnostics. With too few features the
+/// initial pose is returned unchanged.
+pub fn align(
+    current: &ScanFeatures,
+    previous: &ScanFeatures,
+    initial: Pose,
+    config: &IcpConfig,
+) -> (Pose, IcpStats) {
+    let edge_search = Searcher::build(&previous.edges, &config.mode);
+    let plane_search = Searcher::build(&previous.planars, &config.mode);
+    let mut pose = initial;
+    let mut stats =
+        IcpStats { iterations: 0, final_cost: 0.0, correspondences: 0, search_steps: 0 };
+    let max_d2 = config.max_corr_dist * config.max_corr_dist;
+
+    for _ in 0..config.iterations {
+        // Collect residual closures for the current correspondences.
+        let mut lines: Vec<(Point3, Point3, Point3)> = Vec::new(); // (x, a, b)
+        let mut planes: Vec<(Point3, Point3, Point3)> = Vec::new(); // (x, a, n̂)
+        if let Some(s) = &edge_search {
+            for &x in &current.edges {
+                let q = pose.transform(x);
+                let (hits, steps) = s.knn(q, 2);
+                stats.search_steps += steps;
+                if hits.len() == 2 && hits[1].dist_sq <= max_d2 {
+                    let a = prev_point(s, &previous.edges, hits[0].index);
+                    let b = prev_point(s, &previous.edges, hits[1].index);
+                    if a.dist_sq(b) > 1e-6 {
+                        lines.push((x, a, b));
+                    }
+                }
+            }
+        }
+        if let Some(s) = &plane_search {
+            for &x in &current.planars {
+                let q = pose.transform(x);
+                let (hits, steps) = s.knn(q, 3);
+                stats.search_steps += steps;
+                if hits.len() == 3 && hits[2].dist_sq <= max_d2 {
+                    let a = prev_point(s, &previous.planars, hits[0].index);
+                    let b = prev_point(s, &previous.planars, hits[1].index);
+                    let c = prev_point(s, &previous.planars, hits[2].index);
+                    let n = (b - a).cross(c - a);
+                    if let Some(nh) = n.normalized() {
+                        planes.push((x, a, nh));
+                    }
+                }
+            }
+        }
+        let n_res = lines.len() + planes.len();
+        stats.correspondences = n_res;
+        if n_res < 6 {
+            break;
+        }
+
+        // Numeric Jacobian of each residual w.r.t. a left-multiplied
+        // twist perturbation.
+        let residual_at = |p: &Pose| -> Vec<f64> {
+            let mut r = Vec::with_capacity(n_res);
+            for &(x, a, b) in &lines {
+                let q = p.transform(x);
+                let num = (q - a).cross(q - b).norm();
+                let den = a.dist(b).max(1e-6);
+                r.push((num / den) as f64);
+            }
+            for &(x, a, nh) in &planes {
+                let q = p.transform(x);
+                r.push(nh.dot(q - a) as f64);
+            }
+            r
+        };
+        let r0 = residual_at(&pose);
+        let eps = 1e-4f32;
+        let mut jt_j = [[0.0f64; 6]; 6];
+        let mut jt_r = [0.0f64; 6];
+        let mut jacobian = vec![[0.0f64; 6]; n_res];
+        for d in 0..6 {
+            let mut twist = [0.0f32; 6];
+            twist[d] = eps;
+            let perturbed = Pose::from_twist(&twist).compose(&pose);
+            let rd = residual_at(&perturbed);
+            for (row, (r_new, r_old)) in rd.iter().zip(&r0).enumerate() {
+                jacobian[row][d] = (r_new - r_old) / eps as f64;
+            }
+        }
+        for (row, jr) in jacobian.iter().enumerate() {
+            for i in 0..6 {
+                jt_r[i] += jr[i] * r0[row];
+                for j in 0..6 {
+                    jt_j[i][j] += jr[i] * jr[j];
+                }
+            }
+        }
+        for (i, row) in jt_j.iter_mut().enumerate() {
+            row[i] += config.damping * (1.0 + row[i]);
+        }
+        let Some(delta) = solve6(&jt_j, &jt_r.map(|v| -v)) else { break };
+        let twist = [
+            delta[0] as f32,
+            delta[1] as f32,
+            delta[2] as f32,
+            delta[3] as f32,
+            delta[4] as f32,
+            delta[5] as f32,
+        ];
+        pose = Pose::from_twist(&twist).compose(&pose);
+        stats.iterations += 1;
+        stats.final_cost =
+            r0.iter().map(|r| r.abs()).sum::<f64>() / r0.len().max(1) as f64;
+        // Converged?
+        if delta.iter().map(|d| d * d).sum::<f64>().sqrt() < 1e-6 {
+            break;
+        }
+    }
+    (pose, stats)
+}
+
+fn prev_point(s: &Searcher, all: &[Point3], index: u32) -> Point3 {
+    match s {
+        Searcher::Exact { .. } => s.point(index),
+        // Streaming indices are global into the original slice.
+        Searcher::Streaming { .. } => all[index as usize],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A synthetic structured "scan": two walls and an edge line.
+    fn synthetic_features(seed: u64) -> ScanFeatures {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut f = ScanFeatures::default();
+        for i in 0..120 {
+            let t = i as f32 * 0.1;
+            // Wall 1 (z plane) and wall 2 (y plane).
+            f.planars.push(Point3::new(
+                t,
+                rng.random_range(-4.0..4.0),
+                0.02 * rng.random_range(-1.0..1.0),
+            ));
+            f.planars.push(Point3::new(
+                t,
+                4.0 + 0.02 * rng.random_range(-1.0..1.0),
+                rng.random_range(0.0..3.0),
+            ));
+        }
+        for i in 0..40 {
+            // A vertical edge (pole) and a horizontal roof line.
+            f.edges.push(Point3::new(6.0, 4.0, i as f32 * 0.1));
+            f.edges.push(Point3::new(i as f32 * 0.2, 4.0, 3.0));
+        }
+        f
+    }
+
+    fn transform_features(f: &ScanFeatures, pose: &Pose) -> ScanFeatures {
+        ScanFeatures {
+            edges: f.edges.iter().map(|&p| pose.transform(p)).collect(),
+            planars: f.planars.iter().map(|&p| pose.transform(p)).collect(),
+        }
+    }
+
+    #[test]
+    fn recovers_known_transform_exact() {
+        let prev = synthetic_features(1);
+        let truth = Pose::from_twist(&[0.0, 0.0, 0.03, 0.2, -0.1, 0.05]);
+        // Current scan = previous geometry seen from a moved sensor:
+        // x_prev = truth · x_curr ⇒ curr = truth⁻¹ · prev.
+        let current = transform_features(&prev, &truth.inverse());
+        let (est, stats) = align(&current, &prev, Pose::IDENTITY, &IcpConfig::default());
+        assert!(stats.correspondences > 50);
+        let err = est.inverse().compose(&truth);
+        assert!(err.t.norm() < 0.02, "translation error {}", err.t.norm());
+        assert!(err.rotation_angle() < 0.01, "rotation error {}", err.rotation_angle());
+    }
+
+    #[test]
+    fn recovers_transform_with_streaming_search() {
+        let prev = synthetic_features(2);
+        let truth = Pose::from_twist(&[0.0, 0.0, 0.02, 0.15, 0.05, 0.0]);
+        let current = transform_features(&prev, &truth.inverse());
+        let cfg = IcpConfig {
+            mode: CorrespondenceMode::paper_registration(),
+            ..IcpConfig::default()
+        };
+        let (est, _) = align(&current, &prev, Pose::IDENTITY, &cfg);
+        let err = est.inverse().compose(&truth);
+        // CS+DT introduces marginal error (the paper's claim): still
+        // well under 5 cm / 1°.
+        assert!(err.t.norm() < 0.05, "translation error {}", err.t.norm());
+        assert!(err.rotation_angle() < 0.02, "rotation error {}", err.rotation_angle());
+    }
+
+    #[test]
+    fn too_few_features_returns_initial() {
+        let empty = ScanFeatures::default();
+        let initial = Pose::from_twist(&[0.0, 0.0, 0.1, 1.0, 0.0, 0.0]);
+        let (est, stats) = align(&empty, &empty, initial, &IcpConfig::default());
+        assert_eq!(stats.correspondences, 0);
+        assert!(est.t.dist(initial.t) < 1e-9);
+    }
+
+    #[test]
+    fn dt_caps_never_add_steps_and_are_deterministic() {
+        // DT can only remove traversal steps relative to CS, and the
+        // step count is reproducible run-to-run — the determinism the
+        // line-buffer sizing depends on. (Absolute step *savings* vs the
+        // exact search appear in the large-k regime the paper profiles;
+        // see `streamgrid-spatial`'s large-k test.)
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut prev = ScanFeatures::default();
+        for _ in 0..4000 {
+            prev.planars.push(Point3::new(
+                rng.random_range(-10.0..10.0),
+                rng.random_range(-10.0..10.0),
+                rng.random_range(-0.1..0.1),
+            ));
+        }
+        let truth = Pose::from_twist(&[0.0, 0.0, 0.005, 0.05, 0.0, 0.0]);
+        let current = transform_features(&prev, &truth.inverse());
+        let one_iter = |frac: Option<f64>| {
+            let cfg = IcpConfig {
+                iterations: 1,
+                mode: CorrespondenceMode::Streaming {
+                    dims: GridDims::new(4, 4, 1),
+                    window: WindowSpec::new((2, 2, 1), (1, 1, 1)),
+                    deadline_fraction: frac,
+                },
+                ..IcpConfig::default()
+            };
+            align(&current, &prev, Pose::IDENTITY, &cfg).1.search_steps
+        };
+        let cs_only = one_iter(None);
+        let cs_dt = one_iter(Some(0.25));
+        assert!(cs_dt <= cs_only, "DT added steps: {cs_dt} vs {cs_only}");
+        assert_eq!(cs_dt, one_iter(Some(0.25)), "DT step count must be reproducible");
+    }
+}

@@ -1,0 +1,22 @@
+//! LiDAR odometry substrate (the A-LOAM registration pipeline of the
+//! paper's Tbl. 2).
+//!
+//! The pipeline: per-scan-line curvature features ([`features`]) →
+//! point-to-line / point-to-plane Gauss–Newton scan matching ([`icp`])
+//! → accumulated trajectory with KITTI-style error metrics
+//! ([`odometry`]). The kNN correspondence search inside ICP is the
+//! global-dependent operation the paper targets:
+//! [`icp::CorrespondenceMode`] switches between the canonical search
+//! and compulsory splitting with deterministic termination.
+
+pub mod features;
+pub mod icp;
+pub mod odometry;
+pub mod se3;
+
+pub use features::{extract_features, FeatureConfig, ScanFeatures};
+pub use icp::{align, CorrespondenceMode, IcpConfig, IcpStats};
+pub use odometry::{
+    pose_from_ground_truth, run_odometry, trajectory_error, OdometryConfig, TrajectoryError,
+};
+pub use se3::{solve6, Mat3, Pose};

@@ -1,0 +1,177 @@
+//! Frame-to-frame LiDAR odometry (the A-LOAM pipeline of Tbl. 2).
+
+use serde::{Deserialize, Serialize};
+use streamgrid_pointcloud::datasets::lidar::LidarScan;
+use streamgrid_pointcloud::Point3;
+
+use crate::features::{extract_features, FeatureConfig};
+use crate::icp::{align, IcpConfig};
+use crate::se3::{Mat3, Pose};
+
+/// Odometry parameters.
+#[derive(Debug, Clone, Default)]
+pub struct OdometryConfig {
+    /// Feature extraction parameters.
+    pub features: FeatureConfig,
+    /// Scan-matching parameters (including the correspondence mode —
+    /// this is where Base vs CS+DT differ).
+    pub icp: IcpConfig,
+}
+
+/// Runs odometry over a scan sequence; returns one world pose per frame
+/// (frame 0 is the identity).
+pub fn run_odometry(scans: &[LidarScan], config: &OdometryConfig) -> Vec<Pose> {
+    let mut poses = Vec::with_capacity(scans.len());
+    let mut prev_features = None;
+    let mut prev_rel = Pose::IDENTITY;
+    let mut world = Pose::IDENTITY;
+    for scan in scans {
+        let features = extract_features(scan, &config.features);
+        if let Some(prev) = &prev_features {
+            // Constant-velocity initial guess.
+            let (rel, _) = align(&features, prev, prev_rel, &config.icp);
+            world = world.compose(&rel);
+            prev_rel = rel;
+        }
+        poses.push(world);
+        prev_features = Some(features);
+    }
+    poses
+}
+
+/// Trajectory error metrics (KITTI-style relative errors).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrajectoryError {
+    /// Mean relative translation error as a percentage of the per-frame
+    /// motion.
+    pub translation_pct: f64,
+    /// Mean relative rotation error in degrees per frame.
+    pub rotation_deg: f64,
+    /// Final-position drift as a percentage of path length.
+    pub endpoint_drift_pct: f64,
+}
+
+/// Ground-truth world pose from a `(position, yaw)` pair.
+pub fn pose_from_ground_truth(position: Point3, yaw: f32) -> Pose {
+    Pose { r: Mat3::from_axis_angle(Point3::new(0.0, 0.0, yaw)), t: position }
+}
+
+/// Compares estimated poses against ground truth `(position, yaw)`
+/// frames.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are shorter than 2.
+pub fn trajectory_error(estimated: &[Pose], truth: &[(Point3, f32)]) -> TrajectoryError {
+    assert_eq!(estimated.len(), truth.len(), "length mismatch");
+    assert!(estimated.len() >= 2, "need at least two frames");
+    // Express ground truth relative to its first frame so both
+    // trajectories start at the identity.
+    let t0 = pose_from_ground_truth(truth[0].0, truth[0].1);
+    let gt: Vec<Pose> = truth
+        .iter()
+        .map(|&(p, y)| t0.inverse().compose(&pose_from_ground_truth(p, y)))
+        .collect();
+    let mut trans_sum = 0.0f64;
+    let mut rot_sum = 0.0f64;
+    let mut path_len = 0.0f64;
+    let mut n = 0usize;
+    for i in 1..estimated.len() {
+        let est_rel = estimated[i - 1].inverse().compose(&estimated[i]);
+        let gt_rel = gt[i - 1].inverse().compose(&gt[i]);
+        let err = est_rel.inverse().compose(&gt_rel);
+        let step = gt_rel.t.norm() as f64;
+        path_len += step;
+        if step > 1e-6 {
+            trans_sum += err.t.norm() as f64 / step;
+            rot_sum += err.rotation_angle() as f64;
+            n += 1;
+        }
+    }
+    let endpoint = estimated.last().unwrap().t.dist(gt.last().unwrap().t) as f64;
+    TrajectoryError {
+        translation_pct: trans_sum / n.max(1) as f64 * 100.0,
+        rotation_deg: rot_sum / n.max(1) as f64 * 180.0 / std::f64::consts::PI,
+        endpoint_drift_pct: if path_len > 0.0 { endpoint / path_len * 100.0 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icp::CorrespondenceMode;
+    use streamgrid_pointcloud::datasets::lidar::{scan, trajectory, LidarConfig, Scene};
+
+    fn sequence(frames: usize) -> (Vec<LidarScan>, Vec<(Point3, f32)>) {
+        let scene = Scene::urban(11, 45.0, 18, 10);
+        let cfg = LidarConfig { beams: 8, azimuth_steps: 360, ..LidarConfig::default() };
+        let traj = trajectory(frames, 0.4, 0.004);
+        let scans: Vec<LidarScan> = traj
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, y))| scan(&scene, &cfg, p, y, 100 + i as u64))
+            .collect();
+        (scans, traj)
+    }
+
+    #[test]
+    fn odometry_tracks_straightish_path() {
+        let (scans, truth) = sequence(6);
+        let poses = run_odometry(&scans, &OdometryConfig::default());
+        assert_eq!(poses.len(), 6);
+        let err = trajectory_error(&poses, &truth);
+        assert!(
+            err.translation_pct < 40.0,
+            "translation error {}% too large",
+            err.translation_pct
+        );
+        assert!(err.rotation_deg < 3.0, "rotation error {}°", err.rotation_deg);
+    }
+
+    #[test]
+    fn streaming_mode_stays_close_to_exact() {
+        let (scans, truth) = sequence(5);
+        let exact = run_odometry(&scans, &OdometryConfig::default());
+        let streaming = run_odometry(
+            &scans,
+            &OdometryConfig {
+                icp: IcpConfig {
+                    mode: CorrespondenceMode::paper_registration(),
+                    ..IcpConfig::default()
+                },
+                ..OdometryConfig::default()
+            },
+        );
+        let e_exact = trajectory_error(&exact, &truth);
+        let e_stream = trajectory_error(&streaming, &truth);
+        // CS+DT may add a marginal error, not a blow-up (Fig. 14 claim).
+        assert!(
+            e_stream.translation_pct < e_exact.translation_pct + 20.0,
+            "exact {}% vs streaming {}%",
+            e_exact.translation_pct,
+            e_stream.translation_pct
+        );
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_error() {
+        let truth: Vec<(Point3, f32)> =
+            (0..5).map(|i| (Point3::new(i as f32, 0.0, 0.0), 0.0)).collect();
+        let poses: Vec<Pose> = truth
+            .iter()
+            .map(|&(p, y)| pose_from_ground_truth(p, y))
+            .collect();
+        let err = trajectory_error(&poses, &truth);
+        assert!(err.translation_pct < 1e-6);
+        assert!(err.rotation_deg < 1e-6);
+        assert!(err.endpoint_drift_pct < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let truth = vec![(Point3::ZERO, 0.0); 3];
+        let poses = vec![Pose::IDENTITY; 2];
+        let _ = trajectory_error(&poses, &truth);
+    }
+}

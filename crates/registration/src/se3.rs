@@ -1,0 +1,262 @@
+//! Minimal SO(3)/SE(3): 3×3 rotations via Rodrigues, rigid poses, and a
+//! small symmetric 6×6 solver for Gauss–Newton.
+
+use serde::{Deserialize, Serialize};
+use streamgrid_pointcloud::Point3;
+
+/// A 3×3 matrix (row-major).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub m: [[f32; 3]; 3],
+}
+
+impl Mat3 {
+    /// Identity.
+    pub const IDENTITY: Mat3 = Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: Point3) -> Point3 {
+        Point3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Matrix–matrix product.
+    pub fn mul(&self, other: &Mat3) -> Mat3 {
+        let mut out = [[0.0f32; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                for k in 0..3 {
+                    *cell += self.m[i][k] * other.m[k][j];
+                }
+            }
+        }
+        Mat3 { m: out }
+    }
+
+    /// Transpose (the inverse, for rotations).
+    pub fn transpose(&self) -> Mat3 {
+        let mut out = [[0.0f32; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.m[j][i];
+            }
+        }
+        Mat3 { m: out }
+    }
+
+    /// Rodrigues: rotation matrix from an axis-angle vector (angle =
+    /// norm).
+    pub fn from_axis_angle(w: Point3) -> Mat3 {
+        let theta = w.norm();
+        if theta < 1e-9 {
+            return Mat3::IDENTITY;
+        }
+        let k = w / theta;
+        let (s, c) = theta.sin_cos();
+        let v = 1.0 - c;
+        Mat3 {
+            m: [
+                [
+                    c + k.x * k.x * v,
+                    k.x * k.y * v - k.z * s,
+                    k.x * k.z * v + k.y * s,
+                ],
+                [
+                    k.y * k.x * v + k.z * s,
+                    c + k.y * k.y * v,
+                    k.y * k.z * v - k.x * s,
+                ],
+                [
+                    k.z * k.x * v - k.y * s,
+                    k.z * k.y * v + k.x * s,
+                    c + k.z * k.z * v,
+                ],
+            ],
+        }
+    }
+
+    /// Rotation angle in radians.
+    pub fn angle(&self) -> f32 {
+        let tr = self.m[0][0] + self.m[1][1] + self.m[2][2];
+        ((tr - 1.0) / 2.0).clamp(-1.0, 1.0).acos()
+    }
+}
+
+/// A rigid pose `x ↦ R·x + t`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pose {
+    /// Rotation.
+    pub r: Mat3,
+    /// Translation.
+    pub t: Point3,
+}
+
+impl Default for Pose {
+    fn default() -> Self {
+        Pose::IDENTITY
+    }
+}
+
+impl Pose {
+    /// The identity pose.
+    pub const IDENTITY: Pose = Pose { r: Mat3::IDENTITY, t: Point3::ZERO };
+
+    /// Builds a pose from a 6-vector `[wx, wy, wz, tx, ty, tz]`.
+    pub fn from_twist(xi: &[f32; 6]) -> Pose {
+        Pose {
+            r: Mat3::from_axis_angle(Point3::new(xi[0], xi[1], xi[2])),
+            t: Point3::new(xi[3], xi[4], xi[5]),
+        }
+    }
+
+    /// Applies the pose to a point.
+    pub fn transform(&self, p: Point3) -> Point3 {
+        self.r.mul_vec(p) + self.t
+    }
+
+    /// Pose composition: `(self ∘ other)(x) = self(other(x))`.
+    pub fn compose(&self, other: &Pose) -> Pose {
+        Pose { r: self.r.mul(&other.r), t: self.r.mul_vec(other.t) + self.t }
+    }
+
+    /// Inverse pose.
+    pub fn inverse(&self) -> Pose {
+        let rt = self.r.transpose();
+        Pose { r: rt, t: -rt.mul_vec(self.t) }
+    }
+
+    /// Rotation angle (radians) — the rotational magnitude of the pose.
+    pub fn rotation_angle(&self) -> f32 {
+        self.r.angle()
+    }
+}
+
+/// Solves the symmetric positive-definite 6×6 system `A·x = b` by
+/// Cholesky. Returns `None` when `A` is not positive definite.
+pub fn solve6(a: &[[f64; 6]; 6], b: &[f64; 6]) -> Option<[f64; 6]> {
+    // Cholesky decomposition A = L·Lᵀ.
+    let mut l = [[0.0f64; 6]; 6];
+    for i in 0..6 {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    // Forward substitution L·y = b.
+    let mut y = [0.0f64; 6];
+    for i in 0..6 {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    // Back substitution Lᵀ·x = y.
+    let mut x = [0.0f64; 6];
+    for i in (0..6).rev() {
+        let mut sum = y[i];
+        for k in i + 1..6 {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rodrigues_ninety_degrees_about_z() {
+        let r = Mat3::from_axis_angle(Point3::new(0.0, 0.0, std::f32::consts::FRAC_PI_2));
+        let v = r.mul_vec(Point3::new(1.0, 0.0, 0.0));
+        assert!(v.dist(Point3::new(0.0, 1.0, 0.0)) < 1e-6);
+        assert!((r.angle() - std::f32::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation_inverse_is_transpose() {
+        let r = Mat3::from_axis_angle(Point3::new(0.3, -0.2, 0.5));
+        let i = r.mul(&r.transpose());
+        for (a, b) in i.m.iter().flatten().zip(Mat3::IDENTITY.m.iter().flatten()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pose_roundtrip() {
+        let p = Pose::from_twist(&[0.1, -0.2, 0.3, 1.0, 2.0, -3.0]);
+        let x = Point3::new(0.5, -1.5, 2.0);
+        let back = p.inverse().transform(p.transform(x));
+        assert!(back.dist(x) < 1e-5);
+    }
+
+    #[test]
+    fn compose_matches_sequential_apply() {
+        let a = Pose::from_twist(&[0.0, 0.0, 0.2, 1.0, 0.0, 0.0]);
+        let b = Pose::from_twist(&[0.1, 0.0, 0.0, 0.0, 2.0, 0.0]);
+        let x = Point3::new(1.0, 1.0, 1.0);
+        let via_compose = a.compose(&b).transform(x);
+        let sequential = a.transform(b.transform(x));
+        assert!(via_compose.dist(sequential) < 1e-5);
+    }
+
+    #[test]
+    fn small_angle_is_stable() {
+        let r = Mat3::from_axis_angle(Point3::new(1e-12, 0.0, 0.0));
+        assert_eq!(r, Mat3::IDENTITY);
+    }
+
+    #[test]
+    fn solve6_recovers_known_solution() {
+        // A = M·Mᵀ + I (SPD), x known, b = A·x.
+        let mut a = [[0.0f64; 6]; 6];
+        for (i, row) in a.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = ((i * 7 + j * 3) % 5) as f64 * 0.1;
+            }
+        }
+        let mut spd = [[0.0f64; 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                for k in 0..6 {
+                    spd[i][j] += a[i][k] * a[j][k];
+                }
+            }
+            spd[i][i] += 1.0;
+        }
+        let x_true = [1.0, -2.0, 3.0, -4.0, 5.0, -6.0];
+        let mut b = [0.0f64; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                b[i] += spd[i][j] * x_true[j];
+            }
+        }
+        let x = solve6(&spd, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve6_rejects_indefinite() {
+        let mut a = [[0.0f64; 6]; 6];
+        a[0][0] = -1.0;
+        assert!(solve6(&a, &[0.0; 6]).is_none());
+    }
+}

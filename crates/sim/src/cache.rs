@@ -1,0 +1,114 @@
+//! Fully-associative cache model for the `Base+$` variant.
+//!
+//! `Base+$` (Sec. 7 "Variants") replaces line buffers with a fully-
+//! associative cache of comparable capacity. Inter-stage intermediate
+//! data is written once and read once in streaming order, so the cache
+//! behaves like a window over each stream: volumes beyond capacity spill
+//! to DRAM and return as compulsory misses. The paper's observation —
+//! "cache misses would introduce frequent pipeline stalls and off-chip
+//! traffic" — falls out of exactly this model.
+
+use serde::{Deserialize, Serialize};
+
+/// A fully-associative, LRU, write-back cache model for streamed
+/// intermediate data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheModel {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Miss latency in cycles.
+    pub miss_latency: u64,
+    /// Outstanding-miss parallelism (MSHR depth): how many misses
+    /// overlap.
+    pub mshr: u64,
+}
+
+impl Default for CacheModel {
+    fn default() -> Self {
+        CacheModel { capacity_bytes: 1 << 20, line_bytes: 64, miss_latency: 120, mshr: 8 }
+    }
+}
+
+/// Traffic and stall estimate for a set of streams through the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Bytes spilled to and refetched from DRAM.
+    pub dram_bytes: u64,
+    /// Cache hits in bytes.
+    pub hit_bytes: u64,
+    /// Stall cycles attributable to misses (after MSHR overlap).
+    pub stall_cycles: u64,
+}
+
+impl CacheModel {
+    /// Estimates traffic for inter-stage streams: each stream of
+    /// `volume` bytes is produced once and consumed once. Streams share
+    /// the capacity proportionally to their volume (an optimistic
+    /// partition for the baseline).
+    pub fn streams(&self, volumes: &[u64]) -> CacheReport {
+        let total: u64 = volumes.iter().sum();
+        if total == 0 {
+            return CacheReport::default();
+        }
+        let mut report = CacheReport::default();
+        for &v in volumes {
+            // Proportional share of the capacity.
+            let share = (self.capacity_bytes as u128 * v as u128 / total as u128) as u64;
+            if v <= share {
+                report.hit_bytes += v;
+            } else {
+                let spilled = v - share;
+                report.hit_bytes += share;
+                // Write-back of the spill plus the compulsory refetch.
+                report.dram_bytes += 2 * spilled;
+                let misses = spilled / self.line_bytes.max(1) + 1;
+                report.stall_cycles += misses * self.miss_latency / self.mshr.max(1);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_in_cache_no_traffic() {
+        let c = CacheModel { capacity_bytes: 1000, ..CacheModel::default() };
+        let r = c.streams(&[400, 500]);
+        assert_eq!(r.dram_bytes, 0);
+        assert_eq!(r.hit_bytes, 900);
+        assert_eq!(r.stall_cycles, 0);
+    }
+
+    #[test]
+    fn spill_produces_writeback_and_refetch() {
+        let c = CacheModel {
+            capacity_bytes: 1000,
+            line_bytes: 64,
+            miss_latency: 100,
+            mshr: 4,
+        };
+        let r = c.streams(&[2000]);
+        // Share = 1000, spilled = 1000 → 2000 bytes DRAM.
+        assert_eq!(r.dram_bytes, 2000);
+        assert!(r.stall_cycles > 0);
+    }
+
+    #[test]
+    fn proportional_sharing() {
+        let c = CacheModel { capacity_bytes: 300, ..CacheModel::default() };
+        let r = c.streams(&[100, 200]);
+        // Shares 100 and 200 exactly cover both streams.
+        assert_eq!(r.dram_bytes, 0);
+    }
+
+    #[test]
+    fn empty_streams() {
+        let c = CacheModel::default();
+        assert_eq!(c.streams(&[]), CacheReport::default());
+    }
+}

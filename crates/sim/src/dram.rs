@@ -1,0 +1,103 @@
+//! Off-chip DRAM model (Micron LPDDR3-1600, 4 channels — Sec. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM bandwidth/latency parameters plus a traffic tally.
+///
+/// At a 1 GHz accelerator clock, LPDDR3-1600 ×32 delivers 6.4 GB/s per
+/// channel; four channels give 25.6 bytes per accelerator cycle of
+/// sustainable bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    /// Sustained bandwidth in bytes per accelerator cycle.
+    pub bytes_per_cycle: f64,
+    /// First-access latency in cycles.
+    pub latency_cycles: u64,
+    read_bytes: u64,
+    write_bytes: u64,
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel { bytes_per_cycle: 25.6, latency_cycles: 120, read_bytes: 0, write_bytes: 0 }
+    }
+}
+
+impl DramModel {
+    /// Creates a model with explicit parameters.
+    pub fn new(bytes_per_cycle: f64, latency_cycles: u64) -> Self {
+        DramModel { bytes_per_cycle, latency_cycles, read_bytes: 0, write_bytes: 0 }
+    }
+
+    /// Accounts a read of `bytes`; returns the cycles the transfer
+    /// occupies on the bus.
+    pub fn read(&mut self, bytes: u64) -> u64 {
+        self.read_bytes += bytes;
+        self.transfer_cycles(bytes)
+    }
+
+    /// Accounts a write of `bytes`; returns bus cycles.
+    pub fn write(&mut self, bytes: u64) -> u64 {
+        self.write_bytes += bytes;
+        self.transfer_cycles(bytes)
+    }
+
+    /// Cycles a transfer of `bytes` occupies (bandwidth-limited,
+    /// excluding the first-access latency).
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Total bytes read so far.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes
+    }
+
+    /// Total bytes written so far.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes
+    }
+
+    /// Total traffic (reads + writes).
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Resets the traffic tally.
+    pub fn reset(&mut self) {
+        self.read_bytes = 0;
+        self.write_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut d = DramModel::default();
+        d.read(1000);
+        d.write(500);
+        d.read(24);
+        assert_eq!(d.read_bytes(), 1024);
+        assert_eq!(d.write_bytes(), 500);
+        assert_eq!(d.total_bytes(), 1524);
+        d.reset();
+        assert_eq!(d.total_bytes(), 0);
+    }
+
+    #[test]
+    fn transfer_cycles_are_bandwidth_limited() {
+        let d = DramModel::new(32.0, 100);
+        assert_eq!(d.transfer_cycles(64), 2);
+        assert_eq!(d.transfer_cycles(1), 1); // rounds up
+        assert_eq!(d.transfer_cycles(0), 0);
+    }
+
+    #[test]
+    fn default_matches_lpddr3_x4() {
+        let d = DramModel::default();
+        assert!((d.bytes_per_cycle - 25.6).abs() < 1e-9);
+    }
+}

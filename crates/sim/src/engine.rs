@@ -1,0 +1,634 @@
+//! Cycle-level simulation of a scheduled streaming pipeline.
+//!
+//! The engine executes a [`DataflowGraph`] under a schedule produced by
+//! `streamgrid-optimizer`: stages issue chunks at the plan's initiation
+//! interval, move elements through bounded line buffers at their rational
+//! throughputs, and tally DRAM traffic and energy. It is the "cycle-level
+//! simulator of the architecture" of Sec. 7, and doubles as the
+//! formulation's executable proof: with deterministic termination a
+//! correct schedule runs to completion with **zero stalls and zero
+//! overflows** (asserted by the integration tests), while variable
+//! (non-DT) global-op latency provokes the stalls the paper describes.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use streamgrid_dataflow::{DataflowGraph, NodeId, OpKind};
+use streamgrid_optimizer::{EdgeInfo, MultiChunkPlan, Schedule};
+
+use crate::dram::DramModel;
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::linebuffer::LineBuffer;
+
+/// Latency behavior of global-dependent stages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GlobalLatencyModel {
+    /// Deterministic termination: fixed per-chunk duration (the DT
+    /// transform).
+    Deterministic,
+    /// Input-dependent latency: each chunk's duration is scaled by a
+    /// lognormal-ish factor with the given coefficient of variation —
+    /// the canonical algorithms of Sec. 3.
+    Variable {
+        /// Coefficient of variation of the per-chunk slowdown.
+        cv: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// What a full buffer does to its writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BufferPolicy {
+    /// A write beyond capacity is an error (validates schedules).
+    Strict,
+    /// The writer stalls until space frees up (measures the cost of
+    /// non-determinism).
+    Elastic,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Bytes per buffered element (the paper's pipelines move 32-bit
+    /// words).
+    pub bytes_per_element: u64,
+    /// Chunks to stream.
+    pub n_chunks: u64,
+    /// Global-stage latency behavior.
+    pub global_latency: GlobalLatencyModel,
+    /// Buffer overflow policy.
+    pub buffer_policy: BufferPolicy,
+    /// Safety cap on simulated cycles.
+    pub max_cycles: u64,
+    /// Datapath intensity: MACs per produced element. DNN pipelines are
+    /// operand-traffic heavy (PointNet++ MLPs run thousands of MACs per
+    /// element), and each MAC fetches ~2 bytes from on-chip SRAM — this
+    /// is what makes SRAM sizing matter for energy (Fig. 17b).
+    pub macs_per_element: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            bytes_per_element: 4,
+            n_chunks: 1,
+            global_latency: GlobalLatencyModel::Deterministic,
+            buffer_policy: BufferPolicy::Strict,
+            max_cycles: 50_000_000,
+            macs_per_element: 16.0,
+        }
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Cycles until the last element left the pipeline.
+    pub cycles: u64,
+    /// Peak occupancy per edge buffer.
+    pub buffer_peaks: Vec<u64>,
+    /// Provisioned capacity per edge buffer.
+    pub buffer_capacities: Vec<u64>,
+    /// First edge that overflowed under [`BufferPolicy::Strict`]
+    /// (`None` = clean run).
+    pub overflow_edge: Option<usize>,
+    /// Cycles a stage's write was fully blocked by a full buffer —
+    /// on-chip memory stalls in the paper's sense. Zero for a valid
+    /// CS+DT schedule.
+    pub stall_cycles: u64,
+    /// Cycles a stage wanted input but none was available. Nonzero even
+    /// in valid schedules when a consumer's peak rate exceeds a
+    /// producer's (rate quantization); large under variable latency.
+    pub starved_cycles: u64,
+    /// DRAM bytes read (source streams).
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written (sink streams).
+    pub dram_write_bytes: u64,
+    /// Energy tally.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunReport {
+    /// Total on-chip buffer bytes provisioned.
+    pub fn onchip_bytes(&self, bytes_per_element: u64) -> u64 {
+        self.buffer_capacities.iter().sum::<u64>() * bytes_per_element
+    }
+}
+
+/// Integer-exact rational rate accumulator: emits `num/den` elements per
+/// cycle on average, never fractionally.
+#[derive(Debug, Clone)]
+struct RateAcc {
+    num: u64,
+    den: u64,
+    acc: u64,
+}
+
+impl RateAcc {
+    fn new(num: i64, den: i64) -> Self {
+        RateAcc { num: num.max(0) as u64, den: den.max(1) as u64, acc: 0 }
+    }
+
+    fn step(&mut self) -> u64 {
+        self.acc += self.num;
+        let out = self.acc / self.den;
+        self.acc %= self.den;
+        out
+    }
+
+    fn reset(&mut self) {
+        self.acc = 0;
+    }
+}
+
+struct StageState {
+    kind: OpKind,
+    depth: u64,
+    in_edges: Vec<usize>,
+    out_edges: Vec<usize>,
+    read_acc: RateAcc,
+    write_acc: RateAcc,
+    /// Per-chunk issue cycle.
+    issue: Vec<u64>,
+    /// Current chunk index.
+    chunk: usize,
+    /// Remaining elements to read (per in-edge) for the current chunk.
+    read_remaining: Vec<u64>,
+    /// Remaining elements to write (per out-edge).
+    write_remaining: Vec<u64>,
+    /// Elements read so far this chunk (max over in-edges).
+    read_done: u64,
+    /// Total to read this chunk (max over in-edges; 0 for sources).
+    read_total: u64,
+    /// Cycle the current chunk's read phase started.
+    chunk_read_start: u64,
+    /// Slowdown: stage advances only when `slow_acc` rolls over.
+    slow_num: u64,
+    slow_den: u64,
+    slow_acc: u64,
+}
+
+impl StageState {
+    fn active_chunk_ready(&self, now: u64) -> bool {
+        self.chunk < self.issue.len() && now >= self.issue[self.chunk]
+    }
+
+    fn chunk_done(&self) -> bool {
+        self.read_remaining.iter().all(|&r| r == 0)
+            && self.write_remaining.iter().all(|&w| w == 0)
+    }
+
+    /// Advances the slowdown accumulator; `true` when the stage may work
+    /// this cycle.
+    fn tick(&mut self) -> bool {
+        self.slow_acc += self.slow_num;
+        if self.slow_acc >= self.slow_den {
+            self.slow_acc -= self.slow_den;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Runs the pipeline.
+///
+/// `plan` supplies the initiation interval; per-stage per-chunk issue
+/// times are `schedule.start_cycles[i] + c · II`.
+///
+/// # Panics
+///
+/// Panics if the graph fails validation or the schedule's dimensions do
+/// not match the graph.
+pub fn run(
+    graph: &DataflowGraph,
+    edges: &[EdgeInfo],
+    schedule: &Schedule,
+    plan: &MultiChunkPlan,
+    energy_model: &EnergyModel,
+    config: &EngineConfig,
+) -> RunReport {
+    graph.validate().expect("invalid graph");
+    assert_eq!(schedule.start_cycles.len(), graph.node_count());
+    assert_eq!(schedule.buffer_sizes.len(), edges.len());
+    let n_chunks = config.n_chunks.max(1);
+    let ii = plan.initiation_interval;
+
+    let mut buffers: Vec<LineBuffer> =
+        schedule.buffer_sizes.iter().map(|&s| LineBuffer::new(s)).collect();
+    let mut dram = DramModel::default();
+    let mut rng = match config.global_latency {
+        GlobalLatencyModel::Variable { seed, .. } => SmallRng::seed_from_u64(seed),
+        GlobalLatencyModel::Deterministic => SmallRng::seed_from_u64(0),
+    };
+
+    // Per-stage input/output volumes per chunk.
+    let mut stages: Vec<StageState> = Vec::with_capacity(graph.node_count());
+    for (id, node) in graph.nodes() {
+        let in_edges: Vec<usize> = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.consumer == id)
+            .map(|(i, _)| i)
+            .collect();
+        let out_edges: Vec<usize> = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.producer == id)
+            .map(|(i, _)| i)
+            .collect();
+        let read_total = in_edges.iter().map(|&e| edges[e].volume).max().unwrap_or(0);
+        let write_total = out_edges.iter().map(|&e| edges[e].volume).max().unwrap_or(0);
+        let tau_in = node.tau_in();
+        let tau_out = node.tau_out();
+        // Variable latency: global stages run slower by a sampled factor
+        // per run (slow_num/slow_den gate active cycles).
+        let (slow_num, slow_den) = match (node.kind, config.global_latency) {
+            (OpKind::GlobalOp, GlobalLatencyModel::Variable { cv, .. }) => {
+                // Sample factor ≥ 1 with the requested dispersion.
+                let u: f64 = rng.random_range(0.0..1.0);
+                let factor = 1.0 + cv * (-2.0 * (1.0 - u).max(1e-9).ln()).sqrt();
+                ((1000.0 / factor) as u64, 1000u64)
+            }
+            _ => (1, 1),
+        };
+        stages.push(StageState {
+            kind: node.kind,
+            depth: node.stage_depth as u64,
+            in_edges: in_edges.clone(),
+            out_edges,
+            read_acc: RateAcc::new(tau_in.num(), tau_in.den()),
+            write_acc: RateAcc::new(tau_out.num(), tau_out.den()),
+            issue: (0..n_chunks)
+                .map(|c| schedule.start_cycles[id.index()] + c * ii)
+                .collect(),
+            chunk: 0,
+            read_remaining: in_edges.iter().map(|&e| edges[e].volume).collect(),
+            write_remaining: vec![write_total; stages_out_len(graph, id)],
+            read_done: 0,
+            read_total,
+            chunk_read_start: 0,
+            slow_num,
+            slow_den,
+            slow_acc: 0,
+        });
+    }
+
+    // Consumers run before producers within a cycle so a same-cycle
+    // read frees the space a same-cycle write needs — matching the
+    // fluid simultaneity the ILP occupancy model assumes.
+    let mut order = graph.topo_order().expect("validated");
+    order.reverse();
+    let mut now = 0u64;
+    let mut stall_cycles = 0u64;
+    let mut starved_cycles = 0u64;
+    let mut overflow_edge: Option<usize> = None;
+    let mut sram_dynamic_bytes = 0u64;
+    let mut compute_elements = 0u64;
+
+    'outer: while stages.iter().any(|s| s.chunk < n_chunks as usize) {
+        if now >= config.max_cycles {
+            break;
+        }
+        for &id in &order {
+            let si = id.index();
+            // Split borrow: stage vs buffers.
+            let stage = &mut stages[si];
+            if !stage.active_chunk_ready(now) {
+                continue;
+            }
+            if !stage.tick() {
+                starved_cycles += 1;
+                continue;
+            }
+            if stage.read_done == 0 {
+                stage.chunk_read_start = now;
+            }
+            // Read phase.
+            let mut stalled = false;
+            let mut starved = false;
+            if !stage.in_edges.is_empty() {
+                let want = stage.read_acc.step();
+                let mut max_read = 0u64;
+                for (slot, &e) in stage.in_edges.clone().iter().enumerate() {
+                    let need = want.min(stage.read_remaining[slot]);
+                    if need == 0 {
+                        continue;
+                    }
+                    let got = buffers[e].read(need);
+                    sram_dynamic_bytes += got * config.bytes_per_element;
+                    stage.read_remaining[slot] -= got;
+                    max_read = max_read.max(got);
+                    // No data at all while work is pending: starvation
+                    // (the producer is slower or not yet scheduled) —
+                    // not an on-chip memory stall.
+                    if got == 0 && need > 0 {
+                        starved = true;
+                    }
+                }
+                stage.read_done += max_read;
+            }
+            // Sources are driven purely by the write phase below; each
+            // accepted element is one DRAM read.
+            // Write phase: gated on pipeline depth and read progress.
+            if !stage.out_edges.is_empty() && now >= stage.issue[stage.chunk] + stage.depth {
+                let allowance = stage.write_acc.step();
+                if allowance > 0 {
+                    // A stage cannot emit results for data it has not
+                    // read: cap cumulative output at the proportional
+                    // share of input consumed (sources are uncapped).
+                    for (slot, &e) in stage.out_edges.clone().iter().enumerate() {
+                        let remaining = stage.write_remaining[slot];
+                        let want = allowance.min(remaining);
+                        if want == 0 {
+                            continue;
+                        }
+                        let cap = if stage.read_total > 0 {
+                            let vol = edges[e].volume as u128;
+                            let done_share = (stage.read_done as u128 * vol
+                                / stage.read_total.max(1) as u128)
+                                as u64;
+                            let written = edges[e].volume - remaining;
+                            done_share.saturating_sub(written)
+                        } else {
+                            want
+                        };
+                        let n = want.min(cap);
+                        if n == 0 {
+                            continue;
+                        }
+                        let space = buffers[e].free();
+                        let accepted = n.min(space);
+                        if accepted < n {
+                            match config.buffer_policy {
+                                BufferPolicy::Strict => {
+                                    if overflow_edge.is_none() {
+                                        overflow_edge = Some(e);
+                                    }
+                                    break 'outer;
+                                }
+                                BufferPolicy::Elastic => {
+                                    if accepted == 0 {
+                                        stalled = true;
+                                    }
+                                }
+                            }
+                        }
+                        if accepted > 0 {
+                            buffers[e].write(accepted).expect("space checked");
+                            sram_dynamic_bytes += accepted * config.bytes_per_element;
+                            compute_elements += accepted;
+                            stage.write_remaining[slot] -= accepted;
+                            if matches!(stage.kind, OpKind::Source) {
+                                dram.read(accepted * config.bytes_per_element);
+                            }
+                        }
+                    }
+                }
+            }
+            if stalled {
+                stall_cycles += 1;
+            }
+            if starved {
+                starved_cycles += 1;
+            }
+            // Sinks drain to DRAM.
+            if matches!(stage.kind, OpKind::Sink) && stage.read_done > 0 {
+                // Model: every element a sink reads leaves to DRAM.
+            }
+            // Chunk completion.
+            if stage.chunk_done() && stage.active_chunk_ready(now) {
+                stage.chunk += 1;
+                if stage.chunk < n_chunks as usize {
+                    for (slot, &e) in stage.in_edges.clone().iter().enumerate() {
+                        stage.read_remaining[slot] = edges[e].volume;
+                    }
+                    let write_total = stage
+                        .out_edges
+                        .iter()
+                        .map(|&e| edges[e].volume)
+                        .max()
+                        .unwrap_or(0);
+                    for w in stage.write_remaining.iter_mut() {
+                        *w = write_total;
+                    }
+                    stage.read_done = 0;
+                    stage.read_acc.reset();
+                    stage.write_acc.reset();
+                }
+            }
+        }
+        now += 1;
+    }
+
+    // Sink DRAM writes: everything the sinks consumed.
+    let mut sink_bytes = 0u64;
+    for (id, n) in graph.nodes() {
+        if matches!(n.kind, OpKind::Sink) {
+            for (i, e) in edges.iter().enumerate() {
+                if e.consumer == id {
+                    sink_bytes += buffers[i].total_reads() * config.bytes_per_element;
+                }
+            }
+        }
+    }
+    dram.write(sink_bytes);
+
+    let buffer_peaks: Vec<u64> = buffers.iter().map(|b| b.max_occupancy()).collect();
+    let buffer_capacities: Vec<u64> = buffers.iter().map(|b| b.capacity()).collect();
+    let total_capacity_bytes: u64 =
+        buffer_capacities.iter().sum::<u64>() * config.bytes_per_element;
+
+    let macs = (compute_elements as f64 * config.macs_per_element) as u64;
+    // Each MAC fetches ~2 operand bytes from on-chip SRAM; this operand
+    // traffic is what couples buffer capacity to energy.
+    let operand_bytes = macs * 2;
+    let energy = EnergyBreakdown {
+        sram_pj: energy_model.sram_access_pj(
+            sram_dynamic_bytes + operand_bytes,
+            total_capacity_bytes.max(1024),
+        ) + energy_model.sram_leak_pj(total_capacity_bytes, now),
+        dram_pj: energy_model.dram_pj(dram.total_bytes()),
+        compute_pj: energy_model.compute_pj(macs, compute_elements),
+    };
+
+    RunReport {
+        cycles: now,
+        buffer_peaks,
+        buffer_capacities,
+        overflow_edge,
+        stall_cycles,
+        starved_cycles,
+        dram_read_bytes: dram.read_bytes(),
+        dram_write_bytes: dram.write_bytes(),
+        energy,
+    }
+}
+
+fn stages_out_len(graph: &DataflowGraph, id: NodeId) -> usize {
+    graph.consumers(id).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamgrid_dataflow::Shape;
+    use streamgrid_optimizer::{edge_infos, optimize, plan_multi_chunk, OptimizeConfig};
+
+    fn pipeline() -> DataflowGraph {
+        let mut g = DataflowGraph::new();
+        let src = g.source("src", Shape::new(1, 3), 1);
+        let scale = g.map("scale", Shape::new(1, 3), Shape::new(1, 3), 2);
+        let knn = g.global_op("knn", Shape::new(1, 3), 1, Shape::new(1, 3), 1, (1, 1), 8);
+        let mlp = g.map("mlp", Shape::new(1, 3), Shape::new(1, 3), 4);
+        let sink = g.sink("sink", Shape::new(1, 3), 1);
+        g.connect(src, scale);
+        g.connect(scale, knn);
+        g.connect(knn, mlp);
+        g.connect(mlp, sink);
+        g
+    }
+
+    fn setup(elements: u64) -> (DataflowGraph, Vec<EdgeInfo>, Schedule, MultiChunkPlan) {
+        let g = pipeline();
+        let edges = edge_infos(&g, elements);
+        let schedule = optimize(&g, &OptimizeConfig::new(elements)).unwrap();
+        let plan = plan_multi_chunk(&g, &edges);
+        (g, edges, schedule, plan)
+    }
+
+    #[test]
+    fn deterministic_run_is_clean() {
+        let (g, edges, schedule, plan) = setup(300);
+        let report = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+        );
+        assert_eq!(report.overflow_edge, None, "ILP schedule must not overflow");
+        for (i, (&peak, &cap)) in report
+            .buffer_peaks
+            .iter()
+            .zip(&report.buffer_capacities)
+            .enumerate()
+        {
+            assert!(peak <= cap, "edge {i}: peak {peak} > capacity {cap}");
+        }
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn throughput_matches_plan() {
+        let (g, edges, schedule, plan) = setup(300);
+        let r1 = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &EngineConfig { n_chunks: 1, ..EngineConfig::default() },
+        );
+        let r4 = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+        );
+        let expected = plan.total_cycles(schedule.makespan, 4);
+        // Within a few cycles of the analytic model.
+        assert!(
+            (r4.cycles as i64 - expected as i64).abs() < 64,
+            "simulated {} vs planned {expected}",
+            r4.cycles
+        );
+        assert!(r4.cycles > r1.cycles);
+    }
+
+    #[test]
+    fn variable_latency_stalls_pipeline() {
+        let (g, edges, schedule, plan) = setup(300);
+        let det = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+        );
+        let var = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &EngineConfig {
+                n_chunks: 4,
+                global_latency: GlobalLatencyModel::Variable { cv: 0.8, seed: 7 },
+                buffer_policy: BufferPolicy::Elastic,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(
+            var.cycles > det.cycles,
+            "variable latency should be slower: {} vs {}",
+            var.cycles,
+            det.cycles
+        );
+        assert!(var.starved_cycles > det.starved_cycles);
+    }
+
+    #[test]
+    fn dram_traffic_is_endpoints_only() {
+        let (g, edges, schedule, plan) = setup(300);
+        let report = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &EngineConfig { n_chunks: 2, ..EngineConfig::default() },
+        );
+        // Fully streaming: only source reads and sink writes hit DRAM —
+        // 2 chunks × 300 elements × 4 bytes each way.
+        assert_eq!(report.dram_read_bytes, 2 * 300 * 4);
+        assert_eq!(report.dram_write_bytes, 2 * 300 * 4);
+    }
+
+    #[test]
+    fn undersized_buffers_overflow_in_strict_mode() {
+        let (g, edges, mut schedule, plan) = setup(300);
+        // Sabotage: shrink the src→scale buffer below its peak.
+        schedule.buffer_sizes[0] = schedule.buffer_sizes[0].saturating_sub(2).max(1);
+        let report = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &EngineConfig { n_chunks: 1, ..EngineConfig::default() },
+        );
+        assert!(report.overflow_edge.is_some() || report.stall_cycles > 0);
+    }
+
+    #[test]
+    fn energy_includes_all_components() {
+        let (g, edges, schedule, plan) = setup(300);
+        let report = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &EngineConfig { n_chunks: 2, ..EngineConfig::default() },
+        );
+        assert!(report.energy.sram_pj > 0.0);
+        assert!(report.energy.dram_pj > 0.0);
+        assert!(report.energy.compute_pj > 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Banked SRAM with conflict detection and Crescent-style conflict
+//! elision (Sec. 4.2 "Irregular Memory Access", Fig. 4).
+//!
+//! Each cycle a set of PE requests arrives; requests mapping to the same
+//! bank conflict. Under [`ConflictPolicy::Stall`] the extra requests
+//! retry next cycle (pipeline stall); under [`ConflictPolicy::Elide`]
+//! one request proceeds and the rest are *dropped* — the requesting PE
+//! skips the data-structure subtree beneath the conflicting node, which
+//! is the accuracy-for-determinism trade Crescent [13] introduced and
+//! the paper adopts (claiming no contribution).
+
+use serde::{Deserialize, Serialize};
+
+/// What happens to the losers of a bank conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConflictPolicy {
+    /// Losers retry next cycle: correct but input-dependent latency.
+    Stall,
+    /// Losers are dropped (bank-conflict elision): deterministic latency,
+    /// approximate results.
+    Elide,
+}
+
+/// Access statistics of a banked SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SramStats {
+    /// Requests offered.
+    pub requests: u64,
+    /// Requests served.
+    pub served: u64,
+    /// Requests that lost a conflict and retried (stall policy).
+    pub stalled: u64,
+    /// Requests that lost a conflict and were dropped (elide policy).
+    pub elided: u64,
+    /// Cycles consumed serving offered batches.
+    pub cycles: u64,
+}
+
+/// A multi-banked scratchpad.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankedSram {
+    banks: u32,
+    policy: ConflictPolicy,
+    stats: SramStats,
+}
+
+impl BankedSram {
+    /// Creates a scratchpad with `banks` banks (word-interleaved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    pub fn new(banks: u32, policy: ConflictPolicy) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        BankedSram { banks, policy, stats: SramStats::default() }
+    }
+
+    /// The conflict policy.
+    pub fn policy(&self) -> ConflictPolicy {
+        self.policy
+    }
+
+    /// Bank of an address (word-interleaved).
+    pub fn bank_of(&self, addr: u64) -> u32 {
+        (addr % self.banks as u64) as u32
+    }
+
+    /// Offers one cycle's worth of parallel requests. Returns, per
+    /// request, whether it was served this batch (`false` = stalled and
+    /// retried internally under [`ConflictPolicy::Stall`], or dropped
+    /// under [`ConflictPolicy::Elide`]).
+    ///
+    /// Under the stall policy the batch takes as many cycles as the most
+    /// contended bank; under elision it always takes one cycle.
+    pub fn access(&mut self, addrs: &[u64]) -> Vec<bool> {
+        if addrs.is_empty() {
+            return Vec::new();
+        }
+        self.stats.requests += addrs.len() as u64;
+        let mut per_bank = vec![0u64; self.banks as usize];
+        let mut first_in_bank = vec![true; addrs.len()];
+        let mut seen = vec![false; self.banks as usize];
+        for (i, &a) in addrs.iter().enumerate() {
+            let b = self.bank_of(a) as usize;
+            per_bank[b] += 1;
+            if seen[b] {
+                first_in_bank[i] = false;
+            }
+            seen[b] = true;
+        }
+        let max_per_bank = per_bank.iter().copied().max().unwrap_or(1).max(1);
+        match self.policy {
+            ConflictPolicy::Stall => {
+                // Every request is eventually served; the batch occupies
+                // max_per_bank cycles.
+                self.stats.served += addrs.len() as u64;
+                self.stats.stalled +=
+                    addrs.len() as u64 - first_in_bank.iter().filter(|&&f| f).count() as u64;
+                self.stats.cycles += max_per_bank;
+                vec![true; addrs.len()]
+            }
+            ConflictPolicy::Elide => {
+                let served = first_in_bank.iter().filter(|&&f| f).count() as u64;
+                self.stats.served += served;
+                self.stats.elided += addrs.len() as u64 - served;
+                self.stats.cycles += 1;
+                first_in_bank
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SramStats {
+        self.stats
+    }
+
+    /// Resets the statistics.
+    pub fn reset(&mut self) {
+        self.stats = SramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_conflict_single_cycle() {
+        let mut s = BankedSram::new(4, ConflictPolicy::Stall);
+        let served = s.access(&[0, 1, 2, 3]);
+        assert!(served.iter().all(|&x| x));
+        assert_eq!(s.stats().cycles, 1);
+        assert_eq!(s.stats().stalled, 0);
+    }
+
+    #[test]
+    fn stall_policy_serves_all_but_takes_cycles() {
+        let mut s = BankedSram::new(4, ConflictPolicy::Stall);
+        // Three requests to bank 0 (addresses ≡ 0 mod 4).
+        let served = s.access(&[0, 4, 8, 1]);
+        assert!(served.iter().all(|&x| x));
+        assert_eq!(s.stats().cycles, 3);
+        assert_eq!(s.stats().stalled, 2);
+        assert_eq!(s.stats().served, 4);
+    }
+
+    #[test]
+    fn elide_policy_drops_losers_in_one_cycle() {
+        let mut s = BankedSram::new(4, ConflictPolicy::Elide);
+        let served = s.access(&[0, 4, 8, 1]);
+        assert_eq!(served, vec![true, false, false, true]);
+        assert_eq!(s.stats().cycles, 1);
+        assert_eq!(s.stats().elided, 2);
+        assert_eq!(s.stats().served, 2);
+    }
+
+    #[test]
+    fn fig4_example_two_pes_same_bank() {
+        // Fig. 4: PE0 and PE1 both touch bank 0 → one proceeds.
+        let mut s = BankedSram::new(2, ConflictPolicy::Elide);
+        let served = s.access(&[2, 4]); // both even → bank 0
+        assert_eq!(served.iter().filter(|&&x| x).count(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut s = BankedSram::new(2, ConflictPolicy::Stall);
+        assert!(s.access(&[]).is_empty());
+        assert_eq!(s.stats().cycles, 0);
+    }
+
+    #[test]
+    fn elision_rate_grows_with_contention() {
+        let mut low = BankedSram::new(16, ConflictPolicy::Elide);
+        let mut high = BankedSram::new(2, ConflictPolicy::Elide);
+        for step in 0..100u64 {
+            let addrs: Vec<u64> = (0..8).map(|p| step * 31 + p * 7).collect();
+            low.access(&addrs);
+            high.access(&addrs);
+        }
+        assert!(high.stats().elided > low.stats().elided);
+    }
+}

@@ -1,0 +1,86 @@
+//! Exact brute-force reference searches.
+//!
+//! These are the oracles property tests compare the tree structures
+//! against, and the per-chunk search kernel for small chunk windows where
+//! building a tree is not worth it.
+
+use streamgrid_pointcloud::Point3;
+
+use crate::neighbor::{KnnHeap, Neighbor};
+
+/// Exact k-nearest neighbors by linear scan, sorted by ascending
+/// distance. Returns fewer than `k` when the set is smaller than `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn knn(points: &[Point3], query: Point3, k: usize) -> Vec<Neighbor> {
+    let mut heap = KnnHeap::new(k);
+    for (i, &p) in points.iter().enumerate() {
+        heap.offer(Neighbor::new(i as u32, p.dist_sq(query)));
+    }
+    heap.into_sorted()
+}
+
+/// Exact k-nearest neighbors over an index subset (`indices` into
+/// `points`), returning indices into `points`.
+pub fn knn_subset(points: &[Point3], indices: &[u32], query: Point3, k: usize) -> Vec<Neighbor> {
+    let mut heap = KnnHeap::new(k);
+    for &i in indices {
+        heap.offer(Neighbor::new(i, points[i as usize].dist_sq(query)));
+    }
+    heap.into_sorted()
+}
+
+/// Exact radius search by linear scan, sorted by ascending distance.
+pub fn range(points: &[Point3], query: Point3, radius: f32) -> Vec<Neighbor> {
+    let r_sq = radius * radius;
+    let mut out: Vec<Neighbor> = points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| {
+            let d = p.dist_sq(query);
+            (d <= r_sq).then_some(Neighbor::new(i as u32, d))
+        })
+        .collect();
+    out.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).expect("NaN distance"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Vec<Point3> {
+        (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn knn_returns_closest() {
+        let pts = line();
+        let hits = knn(&pts, Point3::new(4.2, 0.0, 0.0), 3);
+        let idx: Vec<u32> = hits.iter().map(|n| n.index).collect();
+        assert_eq!(idx, vec![4, 5, 3]);
+    }
+
+    #[test]
+    fn knn_short_set() {
+        let pts = line();
+        assert_eq!(knn(&pts, Point3::ZERO, 100).len(), 10);
+    }
+
+    #[test]
+    fn range_includes_boundary() {
+        let pts = line();
+        let hits = range(&pts, Point3::ZERO, 2.0);
+        assert_eq!(hits.len(), 3); // 0, 1, 2
+    }
+
+    #[test]
+    fn subset_restricts_candidates() {
+        let pts = line();
+        let hits = knn_subset(&pts, &[7, 8, 9], Point3::ZERO, 2);
+        let idx: Vec<u32> = hits.iter().map(|n| n.index).collect();
+        assert_eq!(idx, vec![7, 8]);
+    }
+}

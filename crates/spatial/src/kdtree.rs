@@ -1,0 +1,663 @@
+//! kd-tree with traversal-step accounting and deterministic termination.
+//!
+//! The tree is the canonical point-cloud search structure the paper
+//! profiles (Sec. 3: mean 8.4e3 traversal steps with std 6.8e3 for 32-NN
+//! on KITTI) and the target of *deterministic termination* (Sec. 4.2,
+//! Fig. 9): a query's traversal is capped at a fixed step budget and
+//! returns its best-so-far candidates when the budget expires.
+//!
+//! Every query reports [`TraversalStats`] so experiments can profile step
+//! distributions and derive deadlines from them.
+
+use streamgrid_pointcloud::{Aabb, Point3};
+
+use crate::neighbor::{KnnHeap, Neighbor};
+
+/// Statistics of one query traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraversalStats {
+    /// Nodes visited (the paper's "steps").
+    pub steps: u64,
+    /// `false` when the step budget expired before the traversal
+    /// finished (the result is then the best found so far).
+    pub completed: bool,
+}
+
+/// Step budget for a traversal. [`StepBudget::Unlimited`] is the canonical
+/// algorithm; [`StepBudget::Capped`] is deterministic termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepBudget {
+    /// Canonical traversal: run to completion.
+    Unlimited,
+    /// Deterministic termination with the given node-visit deadline.
+    Capped(u64),
+}
+
+impl StepBudget {
+    fn limit(self) -> u64 {
+        match self {
+            StepBudget::Unlimited => u64::MAX,
+            StepBudget::Capped(n) => n,
+        }
+    }
+}
+
+/// Child-visit order during traversal.
+///
+/// Software searches descend the near side first, which tightens the
+/// pruning bound early. Fixed-dataflow hardware traversals (the kd-tree
+/// engines of QuickNN/Tigris the paper baselines against, and the
+/// traversal the paper's Sec. 3 profile measures at a mean of 8.4e3
+/// steps per 32-NN query) visit children in a fixed structural order —
+/// the pruning bound stays loose far longer, which is exactly the
+/// input-dependent step inflation StreamGrid attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraversalOrder {
+    /// Near-side-first descent (best software practice).
+    #[default]
+    NearestFirst,
+    /// Structural left-then-right DFS (hardware-style).
+    Fixed,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into the point set.
+    point: u32,
+    /// Split axis (0..3); leaves use the axis of their parent split but
+    /// never descend.
+    axis: u8,
+    left: i32,
+    right: i32,
+}
+
+const NIL: i32 = -1;
+
+/// A kd-tree over a borrowed point slice.
+///
+/// The tree stores indices into the slice passed at build time; queries
+/// take the same slice again so the caller keeps ownership of the data
+/// (matching the accelerator, where the tree is an index structure in
+/// SRAM over points in the line buffer).
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_pointcloud::Point3;
+/// use streamgrid_spatial::kdtree::{KdTree, StepBudget};
+///
+/// let pts: Vec<Point3> = (0..100)
+///     .map(|i| Point3::new(i as f32, (i * 7 % 13) as f32, 0.0))
+///     .collect();
+/// let tree = KdTree::build(&pts);
+/// let (hits, stats) = tree.knn(&pts, Point3::new(50.0, 3.0, 0.0), 4, StepBudget::Unlimited);
+/// assert_eq!(hits.len(), 4);
+/// assert!(stats.completed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    root: i32,
+    bounds: Option<Aabb>,
+    len: usize,
+}
+
+impl KdTree {
+    /// Builds a balanced tree by median splits along the widest axis.
+    pub fn build(points: &[Point3]) -> Self {
+        let mut indices: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let bounds = Aabb::from_points(points.iter().copied());
+        let root = match bounds {
+            Some(bb) => build_recursive(points, &mut indices[..], &mut nodes, bb),
+            None => NIL,
+        };
+        KdTree { nodes, root, bounds, len: points.len() }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding box of the indexed points (`None` when empty).
+    pub fn bounds(&self) -> Option<Aabb> {
+        self.bounds
+    }
+
+    /// Tree depth (longest root-to-leaf path; 0 when empty).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: i32) -> usize {
+            if i == NIL {
+                0
+            } else {
+                let n = &nodes[i as usize];
+                1 + depth_of(nodes, n.left).max(depth_of(nodes, n.right))
+            }
+        }
+        depth_of(&self.nodes, self.root)
+    }
+
+    /// k-nearest-neighbor search.
+    ///
+    /// `points` must be the same slice the tree was built from. Under a
+    /// [`StepBudget::Capped`] budget the search stops at the deadline and
+    /// returns the best candidates found so far — the paper's
+    /// deterministic termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `points.len()` differs from build time.
+    pub fn knn(
+        &self,
+        points: &[Point3],
+        query: Point3,
+        k: usize,
+        budget: StepBudget,
+    ) -> (Vec<Neighbor>, TraversalStats) {
+        self.knn_with_order(points, query, k, budget, TraversalOrder::NearestFirst)
+    }
+
+    /// k-nearest-neighbor search with an explicit child-visit order
+    /// (see [`TraversalOrder`]). [`TraversalOrder::Fixed`] models the
+    /// hardware traversal the paper's baselines and Sec. 3 profile use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `points.len()` differs from build time.
+    pub fn knn_with_order(
+        &self,
+        points: &[Point3],
+        query: Point3,
+        k: usize,
+        budget: StepBudget,
+        order: TraversalOrder,
+    ) -> (Vec<Neighbor>, TraversalStats) {
+        assert_eq!(points.len(), self.len, "point slice changed since build");
+        let mut heap = KnnHeap::new(k);
+        let mut stats = TraversalStats { steps: 0, completed: true };
+        let limit = budget.limit();
+        if self.root != NIL {
+            self.search_knn(points, self.root, query, &mut heap, &mut stats, limit, order);
+        }
+        (heap.into_sorted(), stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_knn(
+        &self,
+        points: &[Point3],
+        node_idx: i32,
+        query: Point3,
+        heap: &mut KnnHeap,
+        stats: &mut TraversalStats,
+        limit: u64,
+        order: TraversalOrder,
+    ) {
+        if node_idx == NIL || !stats.completed {
+            return;
+        }
+        if stats.steps >= limit {
+            stats.completed = false;
+            return;
+        }
+        stats.steps += 1;
+        let node = &self.nodes[node_idx as usize];
+        let p = points[node.point as usize];
+        heap.offer(Neighbor::new(node.point, p.dist_sq(query)));
+        let axis = node.axis as usize;
+        let delta = query.axis(axis) - p.axis(axis);
+        let (first, second, second_is_far_side) = match order {
+            TraversalOrder::NearestFirst => {
+                let (near, far) =
+                    if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+                (near, far, true)
+            }
+            // Fixed order: the far side may come first, in which case the
+            // *second* child is the near side and must always be visited.
+            // delta < 0 ⇒ query lies left ⇒ right child is the far side.
+            TraversalOrder::Fixed => (node.left, node.right, delta < 0.0),
+        };
+        self.search_knn(points, first, query, heap, stats, limit, order);
+        // The far side is prunable; the near side never is.
+        let visit_second =
+            !second_is_far_side || delta * delta < heap.worst();
+        if stats.completed && visit_second {
+            self.search_knn(points, second, query, heap, stats, limit, order);
+        }
+    }
+
+    /// Range (radius) search: all points within `radius` of `query`,
+    /// sorted by ascending distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len()` differs from build time or `radius` is
+    /// negative.
+    pub fn range(
+        &self,
+        points: &[Point3],
+        query: Point3,
+        radius: f32,
+        budget: StepBudget,
+    ) -> (Vec<Neighbor>, TraversalStats) {
+        assert_eq!(points.len(), self.len, "point slice changed since build");
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut out = Vec::new();
+        let mut stats = TraversalStats { steps: 0, completed: true };
+        let limit = budget.limit();
+        let r_sq = radius * radius;
+        if self.root != NIL {
+            self.search_range(points, self.root, query, r_sq, &mut out, &mut stats, limit);
+        }
+        out.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).expect("NaN distance"));
+        (out, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_range(
+        &self,
+        points: &[Point3],
+        node_idx: i32,
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut TraversalStats,
+        limit: u64,
+    ) {
+        if node_idx == NIL || !stats.completed {
+            return;
+        }
+        if stats.steps >= limit {
+            stats.completed = false;
+            return;
+        }
+        stats.steps += 1;
+        let node = &self.nodes[node_idx as usize];
+        let p = points[node.point as usize];
+        let d = p.dist_sq(query);
+        if d <= r_sq {
+            out.push(Neighbor::new(node.point, d));
+        }
+        let axis = node.axis as usize;
+        let delta = query.axis(axis) - p.axis(axis);
+        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        self.search_range(points, near, query, r_sq, out, stats, limit);
+        if stats.completed && delta * delta <= r_sq {
+            self.search_range(points, far, query, r_sq, out, stats, limit);
+        }
+    }
+
+    /// Profiles the full-traversal step counts of `k`-NN for each query
+    /// and returns them; used to derive deterministic-termination
+    /// deadlines offline (Sec. 4.2 "based on offline profiling").
+    pub fn profile_steps(&self, points: &[Point3], queries: &[Point3], k: usize) -> Vec<u64> {
+        queries
+            .iter()
+            .map(|&q| self.knn(points, q, k, StepBudget::Unlimited).1.steps)
+            .collect()
+    }
+
+    /// kNN search that also returns the indices of every point whose
+    /// node the traversal visited, in visit order. Fig. 6 counts the
+    /// distinct chunks these points fall in — "the chunks accessed
+    /// during the search process".
+    pub fn knn_trace(
+        &self,
+        points: &[Point3],
+        query: Point3,
+        k: usize,
+        order: TraversalOrder,
+    ) -> (Vec<Neighbor>, Vec<u32>) {
+        assert_eq!(points.len(), self.len, "point slice changed since build");
+        let mut heap = KnnHeap::new(k);
+        let mut trace = Vec::new();
+        if self.root != NIL {
+            self.search_trace(points, self.root, query, &mut heap, &mut trace, order);
+        }
+        (heap.into_sorted(), trace)
+    }
+
+    fn search_trace(
+        &self,
+        points: &[Point3],
+        node_idx: i32,
+        query: Point3,
+        heap: &mut KnnHeap,
+        trace: &mut Vec<u32>,
+        order: TraversalOrder,
+    ) {
+        if node_idx == NIL {
+            return;
+        }
+        let node = &self.nodes[node_idx as usize];
+        let p = points[node.point as usize];
+        trace.push(node.point);
+        heap.offer(Neighbor::new(node.point, p.dist_sq(query)));
+        let axis = node.axis as usize;
+        let delta = query.axis(axis) - p.axis(axis);
+        let (first, second, second_is_far_side) = match order {
+            TraversalOrder::NearestFirst => {
+                let (near, far) =
+                    if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+                (near, far, true)
+            }
+            TraversalOrder::Fixed => (node.left, node.right, delta < 0.0),
+        };
+        self.search_trace(points, first, query, heap, trace, order);
+        if !second_is_far_side || delta * delta < heap.worst() {
+            self.search_trace(points, second, query, heap, trace, order);
+        }
+    }
+
+    /// Like [`KdTree::profile_steps`] but with the hardware-style fixed
+    /// traversal order — the profile of Sec. 3 (mean 8.4e3, std 6.8e3 on
+    /// KITTI-scale clouds) uses this mode.
+    pub fn profile_steps_hw(&self, points: &[Point3], queries: &[Point3], k: usize) -> Vec<u64> {
+        queries
+            .iter()
+            .map(|&q| {
+                self.knn_with_order(points, q, k, StepBudget::Unlimited, TraversalOrder::Fixed)
+                    .1
+                    .steps
+            })
+            .collect()
+    }
+}
+
+/// Derives a capped budget as `fraction` of the mean full-traversal step
+/// count (the paper sets the deadline to e.g. 25% of a full traversal).
+///
+/// # Panics
+///
+/// Panics if `fraction` is not positive or `full_steps` is empty.
+pub fn deadline_from_profile(full_steps: &[u64], fraction: f64) -> StepBudget {
+    assert!(fraction > 0.0, "fraction must be positive");
+    assert!(!full_steps.is_empty(), "empty profile");
+    let mean = full_steps.iter().sum::<u64>() as f64 / full_steps.len() as f64;
+    StepBudget::Capped(((mean * fraction).round() as u64).max(1))
+}
+
+/// Derives a capped budget as the `q`-quantile of the profiled step
+/// distribution — one of the "more exhaustive approaches to determine
+/// the deadlines" the paper leaves as future work (Sec. 4.2). A
+/// quantile deadline gives a direct completion-rate guarantee: at
+/// `q = 0.9`, at least 90% of profiled queries finish untruncated.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `(0, 1]` or `full_steps` is empty.
+pub fn deadline_from_quantile(full_steps: &[u64], q: f64) -> StepBudget {
+    assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+    assert!(!full_steps.is_empty(), "empty profile");
+    let mut sorted = full_steps.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    StepBudget::Capped(sorted[idx].max(1))
+}
+
+fn build_recursive(
+    points: &[Point3],
+    indices: &mut [u32],
+    nodes: &mut Vec<Node>,
+    bounds: Aabb,
+) -> i32 {
+    if indices.is_empty() {
+        return NIL;
+    }
+    // Split along the widest axis of the current cell — the layout that
+    // hardware kd-tree builders (QuickNN, Tigris) use.
+    let ext = bounds.extent();
+    let axis = if ext.x >= ext.y && ext.x >= ext.z {
+        0
+    } else if ext.y >= ext.z {
+        1
+    } else {
+        2
+    };
+    let mid = indices.len() / 2;
+    indices.select_nth_unstable_by(mid, |&a, &b| {
+        points[a as usize]
+            .axis(axis)
+            .partial_cmp(&points[b as usize].axis(axis))
+            .expect("NaN coordinate")
+    });
+    let point = indices[mid];
+    let split_at = points[point as usize].axis(axis);
+    let slot = nodes.len();
+    nodes.push(Node { point, axis: axis as u8, left: NIL, right: NIL });
+    let (lo_bb, hi_bb) = bounds.split(
+        axis,
+        split_at.clamp(bounds.min().axis(axis), bounds.max().axis(axis)),
+    );
+    let (lo, rest) = indices.split_at_mut(mid);
+    let hi = &mut rest[1..];
+    let left = build_recursive(points, lo, nodes, lo_bb);
+    let right = build_recursive(points, hi, nodes, hi_bb);
+    nodes[slot].left = left;
+    nodes[slot].right = right;
+    slot as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-10.0..10.0),
+                    rng.random_range(-10.0..10.0),
+                    rng.random_range(-10.0..10.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = random_points(500, 1);
+        let tree = KdTree::build(&pts);
+        for seed in 0..20u64 {
+            let q = random_points(1, 100 + seed)[0];
+            let (hits, stats) = tree.knn(&pts, q, 8, StepBudget::Unlimited);
+            let expected = bruteforce::knn(&pts, q, 8);
+            assert!(stats.completed);
+            assert_eq!(hits.len(), 8);
+            for (h, e) in hits.iter().zip(&expected) {
+                assert!(
+                    (h.dist_sq - e.dist_sq).abs() < 1e-5,
+                    "distance mismatch {} vs {}",
+                    h.dist_sq,
+                    e.dist_sq
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let pts = random_points(400, 2);
+        let tree = KdTree::build(&pts);
+        let q = Point3::new(0.5, -0.5, 0.0);
+        let (hits, stats) = tree.range(&pts, q, 3.0, StepBudget::Unlimited);
+        let expected = bruteforce::range(&pts, q, 3.0);
+        assert!(stats.completed);
+        assert_eq!(hits.len(), expected.len());
+        let mut a: Vec<u32> = hits.iter().map(|n| n.index).collect();
+        let mut b: Vec<u32> = expected.iter().map(|n| n.index).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capped_budget_terminates_and_reports() {
+        let pts = random_points(2000, 3);
+        let tree = KdTree::build(&pts);
+        let q = Point3::new(0.0, 0.0, 0.0);
+        let (_, full) = tree.knn(&pts, q, 32, StepBudget::Unlimited);
+        let cap = full.steps / 4;
+        let (hits, capped) = tree.knn(&pts, q, 32, StepBudget::Capped(cap));
+        assert!(!capped.completed);
+        assert_eq!(capped.steps, cap);
+        // Best-so-far results are still returned.
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn capped_results_approximate_exact() {
+        // DT returns near-exact neighbors for most queries (the paper's
+        // enabling observation): mean distance inflation stays small.
+        let pts = random_points(3000, 4);
+        let tree = KdTree::build(&pts);
+        let queries = random_points(50, 5);
+        let profile = tree.profile_steps(&pts, &queries, 8);
+        let budget = deadline_from_profile(&profile, 0.25);
+        let mut exact_sum = 0.0f64;
+        let mut capped_sum = 0.0f64;
+        for &q in &queries {
+            let exact = tree.knn(&pts, q, 8, StepBudget::Unlimited).0;
+            let capped = tree.knn(&pts, q, 8, budget).0;
+            exact_sum += exact.iter().map(|n| n.dist_sq as f64).sum::<f64>();
+            capped_sum += capped.iter().take(exact.len()).map(|n| n.dist_sq as f64).sum::<f64>();
+        }
+        assert!(
+            capped_sum <= exact_sum * 2.0,
+            "DT results degraded too far: {capped_sum} vs {exact_sum}"
+        );
+    }
+
+    #[test]
+    fn step_counts_vary_by_query() {
+        // The non-determinism the paper targets: step counts depend on the
+        // query (Sec. 3 reports std ≈ 0.8× mean).
+        let pts = random_points(4000, 6);
+        let tree = KdTree::build(&pts);
+        let queries = random_points(100, 7);
+        let steps = tree.profile_steps(&pts, &queries, 16);
+        let min = *steps.iter().min().unwrap();
+        let max = *steps.iter().max().unwrap();
+        assert!(max > min, "expected variance in step counts");
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let pts: Vec<Point3> = vec![];
+        let tree = KdTree::build(&pts);
+        assert!(tree.is_empty());
+        let (hits, stats) = tree.knn(&pts, Point3::ZERO, 3, StepBudget::Unlimited);
+        assert!(hits.is_empty());
+        assert_eq!(stats.steps, 0);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let pts = vec![Point3::splat(1.0)];
+        let tree = KdTree::build(&pts);
+        let (hits, _) = tree.knn(&pts, Point3::ZERO, 5, StepBudget::Unlimited);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 0);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![Point3::splat(2.0); 64];
+        let tree = KdTree::build(&pts);
+        let (hits, _) = tree.knn(&pts, Point3::splat(2.0), 10, StepBudget::Unlimited);
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|n| n.dist_sq == 0.0));
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic() {
+        let pts = random_points(1024, 8);
+        let tree = KdTree::build(&pts);
+        // Median splits give depth ~log2(n); allow slack for ties.
+        assert!(tree.depth() <= 16, "depth {} too deep", tree.depth());
+    }
+
+    #[test]
+    fn deadline_from_profile_scales() {
+        let profile = vec![100, 200, 300];
+        match deadline_from_profile(&profile, 0.25) {
+            StepBudget::Capped(n) => assert_eq!(n, 50),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_from_quantile_guarantees_completion_rate() {
+        let profile: Vec<u64> = (1..=100).collect();
+        match deadline_from_quantile(&profile, 0.9) {
+            StepBudget::Capped(n) => assert_eq!(n, 90),
+            other => panic!("unexpected {other:?}"),
+        }
+        match deadline_from_quantile(&profile, 1.0) {
+            StepBudget::Capped(n) => assert_eq!(n, 100),
+            other => panic!("unexpected {other:?}"),
+        }
+        // At the q-quantile deadline, ≥ q of profiled queries complete.
+        let pts = random_points(2000, 12);
+        let tree = KdTree::build(&pts);
+        let queries = random_points(60, 13);
+        let steps = tree.profile_steps(&pts, &queries, 8);
+        let budget = deadline_from_quantile(&steps, 0.9);
+        let completed = queries
+            .iter()
+            .filter(|&&q| tree.knn(&pts, q, 8, budget).1.completed)
+            .count();
+        assert!(
+            completed as f64 >= 0.9 * queries.len() as f64 - 1.0,
+            "{completed}/{} completed",
+            queries.len()
+        );
+    }
+
+    #[test]
+    fn fixed_order_same_results_more_steps() {
+        let pts = random_points(5000, 10);
+        let tree = KdTree::build(&pts);
+        let queries = random_points(30, 11);
+        let mut ordered_steps = 0u64;
+        let mut fixed_steps = 0u64;
+        for &q in &queries {
+            let (a, sa) = tree.knn(&pts, q, 32, StepBudget::Unlimited);
+            let (b, sb) = tree.knn_with_order(
+                &pts,
+                q,
+                32,
+                StepBudget::Unlimited,
+                TraversalOrder::Fixed,
+            );
+            // Exactness is order-independent.
+            let da: Vec<f32> = a.iter().map(|n| n.dist_sq).collect();
+            let db: Vec<f32> = b.iter().map(|n| n.dist_sq).collect();
+            assert_eq!(da, db);
+            ordered_steps += sa.steps;
+            fixed_steps += sb.steps;
+        }
+        assert!(
+            fixed_steps > 2 * ordered_steps,
+            "fixed {fixed_steps} vs ordered {ordered_steps}"
+        );
+    }
+
+    #[test]
+    fn range_with_zero_radius_finds_exact_point() {
+        let pts = random_points(100, 9);
+        let tree = KdTree::build(&pts);
+        let (hits, _) = tree.range(&pts, pts[42], 0.0, StepBudget::Unlimited);
+        assert!(hits.iter().any(|n| n.index == 42));
+    }
+}

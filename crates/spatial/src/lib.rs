@@ -1,0 +1,47 @@
+//! Spatial indexing substrate for the StreamGrid reproduction.
+//!
+//! Point-cloud pipelines lean on three global-dependent operations
+//! (Sec. 2.1 of the paper): sorting, range search, and kNN search. This
+//! crate implements them with the instrumentation the paper's techniques
+//! need:
+//!
+//! * [`kdtree::KdTree`] — kNN/range with per-query traversal-step
+//!   accounting and [`kdtree::StepBudget`] *deterministic termination*;
+//! * [`octree::Octree`] — streaming (chunk-at-a-time) octree;
+//! * [`chunked::ChunkedIndex`] — per-chunk trees with window-restricted
+//!   search, i.e. *compulsory splitting* for neighbor queries;
+//! * [`sort`] — bitonic network models and hierarchical chunked sorting;
+//! * [`bruteforce`] — exact oracles for testing;
+//! * [`stats`] — summaries for the profiling experiments.
+//!
+//! # Examples
+//!
+//! Deterministic termination at 25% of the profiled traversal length:
+//!
+//! ```
+//! use streamgrid_pointcloud::Point3;
+//! use streamgrid_spatial::kdtree::{deadline_from_profile, KdTree, StepBudget};
+//!
+//! let pts: Vec<Point3> = (0..500)
+//!     .map(|i| Point3::new((i % 25) as f32, (i / 25) as f32, (i % 7) as f32))
+//!     .collect();
+//! let tree = KdTree::build(&pts);
+//! let profile = tree.profile_steps(&pts, &pts[..32], 8);
+//! let deadline = deadline_from_profile(&profile, 0.25);
+//! let (hits, stats) = tree.knn(&pts, Point3::new(12.0, 10.0, 3.0), 8, deadline);
+//! assert!(!hits.is_empty());
+//! let _ = stats.completed; // may be false: that is the point
+//! ```
+
+pub mod bruteforce;
+pub mod chunked;
+pub mod kdtree;
+pub mod neighbor;
+pub mod octree;
+pub mod sort;
+pub mod stats;
+
+pub use chunked::{ChunkSearchStats, ChunkedIndex};
+pub use kdtree::{deadline_from_profile, KdTree, StepBudget, TraversalOrder, TraversalStats};
+pub use neighbor::{KnnHeap, Neighbor};
+pub use octree::Octree;

@@ -1,0 +1,169 @@
+//! Neighbor candidates and the bounded candidate heap shared by all
+//! search structures.
+
+use serde::{Deserialize, Serialize};
+
+/// One search result: a point index plus its squared distance to the
+/// query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Index of the neighbor in the searched point set.
+    pub index: u32,
+    /// Squared Euclidean distance to the query.
+    pub dist_sq: f32,
+}
+
+impl Neighbor {
+    /// Creates a neighbor record.
+    pub fn new(index: u32, dist_sq: f32) -> Self {
+        Neighbor { index, dist_sq }
+    }
+}
+
+/// A bounded max-heap of the `k` best (smallest-distance) candidates seen
+/// so far.
+///
+/// `worst()` gives the current pruning bound: a subtree whose minimum
+/// possible distance exceeds it cannot improve the result.
+#[derive(Debug, Clone)]
+pub struct KnnHeap {
+    k: usize,
+    // Max-heap by dist_sq, stored as a binary heap in a Vec.
+    heap: Vec<Neighbor>,
+}
+
+impl KnnHeap {
+    /// Creates an empty heap that retains the best `k` candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnHeap { k, heap: Vec::with_capacity(k) }
+    }
+
+    /// Number of candidates currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no candidate has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` once `k` candidates are held.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// The current pruning bound: the distance of the worst retained
+    /// candidate, or `f32::INFINITY` while the heap is not yet full.
+    pub fn worst(&self) -> f32 {
+        if self.is_full() {
+            self.heap[0].dist_sq
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Offers a candidate; it is retained if it beats the current worst.
+    pub fn offer(&mut self, candidate: Neighbor) {
+        if self.heap.len() < self.k {
+            self.heap.push(candidate);
+            self.sift_up(self.heap.len() - 1);
+        } else if candidate.dist_sq < self.heap[0].dist_sq {
+            self.heap[0] = candidate;
+            self.sift_down(0);
+        }
+    }
+
+    /// Extracts the retained candidates sorted by ascending distance.
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.heap
+            .sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).expect("NaN distance"));
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].dist_sq > self.heap[parent].dist_sq {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len() && self.heap[l].dist_sq > self.heap[largest].dist_sq {
+                largest = l;
+            }
+            if r < self.heap.len() && self.heap[r].dist_sq > self.heap[largest].dist_sq {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_best() {
+        let mut heap = KnnHeap::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0, 0.5].iter().enumerate() {
+            heap.offer(Neighbor::new(i as u32, *d));
+        }
+        let sorted = heap.into_sorted();
+        let dists: Vec<f32> = sorted.iter().map(|n| n.dist_sq).collect();
+        assert_eq!(dists, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn worst_is_infinite_until_full() {
+        let mut heap = KnnHeap::new(2);
+        assert_eq!(heap.worst(), f32::INFINITY);
+        heap.offer(Neighbor::new(0, 1.0));
+        assert_eq!(heap.worst(), f32::INFINITY);
+        heap.offer(Neighbor::new(1, 2.0));
+        assert_eq!(heap.worst(), 2.0);
+    }
+
+    #[test]
+    fn rejects_worse_candidates_when_full() {
+        let mut heap = KnnHeap::new(1);
+        heap.offer(Neighbor::new(0, 1.0));
+        heap.offer(Neighbor::new(1, 9.0));
+        let out = heap.into_sorted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index, 0);
+    }
+
+    #[test]
+    fn handles_duplicate_distances() {
+        let mut heap = KnnHeap::new(4);
+        for i in 0..8u32 {
+            heap.offer(Neighbor::new(i, 1.0));
+        }
+        assert_eq!(heap.into_sorted().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = KnnHeap::new(0);
+    }
+}

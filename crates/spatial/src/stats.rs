@@ -1,0 +1,119 @@
+//! Small statistics helpers for the profiling experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// 75th percentile.
+    pub p75: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN value"));
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: quantile_sorted(&sorted, 0.5),
+            p25: quantile_sorted(&sorted, 0.25),
+            p75: quantile_sorted(&sorted, 0.75),
+        }
+    }
+
+    /// Convenience constructor from integer samples (step counts).
+    pub fn from_counts(values: &[u64]) -> Self {
+        let v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+        Summary::from_values(&v)
+    }
+}
+
+/// Linear-interpolated quantile of an already-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::from_values(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn summary_of_linear_sample() {
+        let v: Vec<f64> = (1..=5).map(|i| i as f64).collect();
+        let s = Summary::from_values(&v);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&v, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    fn from_counts_matches_values() {
+        let s = Summary::from_counts(&[1, 2, 3]);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_values(&[]);
+    }
+}

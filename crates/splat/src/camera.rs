@@ -1,0 +1,113 @@
+//! Pinhole camera for splat projection.
+
+use serde::{Deserialize, Serialize};
+use streamgrid_pointcloud::Point3;
+
+/// A pinhole camera with a look-at pose.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    /// Camera position in world space.
+    pub position: Point3,
+    /// Forward unit vector.
+    forward: Point3,
+    /// Right unit vector.
+    right: Point3,
+    /// Up unit vector.
+    up: Point3,
+    /// Focal length in pixels.
+    pub focal: f32,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl Camera {
+    /// Creates a camera at `position` looking at `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position == target` or the view direction is vertical.
+    pub fn look_at(
+        position: Point3,
+        target: Point3,
+        fov_deg: f32,
+        width: u32,
+        height: u32,
+    ) -> Self {
+        let forward = (target - position)
+            .normalized()
+            .expect("camera position equals target");
+        let world_up = Point3::new(0.0, 0.0, 1.0);
+        let right = forward
+            .cross(world_up)
+            .normalized()
+            .expect("view direction must not be vertical");
+        let up = right.cross(forward);
+        let focal = width as f32 / (2.0 * (fov_deg.to_radians() / 2.0).tan());
+        Camera { position, forward, right, up, focal, width, height }
+    }
+
+    /// The view (forward) direction.
+    pub fn view_dir(&self) -> Point3 {
+        self.forward
+    }
+
+    /// Projects a world point; returns `(px, py, depth)` when in front
+    /// of the camera.
+    pub fn project(&self, p: Point3) -> Option<(f32, f32, f32)> {
+        let rel = p - self.position;
+        let depth = rel.dot(self.forward);
+        if depth <= 0.05 {
+            return None;
+        }
+        let x = rel.dot(self.right) / depth * self.focal + self.width as f32 / 2.0;
+        let y = -rel.dot(self.up) / depth * self.focal + self.height as f32 / 2.0;
+        Some((x, y, depth))
+    }
+
+    /// Projected pixel radius of a sphere of world radius `r` at
+    /// `depth`.
+    pub fn project_radius(&self, r: f32, depth: f32) -> f32 {
+        r / depth * self.focal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camera() -> Camera {
+        Camera::look_at(Point3::new(0.0, -10.0, 0.0), Point3::ZERO, 60.0, 200, 100)
+    }
+
+    #[test]
+    fn center_projects_to_image_center() {
+        let c = camera();
+        let (x, y, depth) = c.project(Point3::ZERO).unwrap();
+        assert!((x - 100.0).abs() < 1e-3);
+        assert!((y - 50.0).abs() < 1e-3);
+        assert!((depth - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn behind_camera_is_culled() {
+        let c = camera();
+        assert!(c.project(Point3::new(0.0, -20.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn right_moves_x() {
+        let c = camera();
+        let (x, _, _) = c.project(Point3::new(1.0, 0.0, 0.0)).unwrap();
+        assert!(x > 100.0);
+        let (_, y, _) = c.project(Point3::new(0.0, 0.0, 1.0)).unwrap();
+        assert!(y < 50.0, "up in world should be up in image (smaller y)");
+    }
+
+    #[test]
+    fn radius_shrinks_with_depth() {
+        let c = camera();
+        assert!(c.project_radius(1.0, 5.0) > c.project_radius(1.0, 20.0));
+    }
+}

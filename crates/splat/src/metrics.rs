@@ -1,0 +1,63 @@
+//! Image-quality metrics.
+
+use crate::render::Image;
+
+/// Peak signal-to-noise ratio between two images with channels in
+/// `[0, 1]`, in decibels. Identical images return `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    assert_eq!((a.width, a.height), (b.width, b.height), "image size mismatch");
+    let mse: f64 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.data().len() as f64;
+    if mse <= 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (1.0 / mse).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_are_infinite() {
+        let img = Image::black(8, 8);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a = Image::black(4, 4);
+        let mut small = vec![0.0f32; 4 * 4 * 3];
+        small[0] = 0.1;
+        let b = Image::from_data(4, 4, small);
+        let mut large = vec![0.0f32; 4 * 4 * 3];
+        large[0] = 0.5;
+        let c = Image::from_data(4, 4, large);
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+    }
+
+    #[test]
+    fn psnr_is_symmetric() {
+        let a = Image::black(2, 2);
+        let b = Image::from_data(2, 2, vec![0.25; 12]);
+        assert!((psnr(&a, &b) - psnr(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "image size mismatch")]
+    fn size_mismatch_panics() {
+        let _ = psnr(&Image::black(2, 2), &Image::black(3, 3));
+    }
+}

@@ -1,0 +1,39 @@
+//! 3D Gaussian splatting with global vs hierarchical (chunked) depth
+//! sorting — the paper's neural-rendering evaluation (Fig. 15).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example splat_render
+//! ```
+
+use streamgrid_pointcloud::datasets::gaussians::{generate, SceneKind};
+use streamgrid_pointcloud::{GridDims, Point3};
+use streamgrid_splat::{psnr, render, Camera, SortMode};
+
+fn main() {
+    for (label, kind) in [
+        ("Tanks&Temple-like", SceneKind::TanksAndTemples),
+        ("DeepBlending-like", SceneKind::DeepBlending),
+    ] {
+        let scene = generate(kind, 8000, 5);
+        let camera = Camera::look_at(
+            scene.bounds.center() + Point3::new(0.0, -scene.bounds.extent().y * 1.2, 4.0),
+            scene.bounds.center(),
+            55.0,
+            160,
+            120,
+        );
+        let (reference, ref_stats) = render(&scene, &camera, SortMode::Global);
+        // The paper splits 3DGS scenes into 80×60×75 chunks; we scale the
+        // grid to the scene size.
+        let dims = GridDims::new(16, 12, 15);
+        let (chunked, stats) = render(&scene, &camera, SortMode::Chunked { dims });
+        println!(
+            "{label:<20} splats {:>6}  chunked-sort inversions {:>8}  PSNR vs global sort: {:.1} dB",
+            ref_stats.splats_drawn,
+            stats.order_inversions,
+            psnr(&reference, &chunked)
+        );
+    }
+    println!("\nHigh PSNR means chunked sorting is visually indistinguishable (paper: -0.1 dB).");
+}

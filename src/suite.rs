@@ -1,0 +1,13 @@
+//! Umbrella crate: re-exports every StreamGrid crate for examples and
+//! integration tests at the workspace root.
+
+pub use streamgrid_core as core;
+pub use streamgrid_dataflow as dataflow;
+pub use streamgrid_ilp as ilp;
+pub use streamgrid_nn as nn;
+pub use streamgrid_optimizer as optimizer;
+pub use streamgrid_pointcloud as pointcloud;
+pub use streamgrid_registration as registration;
+pub use streamgrid_sim as sim;
+pub use streamgrid_spatial as spatial;
+pub use streamgrid_splat as splat;

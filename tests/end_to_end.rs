@@ -1,0 +1,168 @@
+//! End-to-end integration tests: the Fig. 1 flow across all crates.
+//!
+//! The central invariant: an ILP schedule from the optimizer, executed
+//! by the cycle-level simulator under deterministic termination, runs
+//! with zero stalls and zero overflows, at the throughput the
+//! multi-chunk plan predicts.
+
+use streamgrid_core::apps::AppDomain;
+use streamgrid_core::framework::StreamGrid;
+use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+use streamgrid_dataflow::{DataflowGraph, Shape};
+use streamgrid_optimizer::{
+    build, edge_infos, optimize, plan_multi_chunk, FormulationKind, OptimizeConfig,
+};
+use streamgrid_sim::{
+    evaluate, run, EngineConfig, EnergyModel, Variant, VariantConfig,
+};
+
+#[test]
+fn csdt_runs_clean_across_all_domains_and_chunkings() {
+    let energy = EnergyModel::default();
+    for domain in AppDomain::ALL {
+        for n in [2u32, 4, 8] {
+            let config = StreamGridConfig::cs_dt(SplitConfig::linear(n, 2));
+            let compiled = StreamGrid::new(config)
+                .compile(domain, n as u64 * 600)
+                .unwrap_or_else(|e| panic!("{domain:?} n={n}: {e}"));
+            let report = compiled.simulate(&energy, 3);
+            assert_eq!(report.overflow_edge, None, "{domain:?} n={n} overflowed");
+            assert_eq!(report.stall_cycles, 0, "{domain:?} n={n} stalled");
+            for (i, (&peak, &cap)) in report
+                .buffer_peaks
+                .iter()
+                .zip(&report.buffer_capacities)
+                .enumerate()
+            {
+                assert!(peak <= cap, "{domain:?} n={n} edge {i}: {peak} > {cap}");
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_throughput_matches_plan_across_domains() {
+    let energy = EnergyModel::default();
+    for domain in AppDomain::ALL {
+        let config = StreamGridConfig::cs_dt(SplitConfig::linear(4, 2));
+        let compiled = StreamGrid::new(config).compile(domain, 4 * 600).unwrap();
+        let report = compiled.simulate(&energy, 1);
+        let planned = compiled
+            .plan
+            .total_cycles(compiled.schedule.makespan, compiled.n_chunks);
+        let drift = (report.cycles as f64 - planned as f64).abs() / planned as f64;
+        assert!(
+            drift < 0.05,
+            "{domain:?}: simulated {} vs planned {planned} ({:.1}% drift)",
+            report.cycles,
+            drift * 100.0
+        );
+    }
+}
+
+#[test]
+fn buffer_reduction_holds_for_every_domain() {
+    // Fig. 17a's shape: CS+DT shrinks total line-buffer size
+    // substantially on every app.
+    for domain in AppDomain::ALL {
+        let elements = 16 * 600;
+        let base = StreamGrid::new(StreamGridConfig::base())
+            .compile(domain, elements)
+            .unwrap()
+            .summary();
+        let csdt = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(16, 2)))
+            .compile(domain, elements)
+            .unwrap()
+            .summary();
+        let reduction = 1.0 - csdt.onchip_bytes as f64 / base.onchip_bytes as f64;
+        assert!(
+            reduction > 0.5,
+            "{domain:?}: only {:.0}% buffer reduction",
+            reduction * 100.0
+        );
+    }
+}
+
+#[test]
+fn pruned_and_full_formulations_agree_on_apps() {
+    // The constraint-pruning ablation: identical optima, far fewer
+    // constraints.
+    // Classification only: the registration graph's full formulation
+    // drives debug-mode branch & bound into a huge tree (its LP optima
+    // sit fractionally between integer start times); the release-mode
+    // ablation harness covers it at stride 1024 in milliseconds.
+    for domain in [AppDomain::Classification] {
+        let (graph, _) = streamgrid_core::apps::dataflow_graph(domain);
+        let elements = 900u64;
+        let edges = edge_infos(&graph, elements);
+        let (_, asap) = streamgrid_optimizer::asap_schedule(&graph, &edges);
+        let limit = asap + graph.node_count() as f64 + 1.0;
+        let pruned = build(&graph, elements, FormulationKind::Pruned, limit);
+        // Stride 4 keeps the solve debug-fast; the count comparison and
+        // optimum equality are unaffected (stride-1 equality is covered
+        // by the release-mode ablation harness).
+        let full = build(&graph, elements, FormulationKind::Full { stride: 4 }, limit);
+        let ps = pruned.model.solve().unwrap();
+        let fs = full.model.solve().unwrap();
+        assert!(
+            (ps.objective - fs.objective).abs() <= 1.0 + ps.objective * 0.01,
+            "{domain:?}: pruned {} vs full {}",
+            ps.objective,
+            fs.objective
+        );
+        assert!(
+            full.constraint_count > 5 * pruned.constraint_count,
+            "{domain:?}: {} vs {}",
+            full.constraint_count,
+            pruned.constraint_count
+        );
+    }
+}
+
+#[test]
+fn variant_ordering_matches_paper() {
+    // On-chip buffers: CS+DT ≤ CS < Base; stalls: CS+DT = 0 < others.
+    let (mut graph, _) = streamgrid_core::apps::dataflow_graph(AppDomain::Classification);
+    StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)).apply(&mut graph);
+    let cfg = VariantConfig::new(4 * 900);
+    let energy = EnergyModel::default();
+    let base = evaluate(&graph, Variant::Base, &cfg, &energy).unwrap();
+    let cs = evaluate(&graph, Variant::Cs, &cfg, &energy).unwrap();
+    let csdt = evaluate(&graph, Variant::CsDt, &cfg, &energy).unwrap();
+    assert!(csdt.onchip_bytes <= cs.onchip_bytes);
+    assert!(cs.onchip_bytes < base.onchip_bytes);
+    assert_eq!(csdt.stall_cycles, 0);
+    assert!(base.starved_cycles > 0, "non-determinism must cost Base bubbles");
+    assert!(csdt.energy.total_pj() < base.energy.total_pj());
+}
+
+#[test]
+fn custom_pipeline_through_public_interface() {
+    // A user-defined pipeline via the Sec. 6 interface end to end.
+    let mut g = DataflowGraph::new();
+    let src = g.source("in", Shape::new(1, 3), 1);
+    let knn = g.global_op("knn", Shape::new(1, 3), 1, Shape::new(4, 3), 8, (1, 1), 8);
+    let sten = g.stencil("post", Shape::new(1, 3), Shape::new(1, 1), 2, (2, 1));
+    let sink = g.sink("out", Shape::new(1, 1), 1);
+    g.set_window_chunks(knn, 2);
+    g.connect(src, knn);
+    g.connect(knn, sten);
+    g.connect(sten, sink);
+
+    let elements = 768u64;
+    let edges = edge_infos(&g, elements);
+    let schedule = optimize(&g, &OptimizeConfig::new(elements)).unwrap();
+    let plan = plan_multi_chunk(&g, &edges);
+    let report = run(
+        &g,
+        &edges,
+        &schedule,
+        &plan,
+        &EnergyModel::default(),
+        &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+    );
+    assert_eq!(report.overflow_edge, None);
+    assert_eq!(report.stall_cycles, 0);
+    // The kNN window holds 2 chunks of source data.
+    assert!(schedule.buffer_sizes[0] >= 2 * elements);
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the ILP solver: every reported optimum must be
+//! feasible, and small integer programs must match exhaustive
+//! enumeration.
+
+use proptest::prelude::*;
+use streamgrid_ilp::{CmpOp, LinExpr, Model, Sense, SolveStatus};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random 2-variable LPs: any optimal solution must satisfy every
+    /// constraint and bound.
+    #[test]
+    fn lp_optimum_is_feasible(
+        c1 in -5.0f64..5.0,
+        c2 in -5.0f64..5.0,
+        rows in prop::collection::vec(
+            (-3.0f64..3.0, -3.0f64..3.0, -10.0f64..10.0, 0u8..2),
+            1..6,
+        ),
+    ) {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 20.0, false);
+        let y = m.add_var("y", 0.0, 20.0, false);
+        for (i, (a, b, rhs, op)) in rows.iter().enumerate() {
+            let expr = LinExpr::from(x) * *a + LinExpr::from(y) * *b;
+            let op = if *op == 0 { CmpOp::Le } else { CmpOp::Ge };
+            m.add_constraint(&format!("c{i}"), expr, op, *rhs);
+        }
+        m.set_objective(LinExpr::from(x) * c1 + LinExpr::from(y) * c2, Sense::Minimize);
+        let sol = m.solve().unwrap();
+        if sol.status == SolveStatus::Optimal {
+            prop_assert!(m.check_feasible(&sol.values, 1e-5).is_ok(),
+                "infeasible optimum {:?}", sol.values);
+        }
+    }
+
+    /// Random 0/1 knapsacks up to 10 items: branch & bound must match
+    /// exhaustive enumeration.
+    #[test]
+    fn knapsack_matches_enumeration(
+        items in prop::collection::vec((1u32..20, 1u32..20), 1..10),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let total_w: u32 = items.iter().map(|(w, _)| w).sum();
+        let cap = (total_w as f64 * cap_frac).floor();
+        let mut m = Model::new();
+        let mut obj = LinExpr::new();
+        let mut weight = LinExpr::new();
+        let vars: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, (w, p))| {
+                let v = m.add_var(&format!("x{i}"), 0.0, 1.0, true);
+                obj.add_term(v, *p as f64);
+                weight.add_term(v, *w as f64);
+                v
+            })
+            .collect();
+        m.add_constraint("cap", weight, CmpOp::Le, cap);
+        m.set_objective(obj, Sense::Maximize);
+        let sol = m.solve().unwrap();
+        prop_assert_eq!(sol.status, SolveStatus::Optimal);
+        prop_assert!(m.check_feasible(&sol.values, 1e-6).is_ok());
+        // Exhaustive check.
+        let n = items.len();
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut w, mut p) = (0.0f64, 0.0f64);
+            for (i, (wi, pi)) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    w += *wi as f64;
+                    p += *pi as f64;
+                }
+            }
+            if w <= cap {
+                best = best.max(p);
+            }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-6,
+            "solver {} vs enumeration {best}", sol.objective);
+        let _ = vars;
+    }
+
+    /// Integer difference systems (the line-buffer ILP's structure):
+    /// x_j - x_i >= d. The solved times must satisfy every difference.
+    #[test]
+    fn difference_constraints_satisfied(
+        deltas in prop::collection::vec(0.0f64..50.0, 2..8),
+    ) {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..deltas.len() + 1)
+            .map(|i| m.add_var(&format!("t{i}"), 0.0, f64::INFINITY, true))
+            .collect();
+        let mut obj = LinExpr::new();
+        for (i, d) in deltas.iter().enumerate() {
+            m.add_constraint(
+                &format!("d{i}"),
+                LinExpr::from(vars[i + 1]) - LinExpr::from(vars[i]),
+                CmpOp::Ge,
+                *d,
+            );
+            obj.add_term(vars[i + 1], 1.0);
+        }
+        m.set_objective(obj, Sense::Minimize);
+        let sol = m.solve().unwrap();
+        prop_assert_eq!(sol.status, SolveStatus::Optimal);
+        // Chain lower bounds must hold with integer rounding.
+        let mut acc = 0.0f64;
+        for (i, d) in deltas.iter().enumerate() {
+            acc += d;
+            prop_assert!(sol.values[i + 1] >= acc.floor() - 1e-6);
+        }
+        prop_assert!(m.check_feasible(&sol.values, 1e-6).is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests on the spatial substrate: every search structure
+//! must agree with the brute-force oracle, and the codecs/orders must
+//! roundtrip.
+
+use proptest::prelude::*;
+use streamgrid_pointcloud::{morton, Aabb, ChunkGrid, GridDims, Point3};
+use streamgrid_spatial::kdtree::{KdTree, StepBudget, TraversalOrder};
+use streamgrid_spatial::octree::Octree;
+use streamgrid_spatial::sort::{bitonic_sort_by_key, inversion_fraction};
+use streamgrid_spatial::{bruteforce, ChunkedIndex};
+
+fn arb_point() -> impl Strategy<Value = Point3> {
+    (-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0)
+        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {
+    prop::collection::vec(arb_point(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kdtree_knn_matches_bruteforce(pts in arb_cloud(300), q in arb_point(), k in 1usize..16) {
+        let tree = KdTree::build(&pts);
+        let (hits, stats) = tree.knn(&pts, q, k, StepBudget::Unlimited);
+        let expected = bruteforce::knn(&pts, q, k);
+        prop_assert!(stats.completed);
+        prop_assert_eq!(hits.len(), expected.len());
+        for (h, e) in hits.iter().zip(&expected) {
+            prop_assert!((h.dist_sq - e.dist_sq).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn kdtree_fixed_order_is_still_exact(pts in arb_cloud(200), q in arb_point()) {
+        let tree = KdTree::build(&pts);
+        let (a, _) = tree.knn(&pts, q, 4, StepBudget::Unlimited);
+        let (b, _) = tree.knn_with_order(&pts, q, 4, StepBudget::Unlimited, TraversalOrder::Fixed);
+        let da: Vec<f32> = a.iter().map(|n| n.dist_sq).collect();
+        let db: Vec<f32> = b.iter().map(|n| n.dist_sq).collect();
+        prop_assert_eq!(da, db);
+    }
+
+    #[test]
+    fn kdtree_range_matches_bruteforce(pts in arb_cloud(300), q in arb_point(), r in 0.0f32..40.0) {
+        let tree = KdTree::build(&pts);
+        let (hits, _) = tree.range(&pts, q, r, StepBudget::Unlimited);
+        let expected = bruteforce::range(&pts, q, r);
+        let mut a: Vec<u32> = hits.iter().map(|n| n.index).collect();
+        let mut b: Vec<u32> = expected.iter().map(|n| n.index).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capped_search_never_beats_exact(pts in arb_cloud(300), q in arb_point(), cap in 1u64..50) {
+        let tree = KdTree::build(&pts);
+        let exact = tree.knn(&pts, q, 4, StepBudget::Unlimited).0;
+        let capped = tree.knn(&pts, q, 4, StepBudget::Capped(cap)).0;
+        // Deterministic termination returns a superset-distance result:
+        // its best candidate can never be closer than the true nearest.
+        if let (Some(e), Some(c)) = (exact.first(), capped.first()) {
+            prop_assert!(c.dist_sq >= e.dist_sq - 1e-6);
+        }
+        // And the step count respects the deadline.
+        let (_, stats) = tree.knn(&pts, q, 4, StepBudget::Capped(cap));
+        prop_assert!(stats.steps <= cap);
+    }
+
+    #[test]
+    fn octree_knn_matches_bruteforce(pts in arb_cloud(250), q in arb_point(), k in 1usize..8) {
+        let bounds = Aabb::from_points(pts.iter().copied()).unwrap().inflated(1.0);
+        let mut tree = Octree::new(bounds, 8);
+        tree.insert_slice(&pts, 0);
+        let hits = tree.knn(&pts, q, k, StepBudget::Unlimited).0;
+        let expected = bruteforce::knn(&pts, q, k);
+        prop_assert_eq!(hits.len(), expected.len());
+        for (h, e) in hits.iter().zip(&expected) {
+            prop_assert!((h.dist_sq - e.dist_sq).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn chunked_adaptive_matches_bruteforce(pts in arb_cloud(300), q in arb_point(), k in 1usize..8) {
+        let bounds = Aabb::from_points(pts.iter().copied()).unwrap().inflated(0.1);
+        let grid = ChunkGrid::new(bounds, GridDims::new(3, 3, 2));
+        let idx = ChunkedIndex::build(&pts, grid);
+        let (hits, _) = idx.knn_adaptive(q, k, StepBudget::Unlimited);
+        let expected = bruteforce::knn(&pts, q, k);
+        prop_assert_eq!(hits.len(), expected.len());
+        for (h, e) in hits.iter().zip(&expected) {
+            prop_assert!((h.dist_sq - e.dist_sq).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn morton_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
+        prop_assert_eq!(morton::decode(morton::encode(x, y, z)), (x, y, z));
+    }
+
+    #[test]
+    fn morton_preserves_axis_order(x1 in 0u32..1000, x2 in 0u32..1000) {
+        // Along a single axis, Morton order equals coordinate order.
+        let a = morton::encode(x1, 0, 0);
+        let b = morton::encode(x2, 0, 0);
+        prop_assert_eq!(a < b, x1 < x2);
+    }
+
+    #[test]
+    fn bitonic_sorts_anything(mut v in prop::collection::vec(-1e6f32..1e6, 0..300)) {
+        bitonic_sort_by_key(&mut v, |x| *x);
+        prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn inversion_fraction_of_sorted_is_zero(mut v in prop::collection::vec(-100.0f32..100.0, 2..100)) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(inversion_fraction(&v), 0.0);
+    }
+
+    #[test]
+    fn partition_is_a_partition(pts in arb_cloud(200), nx in 1u32..5, ny in 1u32..5) {
+        let bounds = Aabb::from_points(pts.iter().copied()).unwrap().inflated(0.1);
+        let grid = ChunkGrid::new(bounds, GridDims::new(nx, ny, 1));
+        let part = grid.partition(&pts);
+        let mut seen = vec![false; pts.len()];
+        for (_, idxs) in part.iter() {
+            for &i in idxs {
+                prop_assert!(!seen[i as usize], "point assigned twice");
+                seen[i as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}
