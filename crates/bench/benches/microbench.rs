@@ -6,20 +6,25 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use streamgrid_core::apps::{dataflow_graph, AppDomain};
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
-use streamgrid_optimizer::{
-    edge_infos, optimize, plan_multi_chunk, OptimizeConfig,
-};
+use streamgrid_optimizer::{edge_infos, optimize, plan_multi_chunk, OptimizeConfig};
 use streamgrid_pointcloud::datasets::lidar::{scan, LidarConfig, Scene};
 use streamgrid_pointcloud::{Aabb, ChunkGrid, GridDims, Point3, WindowSpec};
-use streamgrid_sim::{run, EngineConfig, EnergyModel};
+use streamgrid_sim::{run, EnergyModel, EngineConfig};
 use streamgrid_spatial::kdtree::{KdTree, StepBudget, TraversalOrder};
 use streamgrid_spatial::sort::{bitonic_sort_by_key, hierarchical_depth_sort};
 use streamgrid_spatial::ChunkedIndex;
 
 fn lidar_cloud() -> Vec<Point3> {
     let scene = Scene::urban(3, 45.0, 20, 10);
-    let cfg = LidarConfig { beams: 16, azimuth_steps: 720, ..LidarConfig::default() };
-    scan(&scene, &cfg, Point3::ZERO, 0.0, 3).cloud.points().to_vec()
+    let cfg = LidarConfig {
+        beams: 16,
+        azimuth_steps: 720,
+        ..LidarConfig::default()
+    };
+    scan(&scene, &cfg, Point3::ZERO, 0.0, 3)
+        .cloud
+        .points()
+        .to_vec()
 }
 
 fn bench_knn(c: &mut Criterion) {
@@ -91,7 +96,11 @@ fn bench_sort(c: &mut Criterion) {
     });
     g.bench_function("hierarchical_chunked", |b| {
         b.iter(|| {
-            black_box(hierarchical_depth_sort(&pts, Point3::new(1.0, 0.0, 0.0), 64));
+            black_box(hierarchical_depth_sort(
+                &pts,
+                Point3::new(1.0, 0.0, 0.0),
+                64,
+            ));
         })
     });
     g.finish();
@@ -125,11 +134,20 @@ fn bench_engine(c: &mut Criterion) {
                 &schedule,
                 &plan,
                 &energy,
-                &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+                &EngineConfig {
+                    n_chunks: 4,
+                    ..EngineConfig::default()
+                },
             ))
         })
     });
 }
 
-criterion_group!(benches, bench_knn, bench_sort, bench_optimizer, bench_engine);
+criterion_group!(
+    benches,
+    bench_knn,
+    bench_sort,
+    bench_optimizer,
+    bench_engine
+);
 criterion_main!(benches);

@@ -20,7 +20,11 @@ fn main() {
         seed,
     );
     let scene = Scene::urban(seed, 45.0, 20, 10);
-    let lidar = LidarConfig { beams: 16, azimuth_steps: 720, ..LidarConfig::default() };
+    let lidar = LidarConfig {
+        beams: 16,
+        azimuth_steps: 720,
+        ..LidarConfig::default()
+    };
     let sweep = scan(&scene, &lidar, Point3::ZERO, 0.0, seed);
     let pts = sweep.cloud.points().to_vec();
     let tree = KdTree::build(&pts);

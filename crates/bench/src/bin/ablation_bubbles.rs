@@ -25,11 +25,17 @@ fn main() {
         let schedule = optimize(&graph, &OptimizeConfig::new(elements)).unwrap();
         let plan = plan_multi_chunk(&graph, &edges);
         println!("{domain:?} (II = {} cycles):", plan.initiation_interval);
-        println!("{:>8} {:>22} {:>22}", "chunks", "w/ bubbles (elems)", "w/o bubbles (elems)");
+        println!(
+            "{:>8} {:>22} {:>22}",
+            "chunks", "w/ bubbles (elems)", "w/o bubbles (elems)"
+        );
         for n in [1u64, 2, 4, 8] {
-            let with: f64 = multi_chunk_peaks(&edges, &schedule, &plan, n, true).iter().sum();
-            let without: f64 =
-                multi_chunk_peaks(&edges, &schedule, &plan, n, false).iter().sum();
+            let with: f64 = multi_chunk_peaks(&edges, &schedule, &plan, n, true)
+                .iter()
+                .sum();
+            let without: f64 = multi_chunk_peaks(&edges, &schedule, &plan, n, false)
+                .iter()
+                .sum();
             println!("{:>8} {:>22.0} {:>22.0}", n, with, without);
         }
         println!();

@@ -19,7 +19,13 @@ fn main() {
     );
     println!(
         "{:<18} {:>10} {:>13} {:>13} {:>12} {:>12} {:>10}",
-        "domain", "elements", "full constrs", "pruned constrs", "full obj", "pruned obj", "prune time"
+        "domain",
+        "elements",
+        "full constrs",
+        "pruned constrs",
+        "full obj",
+        "pruned obj",
+        "prune time"
     );
     for (domain, elements) in [
         (AppDomain::Classification, 30_000u64),
@@ -37,7 +43,12 @@ fn main() {
         // Solving the full model at this scale is exactly what the paper
         // calls infeasible; solve a stride-1024 thinning to check the
         // optimum matches.
-        let thinned = build(&graph, elements, FormulationKind::Full { stride: 1024 }, limit);
+        let thinned = build(
+            &graph,
+            elements,
+            FormulationKind::Full { stride: 1024 },
+            limit,
+        );
         let fs = thinned.model.solve().unwrap();
         println!(
             "{:<18} {:>10} {:>13} {:>13} {:>12.0} {:>12.0} {:>9.1?}",

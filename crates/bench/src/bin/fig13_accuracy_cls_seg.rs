@@ -44,7 +44,13 @@ fn main() {
     let classes = 4;
     let train = streamgrid_bench::cls_dataset(12, classes, 160, seed);
     let test = streamgrid_bench::cls_dataset(8, classes, 160, 9_999);
-    let tc = |mode: SearchMode| TrainConfig { epochs: 24, lr: 0.003, seed, mode, batch: 8 };
+    let tc = |mode: SearchMode| TrainConfig {
+        epochs: 24,
+        lr: 0.003,
+        seed,
+        mode,
+        batch: 8,
+    };
 
     let mut results = Vec::new();
     for (label, train_mode, eval_mode) in [
@@ -82,7 +88,13 @@ fn main() {
         train_segmenter(
             &mut net,
             &seg_train,
-            &TrainConfig { epochs: 16, lr: 0.005, seed, mode: train_mode, batch: 4 },
+            &TrainConfig {
+                epochs: 16,
+                lr: 0.005,
+                seed,
+                mode: train_mode,
+                batch: 4,
+            },
         );
         let miou = eval_segmenter(&net, &seg_test, &eval_mode, 3);
         seg_results.push((label, miou));

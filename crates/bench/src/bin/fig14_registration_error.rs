@@ -13,14 +13,22 @@ fn main() {
         seed,
     );
     let scene = Scene::urban(seed, 45.0, 18, 10);
-    let lidar = LidarConfig { beams: 12, azimuth_steps: 720, ..LidarConfig::default() };
+    let lidar = LidarConfig {
+        beams: 12,
+        azimuth_steps: 720,
+        ..LidarConfig::default()
+    };
     let truth = trajectory(12, 0.35, 0.003);
     let scans: Vec<_> = truth
         .iter()
         .enumerate()
         .map(|(i, &(p, y))| scan(&scene, &lidar, p, y, 100 + i as u64))
         .collect();
-    println!("sequence: {} sweeps, {} pts/sweep avg\n", scans.len(), scans[0].cloud.len());
+    println!(
+        "sequence: {} sweeps, {} pts/sweep avg\n",
+        scans.len(),
+        scans[0].cloud.len()
+    );
 
     println!(
         "{:<34} {:>12} {:>14} {:>10}",
@@ -29,10 +37,16 @@ fn main() {
     let mut rows = Vec::new();
     for (label, mode) in [
         ("Base (exact kNN)", CorrespondenceMode::Exact),
-        ("CS+DT (4 chunks, 25% deadline)", CorrespondenceMode::paper_registration()),
+        (
+            "CS+DT (4 chunks, 25% deadline)",
+            CorrespondenceMode::paper_registration(),
+        ),
     ] {
         let config = OdometryConfig {
-            icp: IcpConfig { mode, ..IcpConfig::default() },
+            icp: IcpConfig {
+                mode,
+                ..IcpConfig::default()
+            },
             ..OdometryConfig::default()
         };
         let poses = run_odometry(&scans, &config);

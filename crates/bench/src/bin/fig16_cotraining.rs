@@ -29,8 +29,13 @@ fn main() {
 
     // Conventional model trained once with exact grouping.
     let mut conventional = ClsNet::new(classes, 21);
-    let base_cfg =
-        TrainConfig { epochs: 24, lr: 0.003, seed, mode: SearchMode::Exact, batch: 8 };
+    let base_cfg = TrainConfig {
+        epochs: 24,
+        lr: 0.003,
+        seed,
+        mode: SearchMode::Exact,
+        batch: 8,
+    };
     let t_base = train_classifier(&mut conventional, &train, &base_cfg);
 
     println!(
@@ -53,7 +58,12 @@ fn main() {
         let t_co = train_classifier(&mut cotrained, &train, &co_cfg);
         overhead = t_co.wall_seconds / t_base.wall_seconds.max(1e-9);
         let with = eval_classifier(&cotrained, &test, &mode);
-        println!("{:>8} {:>21.1}% {:>21.1}%", n, without * 100.0, with * 100.0);
+        println!(
+            "{:>8} {:>21.1}% {:>21.1}%",
+            n,
+            without * 100.0,
+            with * 100.0
+        );
     }
     println!(
         "\nco-training overhead (last run): {overhead:.1}x wall-clock (paper: 3.1x on CPU-simulated DT)"

@@ -4,20 +4,21 @@
 //! 3DGS Base bar is missing because its buffer exceeds 1 GB and could
 //! not be synthesized).
 
-use streamgrid_core::apps::{dataflow_graph, AppDomain};
+use streamgrid_core::apps::AppDomain;
+use streamgrid_core::framework::StreamGrid;
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
-use streamgrid_sim::{evaluate, EnergyModel, Variant, VariantConfig};
 
-/// Per-app workload scale (points × attrs) and datapath intensity.
-fn workload(domain: AppDomain) -> (u64, f64, u64) {
-    // (total_elements, macs_per_element, n_chunks)
+/// Per-app workload scale (points × attrs) and chunk count.
+fn workload(domain: AppDomain) -> (u64, u64) {
+    // (total_elements, n_chunks); datapath intensity comes from
+    // `AppDomain::macs_per_element` via `StreamGrid::execute`.
     match domain {
-        AppDomain::Classification => (4096 * 3, 2048.0, 4),
-        AppDomain::Segmentation => (4096 * 3, 2048.0, 4),
-        AppDomain::Registration => (32_768 * 3, 256.0, 4),
+        AppDomain::Classification => (4096 * 3, 4),
+        AppDomain::Segmentation => (4096 * 3, 4),
+        AppDomain::Registration => (32_768 * 3, 4),
         // The paper partitions 3DGS into thousands of chunks; Base needs
         // >1 GB and is infeasible.
-        AppDomain::NeuralRendering => (262_144 * 8, 512.0, 64),
+        AppDomain::NeuralRendering => (262_144 * 8, 64),
     }
 }
 
@@ -28,7 +29,6 @@ fn main() {
         "72% avg line-buffer reduction; 40.5% avg energy savings (SRAM sizing)",
         seed,
     );
-    let energy_model = EnergyModel::default();
     println!(
         "{:<18} {:>14} {:>14} {:>11} {:>13}",
         "domain", "Base buf (KB)", "CS+DT buf (KB)", "reduction", "norm. energy"
@@ -36,16 +36,12 @@ fn main() {
     let mut reductions = Vec::new();
     let mut energies = Vec::new();
     for domain in AppDomain::ALL {
-        let (elements, macs, n_chunks) = workload(domain);
-        let (mut graph, _) = dataflow_graph(domain);
-        StreamGridConfig::cs_dt(SplitConfig::linear(n_chunks as u32, 2)).apply(&mut graph);
-        let cfg = VariantConfig {
-            total_elements: elements,
-            n_chunks,
-            macs_per_element: macs,
-            ..VariantConfig::new(elements)
-        };
-        let csdt = evaluate(&graph, Variant::CsDt, &cfg, &energy_model).unwrap();
+        let (elements, n_chunks) = workload(domain);
+        let csdt_config = StreamGridConfig::cs_dt(SplitConfig::linear(n_chunks as u32, 2));
+        let csdt = StreamGrid::new(csdt_config)
+            .execute(domain, elements)
+            .expect("CS+DT compiles and runs");
+        assert!(csdt.is_clean(), "{domain:?}: CS+DT must run stall-free");
         // 3DGS Base: infeasible on-chip buffer — report like the paper.
         if matches!(domain, AppDomain::NeuralRendering) {
             // Size the Base buffer analytically (whole scene resident).
@@ -54,22 +50,24 @@ fn main() {
                 "{:<18} {:>13.0}✗ {:>14.0} {:>11} {:>13}",
                 format!("{domain:?}"),
                 base_buf_kb,
-                csdt.onchip_bytes as f64 / 1024.0,
+                csdt.onchip_bytes() as f64 / 1024.0,
                 "—",
                 "—"
             );
             continue;
         }
-        let base = evaluate(&graph, Variant::Base, &cfg, &energy_model).unwrap();
-        let reduction = 1.0 - csdt.onchip_bytes as f64 / base.onchip_bytes as f64;
+        let base = StreamGrid::new(StreamGridConfig::base())
+            .execute(domain, elements)
+            .expect("Base compiles and runs");
+        let reduction = 1.0 - csdt.onchip_bytes() as f64 / base.onchip_bytes() as f64;
         let norm_energy = csdt.energy.total_pj() / base.energy.total_pj();
         reductions.push(reduction);
         energies.push(norm_energy);
         println!(
             "{:<18} {:>14.0} {:>14.0} {:>10.1}% {:>13.2}",
             format!("{domain:?}"),
-            base.onchip_bytes as f64 / 1024.0,
-            csdt.onchip_bytes as f64 / 1024.0,
+            base.onchip_bytes() as f64 / 1024.0,
+            csdt.onchip_bytes() as f64 / 1024.0,
             reduction * 100.0,
             norm_energy,
         );

@@ -63,7 +63,11 @@ fn main() {
     // Shared LiDAR-like measurement cloud (KITTI-scale: ~10^5 points so
     // the priors' kd-trees exceed the on-chip budget, as in the paper).
     let scene = Scene::urban(seed, 50.0, 24, 12);
-    let lidar = LidarConfig { beams: 32, azimuth_steps: 4096, ..LidarConfig::default() };
+    let lidar = LidarConfig {
+        beams: 32,
+        azimuth_steps: 4096,
+        ..LidarConfig::default()
+    };
     let sweep = scan(&scene, &lidar, Point3::ZERO, 0.0, seed);
     let pts = sweep.cloud.points().to_vec();
 

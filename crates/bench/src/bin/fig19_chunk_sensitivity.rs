@@ -3,7 +3,8 @@
 //! shrink 2.4→1.8 MB; classification accuracy dips slightly,
 //! segmentation drops harder at 16 chunks).
 
-use streamgrid_core::apps::{dataflow_graph, AppDomain};
+use streamgrid_core::apps::AppDomain;
+use streamgrid_core::framework::StreamGrid;
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
 use streamgrid_nn::pointnet::{ClsNet, SegNet};
 use streamgrid_nn::sampling::SearchMode;
@@ -12,7 +13,6 @@ use streamgrid_nn::train::{
 };
 use streamgrid_pointcloud::datasets::shapenet::{self, Category};
 use streamgrid_pointcloud::{GridDims, WindowSpec};
-use streamgrid_sim::{evaluate, EnergyModel, Variant, VariantConfig};
 
 fn mode_for_chunks(n: u32) -> SearchMode {
     SearchMode::Streaming {
@@ -40,7 +40,6 @@ fn main() {
         "energy falls with more chunks (−49.6% at 16 vs 4); accuracy sensitivity is task-specific",
         seed,
     );
-    let energy_model = EnergyModel::default();
     let classes = 4;
     let train = streamgrid_bench::cls_dataset(12, classes, 160, seed);
     let test = streamgrid_bench::cls_dataset(8, classes, 160, 777);
@@ -54,16 +53,12 @@ fn main() {
         "chunks", "buffer (KB)", "norm energy", "cls acc", "seg mIoU"
     );
     for n in [1u64, 4, 8, 16] {
-        // Hardware side: classification pipeline at this chunking.
-        let (mut graph, _) = dataflow_graph(AppDomain::Classification);
-        StreamGridConfig::cs_dt(SplitConfig::linear(n as u32, 2)).apply(&mut graph);
-        let cfg = VariantConfig {
-            total_elements: 4096 * 3,
-            n_chunks: n,
-            macs_per_element: 2048.0,
-            ..VariantConfig::new(4096 * 3)
-        };
-        let hw = evaluate(&graph, Variant::CsDt, &cfg, &energy_model).unwrap();
+        // Hardware side: classification pipeline at this chunking,
+        // through the unified compile→execute entry point.
+        let config = StreamGridConfig::cs_dt(SplitConfig::linear(n as u32, 2));
+        let hw = StreamGrid::new(config)
+            .execute(AppDomain::Classification, 4096 * 3)
+            .expect("CS+DT compiles and runs");
         let e = hw.energy.total_pj();
         if n == 4 {
             e4 = Some(e);
@@ -76,20 +71,32 @@ fn main() {
         train_classifier(
             &mut cls,
             &train,
-            &TrainConfig { epochs: 20, lr: 0.003, seed, mode: mode.clone(), batch: 8 },
+            &TrainConfig {
+                epochs: 20,
+                lr: 0.003,
+                seed,
+                mode: mode.clone(),
+                batch: 8,
+            },
         );
         let acc = eval_classifier(&cls, &test, &mode);
         let mut seg = SegNet::new(3, 44);
         train_segmenter(
             &mut seg,
             &seg_train,
-            &TrainConfig { epochs: 12, lr: 0.005, seed, mode: mode.clone(), batch: 4 },
+            &TrainConfig {
+                epochs: 12,
+                lr: 0.005,
+                seed,
+                mode: mode.clone(),
+                batch: 4,
+            },
         );
         let miou = eval_segmenter(&seg, &seg_test, &mode, 3);
         println!(
             "{:>8} {:>14.0} {:>13.2} {:>11.1}% {:>9.1}%",
             n,
-            hw.onchip_bytes as f64 / 1024.0,
+            hw.onchip_bytes() as f64 / 1024.0,
             norm,
             acc * 100.0,
             miou * 100.0,

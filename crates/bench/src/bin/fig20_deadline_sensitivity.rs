@@ -43,7 +43,11 @@ fn main() {
 
     // Registration error per deadline.
     let scene = Scene::urban(seed, 45.0, 18, 10);
-    let lidar = LidarConfig { beams: 12, azimuth_steps: 720, ..LidarConfig::default() };
+    let lidar = LidarConfig {
+        beams: 12,
+        azimuth_steps: 720,
+        ..LidarConfig::default()
+    };
     let truth = trajectory(10, 0.35, 0.003);
     let scans: Vec<_> = truth
         .iter()
@@ -61,7 +65,13 @@ fn main() {
         train_classifier(
             &mut net,
             &train,
-            &TrainConfig { epochs: 20, lr: 0.003, seed, mode: mode.clone(), batch: 8 },
+            &TrainConfig {
+                epochs: 20,
+                lr: 0.003,
+                seed,
+                mode: mode.clone(),
+                batch: 8,
+            },
         );
         let acc = eval_classifier(&net, &test, &mode);
 
@@ -73,7 +83,10 @@ fn main() {
         let poses = run_odometry(
             &scans,
             &OdometryConfig {
-                icp: IcpConfig { mode: reg_mode, ..IcpConfig::default() },
+                icp: IcpConfig {
+                    mode: reg_mode,
+                    ..IcpConfig::default()
+                },
                 ..OdometryConfig::default()
             },
         );
@@ -86,5 +99,7 @@ fn main() {
             err.translation_pct,
         );
     }
-    println!("\nshape check: energy saturates below 1/4; accuracy holds at 1/4 (the paper's pick).");
+    println!(
+        "\nshape check: energy saturates below 1/4; accuracy holds at 1/4 (the paper's pick)."
+    );
 }

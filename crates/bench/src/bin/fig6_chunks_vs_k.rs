@@ -21,7 +21,11 @@ fn main() {
         seed,
     );
     let scene = Scene::urban(seed, 50.0, 24, 12);
-    let lidar = LidarConfig { beams: 16, azimuth_steps: 1440, ..LidarConfig::default() };
+    let lidar = LidarConfig {
+        beams: 16,
+        azimuth_steps: 1440,
+        ..LidarConfig::default()
+    };
     let sweep = scan(&scene, &lidar, Point3::ZERO, 0.0, seed);
     let pts = sweep.cloud.points().to_vec();
     let bounds = Aabb::from_points(pts.iter().copied()).unwrap();
@@ -40,7 +44,7 @@ fn main() {
         let mut needed = 0usize;
         for &q in &queries {
             let (_, trace) = tree.knn_trace(&pts, q, k, TraversalOrder::NearestFirst);
-            let mut chunks = vec![false; 64];
+            let mut chunks = [false; 64];
             for &pi in &trace {
                 chunks[grid.chunk_of(pts[pi as usize]).index()] = true;
             }

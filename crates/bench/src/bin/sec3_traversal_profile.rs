@@ -20,7 +20,11 @@ fn main() {
         seed,
     );
     let scene = Scene::urban(seed, 50.0, 24, 12);
-    let lidar = LidarConfig { beams: 16, azimuth_steps: 2048, ..LidarConfig::default() };
+    let lidar = LidarConfig {
+        beams: 16,
+        azimuth_steps: 2048,
+        ..LidarConfig::default()
+    };
     let sweep = scan(&scene, &lidar, Point3::ZERO, 0.0, seed);
     let pts = sweep.cloud.points();
     println!("cloud: {} points (LiDAR-like, 16 beams)", pts.len());

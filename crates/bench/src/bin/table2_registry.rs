@@ -9,8 +9,8 @@ fn main() {
         0,
     );
     println!(
-        "{:<18} {:<16} {:<38} {:<22} {:<14} {}",
-        "domain", "algorithm", "datasets", "hw baselines", "global dep", "metric"
+        "{:<18} {:<16} {:<38} {:<22} {:<14} metric",
+        "domain", "algorithm", "datasets", "hw baselines", "global dep"
     );
     for spec in table2() {
         println!(

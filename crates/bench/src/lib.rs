@@ -17,7 +17,11 @@ pub fn banner(figure: &str, claim: &str, seed: u64) {
 /// Builds a balanced ModelNet-like classification dataset with
 /// `per_class` samples over the first `classes` base shapes.
 pub fn cls_dataset(per_class: usize, classes: usize, points: usize, seed: u64) -> Vec<ClsSample> {
-    let cfg = ModelNetConfig { classes: 10, points, noise: 0.01 };
+    let cfg = ModelNetConfig {
+        classes: 10,
+        points,
+        noise: 0.01,
+    };
     let mut out = Vec::new();
     for class in 0..classes as u32 {
         for i in 0..per_class {

@@ -29,6 +29,18 @@ impl AppDomain {
         AppDomain::Registration,
         AppDomain::NeuralRendering,
     ];
+
+    /// Datapath intensity (MACs per produced element) of the domain's
+    /// pipeline — the PointNet++ MLPs dominate the DNN domains, while
+    /// registration and splatting are traffic-bound. Feeds
+    /// `EngineConfig::macs_per_element` (the Fig. 17b energy knob).
+    pub fn macs_per_element(self) -> f64 {
+        match self {
+            AppDomain::Classification | AppDomain::Segmentation => 2048.0,
+            AppDomain::Registration => 256.0,
+            AppDomain::NeuralRendering => 512.0,
+        }
+    }
 }
 
 /// One row of Tbl. 2.
@@ -140,7 +152,13 @@ pub fn dataflow_graph(domain: AppDomain) -> (DataflowGraph, Vec<NodeId>) {
             );
             let mlp = g.map("group_mlp", Shape::new(1, 3), Shape::new(1, 16), 4);
             let pool = g.reduction("max_pool", Shape::new(1, 16), Shape::new(1, 16), 2, 8);
-            let fp = g.stencil("feature_prop", Shape::new(1, 16), Shape::new(8, 8), 4, (3, 1));
+            let fp = g.stencil(
+                "feature_prop",
+                Shape::new(1, 16),
+                Shape::new(8, 8),
+                4,
+                (3, 1),
+            );
             let head = g.map("point_head", Shape::new(1, 8), Shape::new(1, 4), 4);
             let sink = g.sink("labels", Shape::new(1, 4), 1);
             g.connect(src, scale);

@@ -9,11 +9,17 @@ use streamgrid_optimizer::{
     OptimizeError, Schedule,
 };
 use streamgrid_sim::{
-    run, BufferPolicy, EngineConfig, EnergyModel, GlobalLatencyModel, RunReport,
+    run, BufferPolicy, EnergyBreakdown, EnergyModel, EngineConfig, GlobalLatencyModel, RunReport,
 };
 
 use crate::apps::{dataflow_graph, AppDomain};
 use crate::transform::StreamGridConfig;
+
+/// Coefficient of variation of global-op latency when deterministic
+/// termination is off (Sec. 3 measures ≈ 0.8 on KITTI). Drives both the
+/// engine's variable-latency model and the buffer over-provisioning
+/// margin non-DT designs must carry.
+const NON_DT_LATENCY_CV: f64 = 0.8;
 
 /// A pipeline compiled through the whole Fig. 1 flow.
 #[derive(Debug, Clone)]
@@ -46,6 +52,79 @@ pub struct CompileSummary {
     pub constraints: usize,
     /// Branch & bound nodes used by the solve.
     pub solver_nodes: u64,
+}
+
+/// Knobs for the execution half of the flow. [`StreamGrid::execute`]
+/// fills these from the domain; override via
+/// [`StreamGrid::execute_with`] or [`CompiledPipeline::execute`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecuteOptions {
+    /// Energy model the engine charges against.
+    pub energy_model: EnergyModel,
+    /// Seed for the variable-latency model (ignored under DT).
+    pub seed: u64,
+    /// Bytes per buffered element.
+    pub bytes_per_element: u64,
+    /// Datapath intensity (MACs per produced element).
+    pub macs_per_element: f64,
+}
+
+impl Default for ExecuteOptions {
+    fn default() -> Self {
+        let engine = EngineConfig::default();
+        ExecuteOptions {
+            energy_model: EnergyModel::default(),
+            seed: 1,
+            bytes_per_element: engine.bytes_per_element,
+            macs_per_element: engine.macs_per_element,
+        }
+    }
+}
+
+impl ExecuteOptions {
+    /// Defaults with the domain's paper datapath intensity.
+    pub fn for_domain(domain: AppDomain) -> Self {
+        ExecuteOptions {
+            macs_per_element: domain.macs_per_element(),
+            ..ExecuteOptions::default()
+        }
+    }
+}
+
+/// The unified result of the whole Fig. 1 flow: what the compiler
+/// provisioned, what the cycle-level engine observed, and where the
+/// energy went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Compile-time numbers (buffer bytes, solved schedule statistics).
+    pub compile: CompileSummary,
+    /// Cycle-level run (cycles, stalls, DRAM traffic, buffer peaks).
+    pub run: RunReport,
+    /// Energy tally of the run.
+    pub energy: EnergyBreakdown,
+}
+
+impl ExecutionReport {
+    /// Provisioned on-chip line-buffer bytes.
+    pub fn onchip_bytes(&self) -> u64 {
+        self.compile.onchip_bytes
+    }
+
+    /// Total DRAM traffic of the run in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.run.dram_read_bytes + self.run.dram_write_bytes
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.energy.total_uj()
+    }
+
+    /// `true` when the run saw no buffer overflow and no memory stall —
+    /// the paper's CS+DT guarantee.
+    pub fn is_clean(&self) -> bool {
+        self.run.overflow_edge.is_none() && self.run.stall_cycles == 0
+    }
 }
 
 /// The framework: owns the transform configuration and compiles app
@@ -85,6 +164,12 @@ impl StreamGrid {
     /// dependencies, solves the line-buffer ILP, and plans multi-chunk
     /// issue.
     ///
+    /// Without deterministic termination the ILP sizes cannot be trusted
+    /// at runtime — global-op latency varies — so the compiled design
+    /// over-provisions every buffer by the latency margin, exactly as
+    /// `streamgrid_sim::evaluate` models for the Base/CS variants. Only
+    /// CS+DT keeps the exact ILP sizes (the paper's claim).
+    ///
     /// # Errors
     ///
     /// Propagates [`OptimizeError`] from the ILP stage.
@@ -98,7 +183,13 @@ impl StreamGrid {
         let n_chunks = self.config.chunk_count();
         let chunk_elements = (total_elements / n_chunks).max(1);
         let edges = edge_infos(&graph, chunk_elements);
-        let schedule = optimize(&graph, &OptimizeConfig::new(chunk_elements))?;
+        let mut schedule = optimize(&graph, &OptimizeConfig::new(chunk_elements))?;
+        if self.config.termination.is_none() {
+            for s in schedule.buffer_sizes.iter_mut() {
+                *s = (*s as f64 * (1.0 + NON_DT_LATENCY_CV)).ceil() as u64;
+            }
+            schedule.total_buffer_elements = schedule.buffer_sizes.iter().sum();
+        }
         let plan = plan_multi_chunk(&graph, &edges);
         Ok(CompiledPipeline {
             graph,
@@ -110,6 +201,48 @@ impl StreamGrid {
             config: self.config,
         })
     }
+
+    /// Runs the whole Fig. 1 flow — compile, then execute on the
+    /// cycle-level simulator with the domain's paper defaults — and
+    /// returns the unified [`ExecutionReport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizeError`] from the ILP stage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use streamgrid_core::apps::AppDomain;
+    /// use streamgrid_core::framework::StreamGrid;
+    /// use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+    ///
+    /// let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
+    /// let report = fw.execute(AppDomain::Classification, 9 * 600).unwrap();
+    /// assert!(report.is_clean(), "CS+DT runs stall- and overflow-free");
+    /// assert!(report.total_uj() > 0.0);
+    /// ```
+    pub fn execute(
+        &self,
+        domain: AppDomain,
+        total_elements: u64,
+    ) -> Result<ExecutionReport, OptimizeError> {
+        self.execute_with(domain, total_elements, &ExecuteOptions::for_domain(domain))
+    }
+
+    /// [`StreamGrid::execute`] with explicit execution options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimizeError`] from the ILP stage.
+    pub fn execute_with(
+        &self,
+        domain: AppDomain,
+        total_elements: u64,
+        options: &ExecuteOptions,
+    ) -> Result<ExecutionReport, OptimizeError> {
+        Ok(self.compile(domain, total_elements)?.execute(options))
+    }
 }
 
 impl CompiledPipeline {
@@ -117,35 +250,63 @@ impl CompiledPipeline {
     pub fn summary(&self) -> CompileSummary {
         CompileSummary {
             onchip_bytes: self.schedule.total_buffer_bytes(4),
-            total_cycles: self.plan.total_cycles(self.schedule.makespan, self.n_chunks),
+            total_cycles: self
+                .plan
+                .total_cycles(self.schedule.makespan, self.n_chunks),
             constraints: self.schedule.constraint_count,
             solver_nodes: self.schedule.solver_nodes,
         }
     }
 
-    /// Executes the compiled pipeline on the cycle-level simulator.
-    /// Deterministic termination ⇒ strict buffers and fixed global-op
-    /// latency; otherwise variable latency with elastic buffers.
-    pub fn simulate(&self, energy_model: &EnergyModel, seed: u64) -> RunReport {
+    /// Executes the compiled pipeline on the cycle-level simulator and
+    /// returns the unified report. Deterministic termination ⇒ strict
+    /// buffers and fixed global-op latency; otherwise variable latency
+    /// with elastic buffers.
+    pub fn execute(&self, options: &ExecuteOptions) -> ExecutionReport {
         let deterministic = self.config.termination.is_some();
         let (latency, policy) = if deterministic {
             (GlobalLatencyModel::Deterministic, BufferPolicy::Strict)
         } else {
-            (GlobalLatencyModel::Variable { cv: 0.8, seed }, BufferPolicy::Elastic)
+            (
+                GlobalLatencyModel::Variable {
+                    cv: NON_DT_LATENCY_CV,
+                    seed: options.seed,
+                },
+                BufferPolicy::Elastic,
+            )
         };
-        run(
+        let run_report = run(
             &self.graph,
             &self.edges,
             &self.schedule,
             &self.plan,
-            energy_model,
+            &options.energy_model,
             &EngineConfig {
+                bytes_per_element: options.bytes_per_element,
                 n_chunks: self.n_chunks,
                 global_latency: latency,
                 buffer_policy: policy,
+                macs_per_element: options.macs_per_element,
                 ..EngineConfig::default()
             },
-        )
+        );
+        ExecutionReport {
+            compile: self.summary(),
+            energy: run_report.energy,
+            run: run_report,
+        }
+    }
+
+    /// Executes with default options except the energy model and seed.
+    /// Thin wrapper over [`CompiledPipeline::execute`] kept for call
+    /// sites that only need the raw engine report.
+    pub fn simulate(&self, energy_model: &EnergyModel, seed: u64) -> RunReport {
+        self.execute(&ExecuteOptions {
+            energy_model: *energy_model,
+            seed,
+            ..ExecuteOptions::default()
+        })
+        .run
     }
 }
 
@@ -201,9 +362,62 @@ mod tests {
     }
 
     #[test]
+    fn execute_unifies_compile_and_run() {
+        let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
+        let report = fw.execute(AppDomain::Classification, 9 * 300).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.energy, report.run.energy);
+        assert_eq!(
+            report.onchip_bytes(),
+            fw.compile(AppDomain::Classification, 9 * 300)
+                .unwrap()
+                .summary()
+                .onchip_bytes
+        );
+        assert!(report.dram_bytes() > 0);
+        assert!(report.total_uj() > 0.0);
+    }
+
+    #[test]
+    fn execute_uses_domain_intensity() {
+        // A heavier datapath must cost more compute energy on the same
+        // pipeline and schedule.
+        let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
+        let light = fw
+            .execute_with(
+                AppDomain::Classification,
+                9 * 300,
+                &ExecuteOptions {
+                    macs_per_element: 16.0,
+                    ..ExecuteOptions::default()
+                },
+            )
+            .unwrap();
+        let heavy = fw.execute(AppDomain::Classification, 9 * 300).unwrap();
+        assert!(heavy.energy.compute_pj > light.energy.compute_pj);
+    }
+
+    #[test]
+    fn simulate_matches_execute_run() {
+        let fw = StreamGrid::new(StreamGridConfig::base());
+        let c = fw.compile(AppDomain::Registration, 2000).unwrap();
+        let via_simulate = c.simulate(&EnergyModel::default(), 7);
+        let via_execute = c
+            .execute(&ExecuteOptions {
+                seed: 7,
+                ..ExecuteOptions::default()
+            })
+            .run;
+        assert_eq!(via_simulate, via_execute);
+    }
+
+    #[test]
     fn summary_reports_constraints() {
         let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
-        let s = fw.compile(AppDomain::Registration, 9 * 400).unwrap().summary();
+        let s = fw
+            .compile(AppDomain::Registration, 9 * 400)
+            .unwrap()
+            .summary();
         assert!(s.constraints > 0);
         assert!(s.total_cycles > 0);
     }

@@ -44,5 +44,7 @@ pub mod framework;
 pub mod transform;
 
 pub use apps::{dataflow_graph, table2, AppDomain, AppSpec};
-pub use framework::{CompileSummary, CompiledPipeline, StreamGrid};
+pub use framework::{
+    CompileSummary, CompiledPipeline, ExecuteOptions, ExecutionReport, StreamGrid,
+};
 pub use transform::{SplitConfig, StreamGridConfig, TerminationConfig};

@@ -59,7 +59,9 @@ pub struct TerminationConfig {
 
 impl Default for TerminationConfig {
     fn default() -> Self {
-        TerminationConfig { deadline_fraction: 0.25 }
+        TerminationConfig {
+            deadline_fraction: 0.25,
+        }
     }
 }
 
@@ -83,7 +85,10 @@ impl StreamGridConfig {
 
     /// The CS variant.
     pub fn cs(split: SplitConfig) -> Self {
-        StreamGridConfig { splitting: Some(split), termination: None }
+        StreamGridConfig {
+            splitting: Some(split),
+            termination: None,
+        }
     }
 
     /// The full CS+DT variant with the paper's defaults.

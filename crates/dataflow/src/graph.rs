@@ -151,7 +151,10 @@ impl fmt::Display for GraphError {
             GraphError::Empty => write!(f, "dataflow graph is empty"),
             GraphError::Cycle(n) => write!(f, "dataflow graph has a cycle through {n}"),
             GraphError::ShapeMismatch { producer, consumer } => {
-                write!(f, "attribute width mismatch on edge {producer} -> {consumer}")
+                write!(
+                    f,
+                    "attribute width mismatch on edge {producer} -> {consumer}"
+                )
             }
             GraphError::MissingProducer(n) => {
                 write!(f, "stage {n} has no producer and is not a source")
@@ -278,13 +281,7 @@ impl DataflowGraph {
     }
 
     /// Adds an elementwise map stage (scaling, per-point MLP, …).
-    pub fn map(
-        &mut self,
-        name: &str,
-        i_shape: Shape,
-        o_shape: Shape,
-        stage: u32,
-    ) -> NodeId {
+    pub fn map(&mut self, name: &str, i_shape: Shape, o_shape: Shape, stage: u32) -> NodeId {
         self.push(StageNode {
             name: name.to_owned(),
             kind: OpKind::Map,
@@ -497,12 +494,7 @@ impl DataflowGraph {
             match node.kind {
                 OpKind::Source => w[id.0] = source_elements,
                 _ => {
-                    let input: u64 = self
-                        .producers(id)
-                        .iter()
-                        .map(|p| w[p.0])
-                        .max()
-                        .unwrap_or(0);
+                    let input: u64 = self.producers(id).iter().map(|p| w[p.0]).max().unwrap_or(0);
                     if matches!(node.kind, OpKind::Sink) {
                         w[id.0] = input;
                         continue;
@@ -582,7 +574,10 @@ mod tests {
         let s = g.source("src", Shape::new(1, 3), 1);
         let m = g.map("m", Shape::new(1, 4), Shape::new(1, 4), 1);
         g.connect(s, m);
-        assert!(matches!(g.validate(), Err(GraphError::ShapeMismatch { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl Rate {
         assert!(den != 0, "zero denominator");
         assert!(num >= 0 && den > 0, "rates must be non-negative");
         let g = gcd(num.max(1), den);
-        Rate { num: num / g, den: den / g }
+        Rate {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// Zero.
@@ -110,7 +113,10 @@ impl Rate {
     /// Panics if the rate is zero.
     pub fn recip(&self) -> Rate {
         assert!(self.num > 0, "reciprocal of zero rate");
-        Rate { num: self.den, den: self.num }
+        Rate {
+            num: self.den,
+            den: self.num,
+        }
     }
 
     /// Cycles needed to move `elements` at this rate, rounded up.

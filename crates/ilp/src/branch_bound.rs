@@ -50,13 +50,16 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
         Some(Sense::Maximize) => -1.0,
         _ => 1.0,
     };
-    let root_bounds: Vec<(f64, f64)> =
-        model.vars.iter().map(|v| (v.lower, v.upper)).collect();
+    let root_bounds: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lower, v.upper)).collect();
 
     // Pure LP fast path.
     if !model.has_integers() {
         return Ok(match solve_lp(model, &root_bounds) {
-            LpOutcome::Optimal { values, objective, iterations } => Solution {
+            LpOutcome::Optimal {
+                values,
+                objective,
+                iterations,
+            } => Solution {
                 status: SolveStatus::Optimal,
                 objective,
                 values,
@@ -74,11 +77,16 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
     let mut lp_iterations = 0u64;
     let mut root_unbounded = false;
 
-    heap.push(NodeEntry { bound: f64::NEG_INFINITY, bounds: root_bounds });
+    heap.push(NodeEntry {
+        bound: f64::NEG_INFINITY,
+        bounds: root_bounds,
+    });
 
     while let Some(NodeEntry { bound, bounds }) = heap.pop() {
         if nodes >= options.max_nodes {
-            return Err(SolveError::NodeLimit { max_nodes: options.max_nodes });
+            return Err(SolveError::NodeLimit {
+                max_nodes: options.max_nodes,
+            });
         }
         nodes += 1;
         // Prune by incumbent.
@@ -88,9 +96,11 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
             }
         }
         let (values, obj_min, iters) = match solve_lp(model, &bounds) {
-            LpOutcome::Optimal { values, objective, iterations } => {
-                (values, to_min * objective, iterations)
-            }
+            LpOutcome::Optimal {
+                values,
+                objective,
+                iterations,
+            } => (values, to_min * objective, iterations),
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => {
                 if nodes == 1 {
@@ -131,7 +141,11 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
                 }
                 let obj = model.objective.eval(&snapped);
                 let obj_min = to_min * obj;
-                if incumbent.as_ref().map(|(b, _)| obj_min < *b).unwrap_or(true) {
+                if incumbent
+                    .as_ref()
+                    .map(|(b, _)| obj_min < *b)
+                    .unwrap_or(true)
+                {
                     incumbent = Some((obj_min, snapped));
                 }
             }
@@ -141,8 +155,14 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
                 lo_branch[i].1 = lo_branch[i].1.min(x.floor());
                 let mut hi_branch = bounds;
                 hi_branch[i].0 = hi_branch[i].0.max(x.ceil());
-                heap.push(NodeEntry { bound: obj_min, bounds: lo_branch });
-                heap.push(NodeEntry { bound: obj_min, bounds: hi_branch });
+                heap.push(NodeEntry {
+                    bound: obj_min,
+                    bounds: lo_branch,
+                });
+                heap.push(NodeEntry {
+                    bound: obj_min,
+                    bounds: hi_branch,
+                });
             }
         }
     }
@@ -153,7 +173,13 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
     Ok(match incumbent {
         Some((_, values)) => {
             let objective = model.objective.eval(&values);
-            Solution { status: SolveStatus::Optimal, objective, values, lp_iterations, nodes }
+            Solution {
+                status: SolveStatus::Optimal,
+                objective,
+                values,
+                lp_iterations,
+                nodes,
+            }
         }
         None => Solution::infeasible(),
     })
@@ -185,8 +211,7 @@ mod tests {
         let names = ["a", "b", "c", "d"];
         let profit = [8.0, 11.0, 6.0, 4.0];
         let weight = [5.0, 7.0, 4.0, 3.0];
-        let vars: Vec<_> =
-            names.iter().map(|n| m.add_var(n, 0.0, 1.0, true)).collect();
+        let vars: Vec<_> = names.iter().map(|n| m.add_var(n, 0.0, 1.0, true)).collect();
         let mut cap = LinExpr::new();
         let mut obj = LinExpr::new();
         for (i, &v) in vars.iter().enumerate() {
@@ -258,9 +283,22 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, f64::INFINITY, true);
         let y = m.add_var("y", 0.0, f64::INFINITY, true);
-        m.add_constraint("c1", LinExpr::from(x) + LinExpr::from(y) * 2.0, CmpOp::Ge, 5.0);
-        m.add_constraint("c2", LinExpr::from(x) * 2.0 + LinExpr::from(y), CmpOp::Ge, 5.0);
-        m.set_objective(LinExpr::from(x) * 3.0 + LinExpr::from(y) * 4.0, Sense::Minimize);
+        m.add_constraint(
+            "c1",
+            LinExpr::from(x) + LinExpr::from(y) * 2.0,
+            CmpOp::Ge,
+            5.0,
+        );
+        m.add_constraint(
+            "c2",
+            LinExpr::from(x) * 2.0 + LinExpr::from(y),
+            CmpOp::Ge,
+            5.0,
+        );
+        m.set_objective(
+            LinExpr::from(x) * 3.0 + LinExpr::from(y) * 4.0,
+            Sense::Minimize,
+        );
         let s = m.solve().unwrap();
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!(m.check_feasible(&s.values, 1e-6).is_ok());
@@ -274,7 +312,11 @@ mod tests {
                 }
             }
         }
-        assert!((s.objective - best).abs() < 1e-6, "{} vs {best}", s.objective);
+        assert!(
+            (s.objective - best).abs() < 1e-6,
+            "{} vs {best}",
+            s.objective
+        );
     }
 
     #[test]

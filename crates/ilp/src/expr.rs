@@ -46,7 +46,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant_value(c: f64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: c }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// A single term `coef · var`.

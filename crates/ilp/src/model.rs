@@ -81,15 +81,27 @@ impl Model {
     pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, integer: bool) -> VarId {
         assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound on {name}");
         assert!(lower.is_finite(), "lower bound of {name} must be finite");
-        assert!(lower <= upper, "empty domain for {name}: [{lower}, {upper}]");
-        self.vars.push(VarDef { name: name.to_owned(), lower, upper, integer });
+        assert!(
+            lower <= upper,
+            "empty domain for {name}: [{lower}, {upper}]"
+        );
+        self.vars.push(VarDef {
+            name: name.to_owned(),
+            lower,
+            upper,
+            integer,
+        });
         VarId(self.vars.len() - 1)
     }
 
     /// Adds the constraint `expr op rhs`.
     pub fn add_constraint(&mut self, name: &str, expr: LinExpr, op: CmpOp, rhs: f64) {
-        self.constraints
-            .push(ConstraintDef { name: name.to_owned(), expr, op, rhs });
+        self.constraints.push(ConstraintDef {
+            name: name.to_owned(),
+            expr,
+            op,
+            rhs,
+        });
     }
 
     /// Sets the objective.
@@ -147,7 +159,10 @@ impl Model {
         for (i, v) in self.vars.iter().enumerate() {
             let x = values[i];
             if x < v.lower - tol || x > v.upper + tol {
-                return Err(format!("variable {} = {x} outside [{}, {}]", v.name, v.lower, v.upper));
+                return Err(format!(
+                    "variable {} = {x} outside [{}, {}]",
+                    v.name, v.lower, v.upper
+                ));
             }
             if v.integer && (x - x.round()).abs() > tol {
                 return Err(format!("variable {} = {x} not integral", v.name));
@@ -161,7 +176,10 @@ impl Model {
                 CmpOp::Eq => (lhs - c.rhs).abs() <= tol,
             };
             if !ok {
-                return Err(format!("constraint {} violated: {lhs} vs {}", c.name, c.rhs));
+                return Err(format!(
+                    "constraint {} violated: {lhs} vs {}",
+                    c.name, c.rhs
+                ));
             }
         }
         Ok(())

@@ -11,7 +11,11 @@ use crate::model::{CmpOp, Model, Sense};
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum LpOutcome {
     /// Optimal assignment in original variable space plus objective value.
-    Optimal { values: Vec<f64>, objective: f64, iterations: u64 },
+    Optimal {
+        values: Vec<f64>,
+        objective: f64,
+        iterations: u64,
+    },
     /// No feasible assignment.
     Infeasible,
     /// Objective unbounded in the optimization direction.
@@ -48,12 +52,20 @@ pub(crate) fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> LpOutcome {
             shift += coef * bounds[v.index()].0;
             coefs.push((v.index(), coef));
         }
-        rows.push(Row { coefs, op: c.op, rhs: c.rhs - shift });
+        rows.push(Row {
+            coefs,
+            op: c.op,
+            rhs: c.rhs - shift,
+        });
     }
     // Finite upper bounds become rows x' <= hi - lo.
     for (i, &(lo, hi)) in bounds.iter().enumerate() {
         if hi.is_finite() {
-            rows.push(Row { coefs: vec![(i, 1.0)], op: CmpOp::Le, rhs: hi - lo });
+            rows.push(Row {
+                coefs: vec![(i, 1.0)],
+                op: CmpOp::Le,
+                rhs: hi - lo,
+            });
         }
     }
 
@@ -120,7 +132,15 @@ pub(crate) fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> LpOutcome {
                 }
             }
         }
-        match run_simplex(&mut tab, &mut obj, &mut basic, total, rhs_col, None, &mut iterations) {
+        match run_simplex(
+            &mut tab,
+            &mut obj,
+            &mut basic,
+            total,
+            rhs_col,
+            None,
+            &mut iterations,
+        ) {
             SimplexEnd::Optimal => {}
             SimplexEnd::Unbounded => return LpOutcome::Infeasible, // phase 1 is bounded below by 0
         }
@@ -185,7 +205,11 @@ pub(crate) fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> LpOutcome {
         .map(|(i, &x)| bounds[i].0 + x)
         .collect();
     let objective = model.objective.eval(&values);
-    LpOutcome::Optimal { values, objective, iterations }
+    LpOutcome::Optimal {
+        values,
+        objective,
+        iterations,
+    }
 }
 
 enum SimplexEnd {
@@ -196,6 +220,8 @@ enum SimplexEnd {
 /// Runs primal simplex iterations on the tableau until optimality or
 /// unboundedness. `forbid_from`: columns at or beyond this index may not
 /// enter the basis (used to lock out artificials in phase 2).
+// Dense-tableau kernels: index loops mirror the textbook pivot math.
+#[allow(clippy::needless_range_loop)]
 fn run_simplex(
     tab: &mut [Vec<f64>],
     obj: &mut [f64],
@@ -227,7 +253,9 @@ fn run_simplex(
                 }
             }
         }
-        let Some(e) = entering else { return SimplexEnd::Optimal };
+        let Some(e) = entering else {
+            return SimplexEnd::Optimal;
+        };
         // Ratio test.
         let mut leaving = None;
         let mut best_ratio = f64::INFINITY;
@@ -245,12 +273,15 @@ fn run_simplex(
                 }
             }
         }
-        let Some(l) = leaving else { return SimplexEnd::Unbounded };
+        let Some(l) = leaving else {
+            return SimplexEnd::Unbounded;
+        };
         pivot(tab, obj, l, e, total, basic);
     }
 }
 
 /// Pivots the tableau (and objective row when non-empty) on `(row, col)`.
+#[allow(clippy::needless_range_loop)]
 fn pivot(
     tab: &mut [Vec<f64>],
     obj: &mut [f64],
@@ -302,10 +333,20 @@ mod tests {
         let x = m.add_var("x", 0.0, f64::INFINITY, false);
         let y = m.add_var("y", 0.0, f64::INFINITY, false);
         m.add_constraint("c1", LinExpr::from(x) + LinExpr::from(y), CmpOp::Le, 4.0);
-        m.add_constraint("c2", LinExpr::from(x) * 2.0 + LinExpr::from(y), CmpOp::Le, 5.0);
-        m.set_objective(LinExpr::from(x) * 3.0 + LinExpr::from(y) * 2.0, Sense::Maximize);
+        m.add_constraint(
+            "c2",
+            LinExpr::from(x) * 2.0 + LinExpr::from(y),
+            CmpOp::Le,
+            5.0,
+        );
+        m.set_objective(
+            LinExpr::from(x) * 3.0 + LinExpr::from(y) * 2.0,
+            Sense::Maximize,
+        );
         match solve_lp(&m, &bounds_of(&m)) {
-            LpOutcome::Optimal { values, objective, .. } => {
+            LpOutcome::Optimal {
+                values, objective, ..
+            } => {
                 assert!((objective - 9.0).abs() < 1e-6, "{objective}");
                 assert!((values[0] - 1.0).abs() < 1e-6);
                 assert!((values[1] - 3.0).abs() < 1e-6);
@@ -321,11 +362,23 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, f64::INFINITY, false);
         let y = m.add_var("y", 0.0, f64::INFINITY, false);
-        m.add_constraint("c1", LinExpr::from(x) + LinExpr::from(y) * 2.0, CmpOp::Ge, 6.0);
-        m.add_constraint("c2", LinExpr::from(x) * 3.0 + LinExpr::from(y), CmpOp::Ge, 9.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::from(x) + LinExpr::from(y) * 2.0,
+            CmpOp::Ge,
+            6.0,
+        );
+        m.add_constraint(
+            "c2",
+            LinExpr::from(x) * 3.0 + LinExpr::from(y),
+            CmpOp::Ge,
+            9.0,
+        );
         m.set_objective(LinExpr::from(x) + LinExpr::from(y), Sense::Minimize);
         match solve_lp(&m, &bounds_of(&m)) {
-            LpOutcome::Optimal { objective, values, .. } => {
+            LpOutcome::Optimal {
+                objective, values, ..
+            } => {
                 assert!((objective - 4.2).abs() < 1e-6, "{objective} at {values:?}");
             }
             other => panic!("{other:?}"),
@@ -340,9 +393,14 @@ mod tests {
         let y = m.add_var("y", 0.0, f64::INFINITY, false);
         m.add_constraint("sum", LinExpr::from(x) + LinExpr::from(y), CmpOp::Eq, 10.0);
         m.add_constraint("diff", LinExpr::from(x) - LinExpr::from(y), CmpOp::Eq, 2.0);
-        m.set_objective(LinExpr::from(x) * 2.0 + LinExpr::from(y) * 3.0, Sense::Minimize);
+        m.set_objective(
+            LinExpr::from(x) * 2.0 + LinExpr::from(y) * 3.0,
+            Sense::Minimize,
+        );
         match solve_lp(&m, &bounds_of(&m)) {
-            LpOutcome::Optimal { objective, values, .. } => {
+            LpOutcome::Optimal {
+                objective, values, ..
+            } => {
                 assert!((values[0] - 6.0).abs() < 1e-6);
                 assert!((values[1] - 4.0).abs() < 1e-6);
                 assert!((objective - 24.0).abs() < 1e-6);

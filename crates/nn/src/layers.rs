@@ -65,10 +65,19 @@ impl Linear {
     }
 
     fn params_and_grads(&mut self) -> (Vec<&mut f32>, Vec<f32>) {
-        let grads: Vec<f32> =
-            self.gw.data().iter().chain(self.gb.iter()).copied().collect();
-        let params: Vec<&mut f32> =
-            self.w.data_mut().iter_mut().chain(self.b.iter_mut()).collect();
+        let grads: Vec<f32> = self
+            .gw
+            .data()
+            .iter()
+            .chain(self.gb.iter())
+            .copied()
+            .collect();
+        let params: Vec<&mut f32> = self
+            .w
+            .data_mut()
+            .iter_mut()
+            .chain(self.b.iter_mut())
+            .collect();
         (params, grads)
     }
 
@@ -107,7 +116,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(widths: &[usize], rng: &mut SmallRng) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
@@ -122,7 +134,10 @@ impl Mlp {
 
     /// Forward pass; the cache feeds [`Mlp::backward`].
     pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCache) {
-        let mut cache = MlpCache { inputs: Vec::new(), masks: Vec::new() };
+        let mut cache = MlpCache {
+            inputs: Vec::new(),
+            masks: Vec::new(),
+        };
         let mut cur = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
             cache.inputs.push(cur.clone());
@@ -191,7 +206,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam for `n` parameters at learning rate `lr`.
     pub fn new(n: usize, lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     /// One update step.

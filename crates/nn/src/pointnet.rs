@@ -56,7 +56,11 @@ impl SaLayer {
         let mut rng = init_rng(seed);
         let mut widths = vec![3 + in_features];
         widths.extend_from_slice(&config.mlp_widths);
-        SaLayer { mlp: Mlp::new(&widths, &mut rng), config, in_features }
+        SaLayer {
+            mlp: Mlp::new(&widths, &mut rng),
+            config,
+            in_features,
+        }
     }
 
     /// Output feature width.
@@ -133,7 +137,13 @@ impl SaLayer {
         (
             centroid_points,
             pooled,
-            SaCache { centroid_indices, groups, mlp_cache, argmax, group_rows: m * k },
+            SaCache {
+                centroid_indices,
+                groups,
+                mlp_cache,
+                argmax,
+                group_rows: m * k,
+            },
         )
     }
 
@@ -233,7 +243,12 @@ impl ClsNet {
         );
         let mut rng = init_rng(seed ^ 0x51f0);
         let head = Mlp::new(&[sa2.out_features(), 48, classes], &mut rng);
-        ClsNet { sa1, sa2, head, classes }
+        ClsNet {
+            sa1,
+            sa2,
+            head,
+            classes,
+        }
     }
 
     /// Number of classes.
@@ -247,12 +262,10 @@ impl ClsNet {
     }
 
     /// Forward pass on one cloud; returns `(logits row, cache)`.
-    pub fn forward(
-        &self,
-        points: &[Point3],
-        mode: &SearchMode,
-        seed: u64,
-    ) -> (Matrix, ClsCache) {
+    // Column-wise argmax over a row-major matrix: index form is the
+    // clear spelling.
+    #[allow(clippy::needless_range_loop)]
+    pub fn forward(&self, points: &[Point3], mode: &SearchMode, seed: u64) -> (Matrix, ClsCache) {
         let (c1, f1, sa1_cache) = self.sa1.forward(points, None, mode, seed);
         let (_, f2, sa2_cache) = self.sa2.forward(&c1, Some(&f1), mode, seed ^ 1);
         // Global max pool over centroids.
@@ -380,12 +393,7 @@ impl SegNet {
     }
 
     /// Forward pass; returns `(per-point logits, cache)`.
-    pub fn forward(
-        &self,
-        points: &[Point3],
-        mode: &SearchMode,
-        seed: u64,
-    ) -> (Matrix, SegCache) {
+    pub fn forward(&self, points: &[Point3], mode: &SearchMode, seed: u64) -> (Matrix, SegCache) {
         let (centroids, f1, sa1_cache) = self.sa1.forward(points, None, mode, seed);
         let out_f = f1.cols();
         // 3-NN inverse-distance interpolation back to every point.
@@ -505,7 +513,12 @@ mod tests {
     fn sa_forward_shapes() {
         let pts = cloud(100, 1);
         let sa = SaLayer::new(
-            SaConfig { centroids: 8, group_size: 4, radius: 0.5, mlp_widths: vec![8, 16] },
+            SaConfig {
+                centroids: 8,
+                group_size: 4,
+                radius: 0.5,
+                mlp_widths: vec![8, 16],
+            },
             0,
             1,
         );
@@ -534,7 +547,11 @@ mod tests {
         net.backward(&cache, &d_logits);
         let (_, grads) = net.params_and_grads();
         let nonzero = grads.iter().filter(|&&g| g != 0.0).count();
-        assert!(nonzero > grads.len() / 10, "only {nonzero}/{} grads nonzero", grads.len());
+        assert!(
+            nonzero > grads.len() / 10,
+            "only {nonzero}/{} grads nonzero",
+            grads.len()
+        );
     }
 
     #[test]

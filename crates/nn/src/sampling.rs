@@ -106,7 +106,11 @@ pub fn group_neighbors(
                 pad_group(hits.iter().map(|n| n.index), c, config.group_size)
             })
             .collect(),
-        SearchMode::Streaming { dims, window, deadline_fraction } => {
+        SearchMode::Streaming {
+            dims,
+            window,
+            deadline_fraction,
+        } => {
             let bounds = Aabb::from_points(points.iter().copied())
                 .unwrap_or_else(|| Aabb::point(Point3::ZERO));
             let grid = ChunkGrid::new(bounds, *dims);
@@ -122,12 +126,8 @@ pub fn group_neighbors(
                     for &c in sample {
                         let q = points[c as usize];
                         let win = index.window_for_chunk(grid.chunk_of(q), window);
-                        let (_, stats) = index.range_in_window(
-                            q,
-                            config.radius,
-                            &win,
-                            StepBudget::Unlimited,
-                        );
+                        let (_, stats) =
+                            index.range_in_window(q, config.radius, &win, StepBudget::Unlimited);
                         total += stats.steps;
                         n += win.len().max(1) as u64;
                     }
@@ -218,7 +218,11 @@ mod tests {
     fn exact_groups_are_within_radius() {
         let pts = cloud(300, 3);
         let centroids = farthest_point_sampling(&pts, 8, 0);
-        let cfg = GroupingConfig { radius: 0.5, group_size: 12, mode: SearchMode::Exact };
+        let cfg = GroupingConfig {
+            radius: 0.5,
+            group_size: 12,
+            mode: SearchMode::Exact,
+        };
         let groups = group_neighbors(&pts, &centroids, &cfg);
         assert_eq!(groups.len(), 8);
         for (gi, group) in groups.iter().enumerate() {
@@ -238,7 +242,11 @@ mod tests {
         let exact = group_neighbors(
             &pts,
             &centroids,
-            &GroupingConfig { radius: 0.4, group_size: 8, mode: SearchMode::Exact },
+            &GroupingConfig {
+                radius: 0.4,
+                group_size: 8,
+                mode: SearchMode::Exact,
+            },
         );
         let streaming = group_neighbors(
             &pts,
@@ -287,7 +295,11 @@ mod tests {
         let mut pts = cloud(50, 6);
         pts.push(Point3::splat(100.0));
         let centroids = vec![50u32];
-        let cfg = GroupingConfig { radius: 0.1, group_size: 4, mode: SearchMode::Exact };
+        let cfg = GroupingConfig {
+            radius: 0.1,
+            group_size: 4,
+            mode: SearchMode::Exact,
+        };
         let groups = group_neighbors(&pts, &centroids, &cfg);
         // Range search finds the centroid itself (distance 0).
         assert!(groups[0].iter().all(|&i| i == 50));

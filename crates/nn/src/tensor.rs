@@ -15,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a generator `f(row, col)`.
@@ -176,6 +180,7 @@ impl Matrix {
 ///
 /// Panics if `labels.len() != logits.rows()` or any label is out of
 /// range.
+#[allow(clippy::needless_range_loop)]
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
     assert_eq!(labels.len(), logits.rows(), "label count mismatch");
     let n = logits.rows();
@@ -192,7 +197,11 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
         let p = exps[label] / sum;
         loss -= p.max(1e-12).ln();
         for j in 0..c {
-            grad.set(r, j, (exps[j] / sum - if j == label { 1.0 } else { 0.0 }) / n as f32);
+            grad.set(
+                r,
+                j,
+                (exps[j] / sum - if j == label { 1.0 } else { 0.0 }) / n as f32,
+            );
         }
     }
     (loss / n as f32, grad)

@@ -39,7 +39,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 8, lr: 0.01, seed: 0, mode: SearchMode::Exact, batch: 4 }
+        TrainConfig {
+            epochs: 8,
+            lr: 0.01,
+            seed: 0,
+            mode: SearchMode::Exact,
+            batch: 4,
+        }
     }
 }
 
@@ -93,7 +99,10 @@ pub fn train_classifier(
         }
         epoch_losses.push(total / samples.len().max(1) as f32);
     }
-    TrainStats { epoch_losses, wall_seconds: start.elapsed().as_secs_f64() }
+    TrainStats {
+        epoch_losses,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Classification accuracy under the given inference mode.
@@ -146,7 +155,10 @@ pub fn train_segmenter(
         }
         epoch_losses.push(total / samples.len().max(1) as f32);
     }
-    TrainStats { epoch_losses, wall_seconds: start.elapsed().as_secs_f64() }
+    TrainStats {
+        epoch_losses,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Mean IoU over samples under the given inference mode.
@@ -175,7 +187,11 @@ mod tests {
 
     fn tiny_cls_dataset(per_class: usize, seed: u64) -> Vec<ClsSample> {
         // Two well-separated classes: sphere vs slabs.
-        let cfg = ModelNetConfig { classes: 10, points: 96, noise: 0.0 };
+        let cfg = ModelNetConfig {
+            classes: 10,
+            points: 96,
+            noise: 0.0,
+        };
         let mut out = Vec::new();
         for i in 0..per_class {
             for (slot, class) in [0u32, 8].iter().enumerate() {
@@ -194,7 +210,11 @@ mod tests {
         let stats = train_classifier(
             &mut net,
             &train,
-            &TrainConfig { epochs: 6, lr: 0.01, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 6,
+                lr: 0.01,
+                ..TrainConfig::default()
+            },
         );
         assert!(stats.epoch_losses.last().unwrap() < &stats.epoch_losses[0]);
         let acc = eval_classifier(&net, &test, &SearchMode::Exact);
@@ -233,7 +253,11 @@ mod tests {
         let stats = train_segmenter(
             &mut net,
             &samples[..4],
-            &TrainConfig { epochs: 8, lr: 0.02, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 8,
+                lr: 0.02,
+                ..TrainConfig::default()
+            },
         );
         assert!(stats.epoch_losses.last().unwrap() < &stats.epoch_losses[0]);
         let miou = eval_segmenter(&net, &samples[4..], &SearchMode::Exact, 2);

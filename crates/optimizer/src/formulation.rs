@@ -92,8 +92,8 @@ pub fn edge_infos(graph: &DataflowGraph, source_elements: u64) -> Vec<EdgeInfo> 
             assert!(tau_in > 0.0, "consumer {} has zero input rate", cons.name);
             let volume = volumes[p.index()];
             let global_consumer = cons.kind.is_global();
-            let min_size = (prod.o_shape.elements())
-                .max(cons.i_shape.elements() * cons.beta() as u64);
+            let min_size =
+                (prod.o_shape.elements()).max(cons.i_shape.elements() * cons.beta() as u64);
             EdgeInfo {
                 producer: p,
                 consumer: c,
@@ -187,9 +187,8 @@ pub fn build(
                     // Eqn. 6 pruned to its two binding points:
                     // (a) the consumer cannot start before the first read
                     //     burst has been written;
-                    let startup = (graph.node(e.consumer).i_shape.elements() as f64
-                        / e.tau_out)
-                        .ceil();
+                    let startup =
+                        (graph.node(e.consumer).i_shape.elements() as f64 / e.tau_out).ceil();
                     model.add_constraint(
                         &format!("dep_start_{prod_name}_{cons_name}"),
                         LinExpr::from(tc) - LinExpr::from(tp),
@@ -236,8 +235,7 @@ pub fn build(
             // LB ≥ (t_C − t_P − depth)·τ_out.
             model.add_constraint(
                 &format!("size_head_{prod_name}_{cons_name}"),
-                LinExpr::from(lb)
-                    + (LinExpr::from(tp) - LinExpr::from(tc)) * e.tau_out,
+                LinExpr::from(lb) + (LinExpr::from(tp) - LinExpr::from(tc)) * e.tau_out,
                 CmpOp::Ge,
                 -t_w_off * e.tau_out,
             );
@@ -245,8 +243,7 @@ pub fn build(
             // LB ≥ W − (t_e − t_C)·τ_in with t_e = t_P + depth + write_dur.
             model.add_constraint(
                 &format!("size_tail_{prod_name}_{cons_name}"),
-                LinExpr::from(lb)
-                    + (LinExpr::from(tp) - LinExpr::from(tc)) * e.tau_in,
+                LinExpr::from(lb) + (LinExpr::from(tp) - LinExpr::from(tc)) * e.tau_in,
                 CmpOp::Ge,
                 e.volume as f64 - e.tau_in * (t_w_off + e.write_dur),
             );
@@ -281,7 +278,13 @@ pub fn build(
     }
     model.set_objective(objective, Sense::Minimize);
 
-    Formulation { model, t_vars, lb_vars, edges, constraint_count }
+    Formulation {
+        model,
+        t_vars,
+        lb_vars,
+        edges,
+        constraint_count,
+    }
 }
 
 #[cfg(test)]

@@ -114,10 +114,7 @@ impl From<SolveError> for OptimizeError {
 /// performance target, [`OptimizeError::Solver`] on solver failure, and
 /// [`OptimizeError::ValidationFailed`] if the analytic occupancy check
 /// rejects the solution (formulation bug guard).
-pub fn optimize(
-    graph: &DataflowGraph,
-    config: &OptimizeConfig,
-) -> Result<Schedule, OptimizeError> {
+pub fn optimize(graph: &DataflowGraph, config: &OptimizeConfig) -> Result<Schedule, OptimizeError> {
     let edges = edge_infos(graph, config.source_elements);
     let (_, asap_makespan) = asap_schedule(graph, &edges);
     // One cycle of headroom per stage: integer start times round up
@@ -147,9 +144,10 @@ pub fn optimize(
     let mut makespan = 0u64;
     for e in &edges {
         let read_end = start_cycles[e.consumer.index()] as f64 + e.read_dur;
-        let write_end =
-            start_cycles[e.producer.index()] as f64 + e.depth_p as f64 + e.write_dur;
-        makespan = makespan.max(read_end.ceil() as u64).max(write_end.ceil() as u64);
+        let write_end = start_cycles[e.producer.index()] as f64 + e.depth_p as f64 + e.write_dur;
+        makespan = makespan
+            .max(read_end.ceil() as u64)
+            .max(write_end.ceil() as u64);
     }
     let schedule = Schedule {
         start_cycles,

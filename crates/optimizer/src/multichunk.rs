@@ -56,7 +56,11 @@ pub fn plan_multi_chunk(graph: &DataflowGraph, edges: &[EdgeInfo]) -> MultiChunk
     }
     let ii = busy.iter().copied().max().unwrap_or(1).max(1);
     let bubbles = busy.iter().map(|&b| ii - b).collect();
-    MultiChunkPlan { initiation_interval: ii, bubbles, busy }
+    MultiChunkPlan {
+        initiation_interval: ii,
+        bubbles,
+        busy,
+    }
 }
 
 /// Peak per-edge occupancy over `n_chunks` chunks when every stage

@@ -68,8 +68,7 @@ pub fn asap_schedule(graph: &DataflowGraph, edges: &[EdgeInfo]) -> (Vec<f64>, f6
     let mut makespan = 0.0f64;
     for e in edges {
         makespan = makespan.max(start[e.consumer.index()] + e.read_dur);
-        makespan =
-            makespan.max(start[e.producer.index()] + e.depth_p as f64 + e.write_dur);
+        makespan = makespan.max(start[e.producer.index()] + e.depth_p as f64 + e.write_dur);
     }
     (start, makespan)
 }
@@ -105,10 +104,7 @@ pub fn peak_occupancy(edge: &EdgeInfo, chunk_starts: &[(f64, f64)]) -> f64 {
         }
         occ
     };
-    events
-        .into_iter()
-        .map(occupancy_at)
-        .fold(0.0f64, f64::max)
+    events.into_iter().map(occupancy_at).fold(0.0f64, f64::max)
 }
 
 /// Validates that `schedule`'s buffer sizes cover the analytic peak

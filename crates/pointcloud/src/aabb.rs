@@ -87,7 +87,10 @@ impl Aabb {
     /// Returns the smallest box containing both `self` and `other`.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Returns a copy inflated by `margin` on every side.
@@ -96,7 +99,10 @@ impl Aabb {
     ///
     /// Panics if `margin` is negative enough to invert the box.
     pub fn inflated(&self, margin: f32) -> Aabb {
-        Aabb::new(self.min - Point3::splat(margin), self.max + Point3::splat(margin))
+        Aabb::new(
+            self.min - Point3::splat(margin),
+            self.max + Point3::splat(margin),
+        )
     }
 
     /// `true` when `p` lies inside or on the boundary.

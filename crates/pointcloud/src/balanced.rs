@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::grid::{ChunkId, ChunkPartition, PartitionKind};
+use crate::grid::{ChunkPartition, PartitionKind};
 use crate::point::Point3;
 
 /// A quantile-balanced recursive split along alternating axes.
@@ -59,7 +59,10 @@ impl BalancedSplit {
                     continue;
                 }
                 // Split along the widest axis of this cell's population.
-                let (mut lo, mut hi) = (Point3::splat(f32::INFINITY), Point3::splat(f32::NEG_INFINITY));
+                let (mut lo, mut hi) = (
+                    Point3::splat(f32::INFINITY),
+                    Point3::splat(f32::NEG_INFINITY),
+                );
                 for &i in &cell {
                     lo = lo.min(points[i as usize]);
                     hi = hi.max(points[i as usize]);
@@ -103,7 +106,7 @@ impl BalancedSplit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::{ChunkGrid, GridDims};
+    use crate::grid::{ChunkGrid, ChunkId, GridDims};
     use crate::Aabb;
     use rand::rngs::SmallRng;
     use rand::{RngExt, SeedableRng};

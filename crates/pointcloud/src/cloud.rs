@@ -40,12 +40,18 @@ impl PointCloud {
 
     /// Creates an empty cloud with room for `n` points.
     pub fn with_capacity(n: usize) -> Self {
-        PointCloud { points: Vec::with_capacity(n), ..PointCloud::default() }
+        PointCloud {
+            points: Vec::with_capacity(n),
+            ..PointCloud::default()
+        }
     }
 
     /// Creates a cloud from bare positions.
     pub fn from_points(points: Vec<Point3>) -> Self {
-        PointCloud { points, ..PointCloud::default() }
+        PointCloud {
+            points,
+            ..PointCloud::default()
+        }
     }
 
     /// Creates a cloud from positions and per-point labels.
@@ -55,7 +61,11 @@ impl PointCloud {
     /// Panics if the two vectors have different lengths.
     pub fn from_labeled(points: Vec<Point3>, labels: Vec<u32>) -> Self {
         assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
-        PointCloud { points, labels, ..PointCloud::default() }
+        PointCloud {
+            points,
+            labels,
+            ..PointCloud::default()
+        }
     }
 
     /// Number of points.
@@ -75,7 +85,8 @@ impl PointCloud {
     pub fn push(&mut self, p: Point3) {
         self.points.push(p);
         if self.feature_dim > 0 {
-            self.features.extend(std::iter::repeat(0.0).take(self.feature_dim));
+            self.features
+                .extend(std::iter::repeat_n(0.0, self.feature_dim));
         }
         if !self.labels.is_empty() {
             self.labels.push(0);
@@ -147,7 +158,11 @@ impl PointCloud {
     ///
     /// Panics if `labels.len() != self.len()`.
     pub fn set_labels(&mut self, labels: Vec<u32>) {
-        assert_eq!(labels.len(), self.points.len(), "labels must match point count");
+        assert_eq!(
+            labels.len(),
+            self.points.len(),
+            "labels must match point count"
+        );
         self.labels = labels;
     }
 
@@ -185,7 +200,10 @@ impl PointCloud {
     /// Panics if any index is out of bounds.
     pub fn select(&self, indices: &[u32]) -> PointCloud {
         let points = indices.iter().map(|&i| self.points[i as usize]).collect();
-        let mut out = PointCloud { points, ..PointCloud::default() };
+        let mut out = PointCloud {
+            points,
+            ..PointCloud::default()
+        };
         if self.feature_dim > 0 {
             let mut features = Vec::with_capacity(indices.len() * self.feature_dim);
             for &i in indices {
@@ -207,11 +225,15 @@ impl PointCloud {
     ///
     /// Panics if the feature widths differ.
     pub fn append(&mut self, other: &PointCloud) {
-        assert_eq!(self.feature_dim, other.feature_dim, "feature width mismatch");
+        assert_eq!(
+            self.feature_dim, other.feature_dim,
+            "feature width mismatch"
+        );
         self.points.extend_from_slice(&other.points);
         self.features.extend_from_slice(&other.features);
         if !self.labels.is_empty() || !other.labels.is_empty() {
-            self.labels.resize(self.points.len() - other.points.len(), 0);
+            self.labels
+                .resize(self.points.len() - other.points.len(), 0);
             if other.labels.is_empty() {
                 self.labels.resize(self.points.len(), 0);
             } else {

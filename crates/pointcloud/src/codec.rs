@@ -5,8 +5,9 @@
 //! 16 bits inside the cloud's bounding box (48 bits/point + a small
 //! header), which is also the element width the energy model charges per
 //! line-buffer access.
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+//!
+//! The wire format is a plain `Vec<u8>` — the workspace builds offline
+//! without the `bytes` crate, and nothing here needs refcounted slices.
 
 use crate::aabb::Aabb;
 use crate::cloud::PointCloud;
@@ -45,22 +46,58 @@ impl std::error::Error for DecodeError {}
 
 const MAGIC: u32 = 0x5347_5043; // "SGPC"
 
+/// Sequential big-endian reader over the wire bytes.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get<const N: usize>(&mut self) -> [u8; N] {
+        let bytes: [u8; N] = self.data[self.pos..self.pos + N]
+            .try_into()
+            .expect("length checked by caller");
+        self.pos += N;
+        bytes
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.get())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.get())
+    }
+
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.get())
+    }
+}
+
 /// Encodes a cloud into the quantized wire format.
 ///
 /// Positions are quantized to 16 bits per axis within the cloud bounds;
 /// features and labels are not encoded (the accelerator streams them on
 /// separate lanes).
-pub fn encode(cloud: &PointCloud) -> Bytes {
+pub fn encode(cloud: &PointCloud) -> Vec<u8> {
     let bounds = cloud
         .bounds()
         .unwrap_or_else(|| Aabb::new(Point3::ZERO, Point3::ZERO));
-    let mut buf = BytesMut::with_capacity(4 + 4 + 24 + cloud.len() * BYTES_PER_POINT);
-    buf.put_u32(MAGIC);
-    buf.put_u32(cloud.len() as u32);
+    let mut buf = Vec::with_capacity(4 + 4 + 24 + cloud.len() * BYTES_PER_POINT);
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.extend_from_slice(&(cloud.len() as u32).to_be_bytes());
     for v in [bounds.min(), bounds.max()] {
-        buf.put_f32(v.x);
-        buf.put_f32(v.y);
-        buf.put_f32(v.z);
+        buf.extend_from_slice(&v.x.to_be_bytes());
+        buf.extend_from_slice(&v.y.to_be_bytes());
+        buf.extend_from_slice(&v.z.to_be_bytes());
     }
     let ext = bounds.extent();
     let q = |v: f32, lo: f32, e: f32| -> u16 {
@@ -72,11 +109,11 @@ pub fn encode(cloud: &PointCloud) -> Bytes {
     };
     let min = bounds.min();
     for &p in cloud.points() {
-        buf.put_u16(q(p.x, min.x, ext.x));
-        buf.put_u16(q(p.y, min.y, ext.y));
-        buf.put_u16(q(p.z, min.z, ext.z));
+        buf.extend_from_slice(&q(p.x, min.x, ext.x).to_be_bytes());
+        buf.extend_from_slice(&q(p.y, min.y, ext.y).to_be_bytes());
+        buf.extend_from_slice(&q(p.z, min.z, ext.z).to_be_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a cloud previously produced by [`encode`].
@@ -86,9 +123,13 @@ pub fn encode(cloud: &PointCloud) -> Bytes {
 /// Returns [`DecodeError::BadMagic`] when the stream does not start with
 /// the codec tag, and [`DecodeError::Truncated`] when the payload is
 /// shorter than the header declares.
-pub fn decode(mut data: Bytes) -> Result<PointCloud, DecodeError> {
+pub fn decode(data: &[u8]) -> Result<PointCloud, DecodeError> {
+    let mut data = Reader::new(data);
     if data.remaining() < 8 {
-        return Err(DecodeError::Truncated { expected: 0, available: data.remaining() });
+        return Err(DecodeError::Truncated {
+            expected: 0,
+            available: data.remaining(),
+        });
     }
     let magic = data.get_u32();
     if magic != MAGIC {
@@ -96,12 +137,18 @@ pub fn decode(mut data: Bytes) -> Result<PointCloud, DecodeError> {
     }
     let n = data.get_u32() as usize;
     if data.remaining() < 24 {
-        return Err(DecodeError::Truncated { expected: n, available: data.remaining() });
+        return Err(DecodeError::Truncated {
+            expected: n,
+            available: data.remaining(),
+        });
     }
     let min = Point3::new(data.get_f32(), data.get_f32(), data.get_f32());
     let max = Point3::new(data.get_f32(), data.get_f32(), data.get_f32());
     if data.remaining() < n * BYTES_PER_POINT {
-        return Err(DecodeError::Truncated { expected: n, available: data.remaining() });
+        return Err(DecodeError::Truncated {
+            expected: n,
+            available: data.remaining(),
+        });
     }
     let ext = max - min;
     let mut cloud = PointCloud::with_capacity(n);
@@ -132,7 +179,7 @@ mod tests {
     #[test]
     fn roundtrip_within_quantization_error() {
         let cloud = sample();
-        let decoded = decode(encode(&cloud)).unwrap();
+        let decoded = decode(&encode(&cloud)).unwrap();
         assert_eq!(decoded.len(), cloud.len());
         let ext = cloud.bounds().unwrap().extent();
         let tol = ext.norm() / 65535.0 * 2.0;
@@ -143,24 +190,26 @@ mod tests {
 
     #[test]
     fn empty_cloud_roundtrips() {
-        let decoded = decode(encode(&PointCloud::new())).unwrap();
+        let decoded = decode(&encode(&PointCloud::new())).unwrap();
         assert!(decoded.is_empty());
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut raw = BytesMut::new();
-        raw.put_u32(0xdead_beef);
-        raw.put_u32(0);
-        raw.put_slice(&[0u8; 24]);
-        assert!(matches!(decode(raw.freeze()), Err(DecodeError::BadMagic(0xdead_beef))));
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&0xdead_beefu32.to_be_bytes());
+        raw.extend_from_slice(&0u32.to_be_bytes());
+        raw.extend_from_slice(&[0u8; 24]);
+        assert!(matches!(
+            decode(&raw),
+            Err(DecodeError::BadMagic(0xdead_beef))
+        ));
     }
 
     #[test]
     fn truncated_payload_rejected() {
         let encoded = encode(&sample());
-        let cut = encoded.slice(0..encoded.len() - 3);
-        match decode(cut) {
+        match decode(&encoded[..encoded.len() - 3]) {
             Err(DecodeError::Truncated { expected: 3, .. }) => {}
             other => panic!("expected truncation error, got {other:?}"),
         }

@@ -113,20 +113,24 @@ pub fn generate(kind: SceneKind, count: usize, seed: u64) -> GaussianScene {
             scale: Point3::new(
                 base_scale * aniso,
                 base_scale / aniso,
-                base_scale * rng.random_range(0.5..1.5),
+                base_scale * rng.random_range(0.5f32..1.5),
             ),
             yaw: rng.random_range(0.0..std::f32::consts::TAU),
             color: [
-                (palettes[ci][0] + rng.random_range(-0.1..0.1)).clamp(0.0, 1.0),
-                (palettes[ci][1] + rng.random_range(-0.1..0.1)).clamp(0.0, 1.0),
-                (palettes[ci][2] + rng.random_range(-0.1..0.1)).clamp(0.0, 1.0),
+                (palettes[ci][0] + rng.random_range(-0.1f32..0.1)).clamp(0.0, 1.0),
+                (palettes[ci][1] + rng.random_range(-0.1f32..0.1)).clamp(0.0, 1.0),
+                (palettes[ci][2] + rng.random_range(-0.1f32..0.1)).clamp(0.0, 1.0),
             ],
             opacity: rng.random_range(0.3..0.95),
         });
     }
     let bounds = Aabb::from_points(gaussians.iter().map(|g| g.center))
         .unwrap_or_else(|| Aabb::point(Point3::ZERO));
-    GaussianScene { gaussians, bounds, kind }
+    GaussianScene {
+        gaussians,
+        bounds,
+        kind,
+    }
 }
 
 #[cfg(test)]

@@ -41,9 +41,9 @@ impl Scene {
                     break (cx, cy);
                 }
             };
-            let sx = rng.random_range(2.0..10.0);
-            let sy = rng.random_range(2.0..10.0);
-            let sz = rng.random_range(3.0..15.0);
+            let sx = rng.random_range(2.0f32..10.0);
+            let sy = rng.random_range(2.0f32..10.0);
+            let sz = rng.random_range(3.0f32..15.0);
             boxes.push(Aabb::new(
                 Point3::new(cx - sx / 2.0, cy - sy / 2.0, 0.0),
                 Point3::new(cx + sx / 2.0, cy + sy / 2.0, sz),
@@ -57,9 +57,18 @@ impl Scene {
             } else {
                 rng.random_range(-3.8..-2.5)
             };
-            poles.push((x, y, rng.random_range(0.05..0.2), rng.random_range(3.0..8.0)));
+            poles.push((
+                x,
+                y,
+                rng.random_range(0.05..0.2),
+                rng.random_range(3.0..8.0),
+            ));
         }
-        Scene { boxes, poles, ground_z: 0.0 }
+        Scene {
+            boxes,
+            poles,
+            ground_z: 0.0,
+        }
     }
 
     /// Casts a ray from `origin` along unit `dir`; returns the hit range
@@ -212,13 +221,7 @@ pub struct LidarScan {
 /// let sweep = scan(&scene, &LidarConfig::default(), Point3::ZERO, 0.0, 42);
 /// assert!(sweep.cloud.len() > 1000);
 /// ```
-pub fn scan(
-    scene: &Scene,
-    config: &LidarConfig,
-    pose: Point3,
-    yaw: f32,
-    seed: u64,
-) -> LidarScan {
+pub fn scan(scene: &Scene, config: &LidarConfig, pose: Point3, yaw: f32, seed: u64) -> LidarScan {
     let mut rng = super::rng(seed);
     let origin = pose + Point3::new(0.0, 0.0, config.sensor_height);
     let mut cloud = PointCloud::with_capacity(config.beams * config.azimuth_steps / 2);
@@ -238,14 +241,17 @@ pub fn scan(
                 // Sensor frame: subtract pose, rotate by -yaw around z.
                 let rel = world - origin;
                 let (sy, cy) = (-yaw).sin_cos();
-                let local =
-                    Point3::new(rel.x * cy - rel.y * sy, rel.x * sy + rel.y * cy, rel.z);
+                let local = Point3::new(rel.x * cy - rel.y * sy, rel.x * sy + rel.y * cy, rel.z);
                 cloud.push(local);
                 rings.push(beam as u16);
             }
         }
     }
-    LidarScan { cloud, rings, sensor_origin: origin }
+    LidarScan {
+        cloud,
+        rings,
+        sensor_origin: origin,
+    }
 }
 
 /// Standard-normal sample via Box–Muller.
@@ -285,9 +291,17 @@ mod tests {
 
     #[test]
     fn raycast_hits_ground() {
-        let scene = Scene { boxes: vec![], poles: vec![], ground_z: 0.0 };
+        let scene = Scene {
+            boxes: vec![],
+            poles: vec![],
+            ground_z: 0.0,
+        };
         let t = scene
-            .raycast(Point3::new(0.0, 0.0, 2.0), Point3::new(0.0, 0.0, -1.0), 100.0)
+            .raycast(
+                Point3::new(0.0, 0.0, 2.0),
+                Point3::new(0.0, 0.0, -1.0),
+                100.0,
+            )
             .unwrap();
         assert!((t - 2.0).abs() < 1e-5);
     }
@@ -295,31 +309,53 @@ mod tests {
     #[test]
     fn raycast_hits_box_front_face() {
         let scene = Scene {
-            boxes: vec![Aabb::new(Point3::new(5.0, -1.0, 0.0), Point3::new(7.0, 1.0, 3.0))],
+            boxes: vec![Aabb::new(
+                Point3::new(5.0, -1.0, 0.0),
+                Point3::new(7.0, 1.0, 3.0),
+            )],
             poles: vec![],
             ground_z: -100.0,
         };
         let t = scene
-            .raycast(Point3::new(0.0, 0.0, 1.0), Point3::new(1.0, 0.0, 0.0), 100.0)
+            .raycast(
+                Point3::new(0.0, 0.0, 1.0),
+                Point3::new(1.0, 0.0, 0.0),
+                100.0,
+            )
             .unwrap();
         assert!((t - 5.0).abs() < 1e-5);
     }
 
     #[test]
     fn raycast_misses_beyond_max_range() {
-        let scene = Scene { boxes: vec![], poles: vec![], ground_z: 0.0 };
+        let scene = Scene {
+            boxes: vec![],
+            poles: vec![],
+            ground_z: 0.0,
+        };
         assert!(scene
-            .raycast(Point3::new(0.0, 0.0, 2.0), Point3::new(1.0, 0.0, -0.001), 10.0)
+            .raycast(
+                Point3::new(0.0, 0.0, 2.0),
+                Point3::new(1.0, 0.0, -0.001),
+                10.0
+            )
             .is_none());
     }
 
     #[test]
     fn raycast_hits_pole() {
         // Horizontal ray at z = 1 through a pole spanning z in [0, 4].
-        let scene =
-            Scene { boxes: vec![], poles: vec![(5.0, 0.0, 0.5, 4.0)], ground_z: 0.0 };
+        let scene = Scene {
+            boxes: vec![],
+            poles: vec![(5.0, 0.0, 0.5, 4.0)],
+            ground_z: 0.0,
+        };
         let t = scene
-            .raycast(Point3::new(0.0, 0.0, 1.0), Point3::new(1.0, 0.0, 0.0), 100.0)
+            .raycast(
+                Point3::new(0.0, 0.0, 1.0),
+                Point3::new(1.0, 0.0, 0.0),
+                100.0,
+            )
             .unwrap();
         assert!((t - 4.5).abs() < 1e-4);
     }
@@ -327,7 +363,11 @@ mod tests {
     #[test]
     fn scan_points_within_range_and_serialized_by_ring() {
         let scene = Scene::urban(3, 40.0, 15, 8);
-        let cfg = LidarConfig { beams: 4, azimuth_steps: 180, ..LidarConfig::default() };
+        let cfg = LidarConfig {
+            beams: 4,
+            azimuth_steps: 180,
+            ..LidarConfig::default()
+        };
         let sweep = scan(&scene, &cfg, Point3::ZERO, 0.3, 11);
         assert!(!sweep.cloud.is_empty());
         assert_eq!(sweep.cloud.len(), sweep.rings.len());
@@ -336,7 +376,10 @@ mod tests {
         // All ranges within max range (+noise slack).
         let origin = Point3::new(0.0, 0.0, cfg.sensor_height);
         for &p in sweep.cloud.points() {
-            assert!(p.dist(Point3::ZERO) <= cfg.max_range + 1.0, "{p} vs origin {origin}");
+            assert!(
+                p.dist(Point3::ZERO) <= cfg.max_range + 1.0,
+                "{p} vs origin {origin}"
+            );
         }
     }
 
@@ -345,7 +388,11 @@ mod tests {
         // Consecutive returns in the stream should usually be close — the
         // property the serial split relies on.
         let scene = Scene::urban(5, 40.0, 15, 8);
-        let cfg = LidarConfig { beams: 8, azimuth_steps: 360, ..LidarConfig::default() };
+        let cfg = LidarConfig {
+            beams: 8,
+            azimuth_steps: 360,
+            ..LidarConfig::default()
+        };
         let sweep = scan(&scene, &cfg, Point3::ZERO, 0.0, 5);
         let pts = sweep.cloud.points();
         let mut near = 0usize;

@@ -68,7 +68,11 @@ impl Shape {
             }
             Shape::Slabs => {
                 let p = cube_surface(rng, 1.0, 1.0, 0.08);
-                let dz = if rng.random_bool(0.5) { 0.5 } else { -0.5 - 0.3 * style };
+                let dz = if rng.random_bool(0.5) {
+                    0.5
+                } else {
+                    -0.5 - 0.3 * style
+                };
                 p + Point3::new(0.0, 0.0, dz)
             }
             Shape::Cross => {
@@ -119,10 +123,18 @@ fn cylinder_surface(rng: &mut SmallRng, r: f32, h: f32) -> Point3 {
     let pick: f32 = rng.random_range(0.0..side_area + 2.0 * cap_area);
     let theta = rng.random_range(0.0..std::f32::consts::TAU);
     if pick < side_area {
-        Point3::new(r * theta.cos(), r * theta.sin(), rng.random_range(-h / 2.0..h / 2.0))
+        Point3::new(
+            r * theta.cos(),
+            r * theta.sin(),
+            rng.random_range(-h / 2.0..h / 2.0),
+        )
     } else {
         let rr = r * rng.random_range(0.0f32..1.0).sqrt();
-        let z = if pick < side_area + cap_area { h / 2.0 } else { -h / 2.0 };
+        let z = if pick < side_area + cap_area {
+            h / 2.0
+        } else {
+            -h / 2.0
+        };
         Point3::new(rr * theta.cos(), rr * theta.sin(), z)
     }
 }
@@ -182,7 +194,11 @@ fn pyramid_surface(rng: &mut SmallRng, half_base: f32, h: f32) -> Point3 {
 fn capsule_surface(rng: &mut SmallRng, r: f32, h: f32) -> Point3 {
     if rng.random_bool(0.6) {
         let theta = rng.random_range(0.0..std::f32::consts::TAU);
-        Point3::new(r * theta.cos(), r * theta.sin(), rng.random_range(-h / 2.0..h / 2.0))
+        Point3::new(
+            r * theta.cos(),
+            r * theta.sin(),
+            rng.random_range(-h / 2.0..h / 2.0),
+        )
     } else {
         let p = unit_sphere(rng) * r;
         if p.z >= 0.0 {
@@ -206,7 +222,11 @@ pub struct ModelNetConfig {
 
 impl Default for ModelNetConfig {
     fn default() -> Self {
-        ModelNetConfig { classes: 10, points: 512, noise: 0.01 }
+        ModelNetConfig {
+            classes: 10,
+            points: 512,
+            noise: 0.01,
+        }
     }
 }
 
@@ -263,7 +283,11 @@ pub fn dataset(config: &ModelNetConfig, per_class: usize, seed: u64) -> Vec<Samp
     let mut out = Vec::with_capacity(config.classes * per_class);
     for label in 0..config.classes as u32 {
         for i in 0..per_class {
-            out.push(sample(config, label, seed ^ (label as u64) << 32 ^ i as u64));
+            out.push(sample(
+                config,
+                label,
+                seed ^ (label as u64) << 32 ^ i as u64,
+            ));
         }
     }
     out
@@ -272,7 +296,9 @@ pub fn dataset(config: &ModelNetConfig, per_class: usize, seed: u64) -> Vec<Samp
 /// Centers the cloud and scales it so the farthest point sits on the unit
 /// sphere.
 pub fn normalize_unit_sphere(cloud: &mut PointCloud) {
-    let Some(centroid) = cloud.centroid() else { return };
+    let Some(centroid) = cloud.centroid() else {
+        return;
+    };
     cloud.transform(|p| p - centroid);
     let max_norm = cloud.iter().map(|p| p.norm()).fold(0.0f32, f32::max);
     if max_norm > 0.0 {
@@ -297,7 +323,10 @@ mod tests {
             let s = sample(&cfg, label, 42);
             assert_eq!(s.cloud.len(), cfg.points);
             let max_norm = s.cloud.iter().map(|p| p.norm()).fold(0.0f32, f32::max);
-            assert!(max_norm <= 1.0 + 4.0 * cfg.noise, "class {label}: {max_norm}");
+            assert!(
+                max_norm <= 1.0 + 4.0 * cfg.noise,
+                "class {label}: {max_norm}"
+            );
         }
     }
 
@@ -313,7 +342,11 @@ mod tests {
 
     #[test]
     fn dataset_is_balanced() {
-        let cfg = ModelNetConfig { classes: 10, points: 64, noise: 0.0 };
+        let cfg = ModelNetConfig {
+            classes: 10,
+            points: 64,
+            noise: 0.0,
+        };
         let ds = dataset(&cfg, 3, 1);
         assert_eq!(ds.len(), 30);
         for label in 0..10u32 {
@@ -323,7 +356,11 @@ mod tests {
 
     #[test]
     fn modelnet40_styles_differ() {
-        let cfg = ModelNetConfig { classes: 40, points: 256, noise: 0.0 };
+        let cfg = ModelNetConfig {
+            classes: 40,
+            points: 256,
+            noise: 0.0,
+        };
         // Same base shape (cylinder = 2), different style regimes.
         let a = sample(&cfg, 2, 9);
         let b = sample(&cfg, 32, 9);
@@ -336,7 +373,11 @@ mod tests {
     fn shapes_are_distinguishable_by_spread() {
         // Sphere points all sit at norm 1 before noise; torus has a
         // bimodal radial profile. A crude spread statistic should differ.
-        let cfg = ModelNetConfig { classes: 10, points: 512, noise: 0.0 };
+        let cfg = ModelNetConfig {
+            classes: 10,
+            points: 512,
+            noise: 0.0,
+        };
         let radial_std = |s: &Sample| {
             let norms: Vec<f32> = s.cloud.iter().map(|p| p.norm()).collect();
             let mean = norms.iter().sum::<f32>() / norms.len() as f32;
@@ -350,7 +391,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "classes must be 10 or 40")]
     fn bad_class_count_panics() {
-        let cfg = ModelNetConfig { classes: 13, ..ModelNetConfig::default() };
+        let cfg = ModelNetConfig {
+            classes: 13,
+            ..ModelNetConfig::default()
+        };
         let _ = sample(&cfg, 0, 0);
     }
 }

@@ -27,8 +27,12 @@ pub enum Category {
 
 impl Category {
     /// All categories in label order.
-    pub const ALL: [Category; 4] =
-        [Category::Table, Category::Lamp, Category::Airplane, Category::Chair];
+    pub const ALL: [Category; 4] = [
+        Category::Table,
+        Category::Lamp,
+        Category::Airplane,
+        Category::Chair,
+    ];
 
     /// Number of part labels for this category.
     pub fn part_count(self) -> usize {
@@ -61,7 +65,11 @@ fn box_point(rng: &mut SmallRng, c: Point3, half: Point3) -> Point3 {
 fn cylinder_point(rng: &mut SmallRng, c: Point3, r: f32, h: f32) -> Point3 {
     let theta = rng.random_range(0.0..std::f32::consts::TAU);
     let rr = r * rng.random_range(0.0f32..1.0).sqrt();
-    c + Point3::new(rr * theta.cos(), rr * theta.sin(), rng.random_range(-h / 2.0..h / 2.0))
+    c + Point3::new(
+        rr * theta.cos(),
+        rr * theta.sin(),
+        rng.random_range(-h / 2.0..h / 2.0),
+    )
 }
 
 /// Generates one part-labeled object.
@@ -99,17 +107,29 @@ pub fn sample(category: Category, points: usize, seed: u64) -> SegSample {
             Category::Lamp => {
                 let r: f32 = rng.random_range(0.0..1.0);
                 if r < 0.25 {
-                    (cylinder_point(&mut rng, Point3::new(0.0, 0.0, -0.6), 0.3 * jitter, 0.08), 0)
+                    (
+                        cylinder_point(&mut rng, Point3::new(0.0, 0.0, -0.6), 0.3 * jitter, 0.08),
+                        0,
+                    )
                 } else if r < 0.55 {
-                    (cylinder_point(&mut rng, Point3::ZERO, 0.04, 1.2 * jitter), 1)
+                    (
+                        cylinder_point(&mut rng, Point3::ZERO, 0.04, 1.2 * jitter),
+                        1,
+                    )
                 } else {
-                    (cylinder_point(&mut rng, Point3::new(0.0, 0.0, 0.65), 0.35 * jitter, 0.4), 2)
+                    (
+                        cylinder_point(&mut rng, Point3::new(0.0, 0.0, 0.65), 0.35 * jitter, 0.4),
+                        2,
+                    )
                 }
             }
             Category::Airplane => {
                 let r: f32 = rng.random_range(0.0..1.0);
                 if r < 0.4 {
-                    (cylinder_point(&mut rng, Point3::ZERO, 0.12 * jitter, 1.6).yz_swap(), 0)
+                    (
+                        cylinder_point(&mut rng, Point3::ZERO, 0.12 * jitter, 1.6).yz_swap(),
+                        0,
+                    )
                 } else if r < 0.8 {
                     (
                         box_point(
@@ -153,7 +173,10 @@ pub fn sample(category: Category, points: usize, seed: u64) -> SegSample {
                 } else {
                     let lx = if rng.random_bool(0.5) { 0.38 } else { -0.38 };
                     let ly = if rng.random_bool(0.5) { 0.38 } else { -0.38 };
-                    (cylinder_point(&mut rng, Point3::new(lx, ly, -0.4), 0.04, 0.8), 2)
+                    (
+                        cylinder_point(&mut rng, Point3::new(lx, ly, -0.4), 0.04, 0.8),
+                        2,
+                    )
                 }
             }
         };
@@ -240,10 +263,7 @@ mod tests {
             assert_eq!(s.cloud.len(), 1024);
             let labels = s.cloud.labels();
             for part in 0..cat.part_count() as u32 {
-                assert!(
-                    labels.contains(&part),
-                    "{cat:?} missing part {part}"
-                );
+                assert!(labels.contains(&part), "{cat:?} missing part {part}");
             }
             assert!(labels.iter().all(|&l| (l as usize) < cat.part_count()));
         }

@@ -45,7 +45,10 @@ impl GridDims {
     ///
     /// Panics if any dimension is zero.
     pub fn new(nx: u32, ny: u32, nz: u32) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
         GridDims { nx, ny, nz }
     }
 
@@ -66,7 +69,11 @@ impl GridDims {
     #[inline]
     pub fn coords(&self, id: ChunkId) -> (u32, u32, u32) {
         let i = id.0;
-        (i % self.nx, (i / self.nx) % self.ny, i / (self.nx * self.ny))
+        (
+            i % self.nx,
+            (i / self.nx) % self.ny,
+            i / (self.nx * self.ny),
+        )
     }
 }
 
@@ -130,8 +137,7 @@ impl ChunkGrid {
             ext.y / self.dims.ny as f32,
             ext.z / self.dims.nz as f32,
         );
-        let lo = min
-            + Point3::new(step.x * cx as f32, step.y * cy as f32, step.z * cz as f32);
+        let lo = min + Point3::new(step.x * cx as f32, step.y * cy as f32, step.z * cz as f32);
         Aabb::new(lo, lo + step)
     }
 
@@ -141,7 +147,10 @@ impl ChunkGrid {
         for (i, &p) in points.iter().enumerate() {
             chunks[self.chunk_of(p).index()].push(i as u32);
         }
-        ChunkPartition { chunks, kind: PartitionKind::Spatial { grid: self.clone() } }
+        ChunkPartition {
+            chunks,
+            kind: PartitionKind::Spatial { grid: self.clone() },
+        }
     }
 }
 
@@ -193,7 +202,10 @@ impl ChunkPartition {
         if chunks.is_empty() {
             chunks.push(Vec::new());
         }
-        ChunkPartition { chunks, kind: PartitionKind::Serial { chunk_points } }
+        ChunkPartition {
+            chunks,
+            kind: PartitionKind::Serial { chunk_points },
+        }
     }
 
     /// Number of chunks.
@@ -401,7 +413,10 @@ mod tests {
         assert_eq!(part.chunk_count(), 3);
         assert_eq!(part.chunk(ChunkId(0)), &[0, 1, 2, 3]);
         assert_eq!(part.chunk(ChunkId(2)), &[8, 9]);
-        assert!(matches!(part.kind(), PartitionKind::Serial { chunk_points: 4 }));
+        assert!(matches!(
+            part.kind(),
+            PartitionKind::Serial { chunk_points: 4 }
+        ));
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub fn encode(x: u32, y: u32, z: u32) -> u64 {
 /// Recovers the three coordinates of a Morton code.
 #[inline]
 pub fn decode(code: u64) -> (u32, u32, u32) {
-    (compact(code) as u32, compact(code >> 1) as u32, compact(code >> 2) as u32)
+    (
+        compact(code) as u32,
+        compact(code >> 1) as u32,
+        compact(code >> 2) as u32,
+    )
 }
 
 /// Quantizes a point inside `bounds` to a Morton code at `bits` bits per
@@ -70,7 +74,10 @@ pub fn decode(code: u64) -> (u32, u32, u32) {
 ///
 /// Panics if `bits == 0` or `bits > BITS_PER_AXIS`.
 pub fn encode_in_bounds(p: Point3, bounds: &Aabb, bits: u32) -> u64 {
-    assert!(bits >= 1 && bits <= BITS_PER_AXIS, "bits must be in 1..={BITS_PER_AXIS}");
+    assert!(
+        (1..=BITS_PER_AXIS).contains(&bits),
+        "bits must be in 1..={BITS_PER_AXIS}"
+    );
     let cells = (1u64 << bits) as f32;
     let ext = bounds.extent();
     let q = |v: f32, lo: f32, e: f32| -> u32 {
@@ -81,7 +88,11 @@ pub fn encode_in_bounds(p: Point3, bounds: &Aabb, bits: u32) -> u64 {
         (t.clamp(0.0, cells - 1.0)) as u32
     };
     let min = bounds.min();
-    encode(q(p.x, min.x, ext.x), q(p.y, min.y, ext.y), q(p.z, min.z, ext.z))
+    encode(
+        q(p.x, min.x, ext.x),
+        q(p.y, min.y, ext.y),
+        q(p.z, min.z, ext.z),
+    )
 }
 
 /// Sorts `indices` into the cloud by Morton code (stable, ascending).
@@ -105,7 +116,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for &(x, y, z) in &[(0, 0, 0), (1, 2, 3), (1023, 511, 255), (2097151, 0, 2097151)] {
+        for &(x, y, z) in &[
+            (0, 0, 0),
+            (1, 2, 3),
+            (1023, 511, 255),
+            (2097151, 0, 2097151),
+        ] {
             assert_eq!(decode(encode(x, y, z)), (x, y, z));
         }
     }

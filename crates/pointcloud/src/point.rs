@@ -32,7 +32,11 @@ pub struct Point3 {
 
 impl Point3 {
     /// The origin, `(0, 0, 0)`.
-    pub const ZERO: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a point from its three coordinates.
     #[inline]
@@ -111,13 +115,21 @@ impl Point3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, other: Point3) -> Point3 {
-        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Point3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, other: Point3) -> Point3 {
-        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Point3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Linear interpolation: `self` at `t == 0`, `other` at `t == 1`.

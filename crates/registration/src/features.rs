@@ -41,7 +41,12 @@ pub struct FeatureConfig {
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        FeatureConfig { half_window: 5, sectors: 6, edges_per_sector: 3, planars_per_sector: 6 }
+        FeatureConfig {
+            half_window: 5,
+            sectors: 6,
+            edges_per_sector: 3,
+            planars_per_sector: 6,
+        }
     }
 }
 
@@ -132,13 +137,20 @@ mod tests {
         }
         let c_corner = curvature(&pts, 5, 3);
         let c_wall = curvature(&pts, 3, 3);
-        assert!(c_corner > 3.0 * c_wall, "corner {c_corner} vs wall {c_wall}");
+        assert!(
+            c_corner > 3.0 * c_wall,
+            "corner {c_corner} vs wall {c_wall}"
+        );
     }
 
     #[test]
     fn extracts_features_from_synthetic_scan() {
         let scene = Scene::urban(2, 40.0, 14, 6);
-        let cfg = LidarConfig { beams: 8, azimuth_steps: 360, ..LidarConfig::default() };
+        let cfg = LidarConfig {
+            beams: 8,
+            azimuth_steps: 360,
+            ..LidarConfig::default()
+        };
         let sweep = scan(&scene, &cfg, Point3::ZERO, 0.0, 3);
         let features = extract_features(&sweep, &FeatureConfig::default());
         assert!(!features.is_empty());

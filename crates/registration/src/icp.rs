@@ -83,8 +83,16 @@ pub struct IcpStats {
 }
 
 enum Searcher {
-    Exact { tree: KdTree, points: Vec<Point3> },
-    Streaming { index: ChunkedIndex, grid: ChunkGrid, window: WindowSpec, budget: StepBudget },
+    Exact {
+        tree: KdTree,
+        points: Vec<Point3>,
+    },
+    Streaming {
+        index: ChunkedIndex,
+        grid: ChunkGrid,
+        window: WindowSpec,
+        budget: StepBudget,
+    },
 }
 
 impl Searcher {
@@ -97,7 +105,11 @@ impl Searcher {
                 tree: KdTree::build(points),
                 points: points.to_vec(),
             }),
-            CorrespondenceMode::Streaming { dims, window, deadline_fraction } => {
+            CorrespondenceMode::Streaming {
+                dims,
+                window,
+                deadline_fraction,
+            } => {
                 let bounds = Aabb::from_points(points.iter().copied())?;
                 let grid = ChunkGrid::new(bounds, *dims);
                 let index = ChunkedIndex::build(points, grid.clone());
@@ -110,8 +122,7 @@ impl Searcher {
                         let mut n = 0u64;
                         for &q in points.iter().take(16) {
                             let win = index.window_for_chunk(grid.chunk_of(q), window);
-                            let (_, stats) =
-                                index.knn_in_window(q, 3, &win, StepBudget::Unlimited);
+                            let (_, stats) = index.knn_in_window(q, 3, &win, StepBudget::Unlimited);
                             total += stats.steps;
                             n += win.len().max(1) as u64;
                         }
@@ -122,7 +133,12 @@ impl Searcher {
                         StepBudget::Capped(((mean * frac).round() as u64).max(floor))
                     }
                 };
-                Some(Searcher::Streaming { index, grid, window: *window, budget })
+                Some(Searcher::Streaming {
+                    index,
+                    grid,
+                    window: *window,
+                    budget,
+                })
             }
         }
     }
@@ -133,7 +149,12 @@ impl Searcher {
                 let (hits, stats) = tree.knn(points, q, k, StepBudget::Unlimited);
                 (hits, stats.steps)
             }
-            Searcher::Streaming { index, grid, window, budget } => {
+            Searcher::Streaming {
+                index,
+                grid,
+                window,
+                budget,
+            } => {
                 let win = index.window_for_chunk(grid.chunk_of(q), window);
                 let (hits, stats) = index.knn_in_window(q, k, &win, *budget);
                 (hits, stats.steps)
@@ -163,8 +184,12 @@ pub fn align(
     let edge_search = Searcher::build(&previous.edges, &config.mode);
     let plane_search = Searcher::build(&previous.planars, &config.mode);
     let mut pose = initial;
-    let mut stats =
-        IcpStats { iterations: 0, final_cost: 0.0, correspondences: 0, search_steps: 0 };
+    let mut stats = IcpStats {
+        iterations: 0,
+        final_cost: 0.0,
+        correspondences: 0,
+        search_steps: 0,
+    };
     let max_d2 = config.max_corr_dist * config.max_corr_dist;
 
     for _ in 0..config.iterations {
@@ -248,7 +273,9 @@ pub fn align(
         for (i, row) in jt_j.iter_mut().enumerate() {
             row[i] += config.damping * (1.0 + row[i]);
         }
-        let Some(delta) = solve6(&jt_j, &jt_r.map(|v| -v)) else { break };
+        let Some(delta) = solve6(&jt_j, &jt_r.map(|v| -v)) else {
+            break;
+        };
         let twist = [
             delta[0] as f32,
             delta[1] as f32,
@@ -259,8 +286,7 @@ pub fn align(
         ];
         pose = Pose::from_twist(&twist).compose(&pose);
         stats.iterations += 1;
-        stats.final_cost =
-            r0.iter().map(|r| r.abs()).sum::<f64>() / r0.len().max(1) as f64;
+        stats.final_cost = r0.iter().map(|r| r.abs()).sum::<f64>() / r0.len().max(1) as f64;
         // Converged?
         if delta.iter().map(|d| d * d).sum::<f64>().sqrt() < 1e-6 {
             break;
@@ -293,11 +319,11 @@ mod tests {
             f.planars.push(Point3::new(
                 t,
                 rng.random_range(-4.0..4.0),
-                0.02 * rng.random_range(-1.0..1.0),
+                0.02 * rng.random_range(-1.0f32..1.0),
             ));
             f.planars.push(Point3::new(
                 t,
-                4.0 + 0.02 * rng.random_range(-1.0..1.0),
+                4.0 + 0.02 * rng.random_range(-1.0f32..1.0),
                 rng.random_range(0.0..3.0),
             ));
         }
@@ -327,7 +353,11 @@ mod tests {
         assert!(stats.correspondences > 50);
         let err = est.inverse().compose(&truth);
         assert!(err.t.norm() < 0.02, "translation error {}", err.t.norm());
-        assert!(err.rotation_angle() < 0.01, "rotation error {}", err.rotation_angle());
+        assert!(
+            err.rotation_angle() < 0.01,
+            "rotation error {}",
+            err.rotation_angle()
+        );
     }
 
     #[test]
@@ -344,7 +374,11 @@ mod tests {
         // CS+DT introduces marginal error (the paper's claim): still
         // well under 5 cm / 1°.
         assert!(err.t.norm() < 0.05, "translation error {}", err.t.norm());
-        assert!(err.rotation_angle() < 0.02, "rotation error {}", err.rotation_angle());
+        assert!(
+            err.rotation_angle() < 0.02,
+            "rotation error {}",
+            err.rotation_angle()
+        );
     }
 
     #[test]
@@ -389,6 +423,10 @@ mod tests {
         let cs_only = one_iter(None);
         let cs_dt = one_iter(Some(0.25));
         assert!(cs_dt <= cs_only, "DT added steps: {cs_dt} vs {cs_only}");
-        assert_eq!(cs_dt, one_iter(Some(0.25)), "DT step count must be reproducible");
+        assert_eq!(
+            cs_dt,
+            one_iter(Some(0.25)),
+            "DT step count must be reproducible"
+        );
     }
 }

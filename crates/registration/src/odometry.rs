@@ -53,7 +53,10 @@ pub struct TrajectoryError {
 
 /// Ground-truth world pose from a `(position, yaw)` pair.
 pub fn pose_from_ground_truth(position: Point3, yaw: f32) -> Pose {
-    Pose { r: Mat3::from_axis_angle(Point3::new(0.0, 0.0, yaw)), t: position }
+    Pose {
+        r: Mat3::from_axis_angle(Point3::new(0.0, 0.0, yaw)),
+        t: position,
+    }
 }
 
 /// Compares estimated poses against ground truth `(position, yaw)`
@@ -92,7 +95,11 @@ pub fn trajectory_error(estimated: &[Pose], truth: &[(Point3, f32)]) -> Trajecto
     TrajectoryError {
         translation_pct: trans_sum / n.max(1) as f64 * 100.0,
         rotation_deg: rot_sum / n.max(1) as f64 * 180.0 / std::f64::consts::PI,
-        endpoint_drift_pct: if path_len > 0.0 { endpoint / path_len * 100.0 } else { 0.0 },
+        endpoint_drift_pct: if path_len > 0.0 {
+            endpoint / path_len * 100.0
+        } else {
+            0.0
+        },
     }
 }
 
@@ -104,7 +111,11 @@ mod tests {
 
     fn sequence(frames: usize) -> (Vec<LidarScan>, Vec<(Point3, f32)>) {
         let scene = Scene::urban(11, 45.0, 18, 10);
-        let cfg = LidarConfig { beams: 8, azimuth_steps: 360, ..LidarConfig::default() };
+        let cfg = LidarConfig {
+            beams: 8,
+            azimuth_steps: 360,
+            ..LidarConfig::default()
+        };
         let traj = trajectory(frames, 0.4, 0.004);
         let scans: Vec<LidarScan> = traj
             .iter()
@@ -125,7 +136,11 @@ mod tests {
             "translation error {}% too large",
             err.translation_pct
         );
-        assert!(err.rotation_deg < 3.0, "rotation error {}°", err.rotation_deg);
+        assert!(
+            err.rotation_deg < 3.0,
+            "rotation error {}°",
+            err.rotation_deg
+        );
     }
 
     #[test]
@@ -155,8 +170,9 @@ mod tests {
 
     #[test]
     fn perfect_estimate_has_zero_error() {
-        let truth: Vec<(Point3, f32)> =
-            (0..5).map(|i| (Point3::new(i as f32, 0.0, 0.0), 0.0)).collect();
+        let truth: Vec<(Point3, f32)> = (0..5)
+            .map(|i| (Point3::new(i as f32, 0.0, 0.0), 0.0))
+            .collect();
         let poses: Vec<Pose> = truth
             .iter()
             .map(|&(p, y)| pose_from_ground_truth(p, y))

@@ -13,7 +13,9 @@ pub struct Mat3 {
 
 impl Mat3 {
     /// Identity.
-    pub const IDENTITY: Mat3 = Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
 
     /// Matrix–vector product.
     pub fn mul_vec(&self, v: Point3) -> Point3 {
@@ -103,7 +105,10 @@ impl Default for Pose {
 
 impl Pose {
     /// The identity pose.
-    pub const IDENTITY: Pose = Pose { r: Mat3::IDENTITY, t: Point3::ZERO };
+    pub const IDENTITY: Pose = Pose {
+        r: Mat3::IDENTITY,
+        t: Point3::ZERO,
+    };
 
     /// Builds a pose from a 6-vector `[wx, wy, wz, tx, ty, tz]`.
     pub fn from_twist(xi: &[f32; 6]) -> Pose {
@@ -120,13 +125,19 @@ impl Pose {
 
     /// Pose composition: `(self ∘ other)(x) = self(other(x))`.
     pub fn compose(&self, other: &Pose) -> Pose {
-        Pose { r: self.r.mul(&other.r), t: self.r.mul_vec(other.t) + self.t }
+        Pose {
+            r: self.r.mul(&other.r),
+            t: self.r.mul_vec(other.t) + self.t,
+        }
     }
 
     /// Inverse pose.
     pub fn inverse(&self) -> Pose {
         let rt = self.r.transpose();
-        Pose { r: rt, t: -rt.mul_vec(self.t) }
+        Pose {
+            r: rt,
+            t: -rt.mul_vec(self.t),
+        }
     }
 
     /// Rotation angle (radians) — the rotational magnitude of the pose.
@@ -137,6 +148,8 @@ impl Pose {
 
 /// Solves the symmetric positive-definite 6×6 system `A·x = b` by
 /// Cholesky. Returns `None` when `A` is not positive definite.
+// Fixed-size Cholesky: the triangular index loops are the algorithm.
+#[allow(clippy::needless_range_loop)]
 pub fn solve6(a: &[[f64; 6]; 6], b: &[f64; 6]) -> Option<[f64; 6]> {
     // Cholesky decomposition A = L·Lᵀ.
     let mut l = [[0.0f64; 6]; 6];
@@ -223,6 +236,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn solve6_recovers_known_solution() {
         // A = M·Mᵀ + I (SPD), x known, b = A·x.
         let mut a = [[0.0f64; 6]; 6];

@@ -27,7 +27,12 @@ pub struct CacheModel {
 
 impl Default for CacheModel {
     fn default() -> Self {
-        CacheModel { capacity_bytes: 1 << 20, line_bytes: 64, miss_latency: 120, mshr: 8 }
+        CacheModel {
+            capacity_bytes: 1 << 20,
+            line_bytes: 64,
+            miss_latency: 120,
+            mshr: 8,
+        }
     }
 }
 
@@ -77,7 +82,10 @@ mod tests {
 
     #[test]
     fn fits_in_cache_no_traffic() {
-        let c = CacheModel { capacity_bytes: 1000, ..CacheModel::default() };
+        let c = CacheModel {
+            capacity_bytes: 1000,
+            ..CacheModel::default()
+        };
         let r = c.streams(&[400, 500]);
         assert_eq!(r.dram_bytes, 0);
         assert_eq!(r.hit_bytes, 900);
@@ -100,7 +108,10 @@ mod tests {
 
     #[test]
     fn proportional_sharing() {
-        let c = CacheModel { capacity_bytes: 300, ..CacheModel::default() };
+        let c = CacheModel {
+            capacity_bytes: 300,
+            ..CacheModel::default()
+        };
         let r = c.streams(&[100, 200]);
         // Shares 100 and 200 exactly cover both streams.
         assert_eq!(r.dram_bytes, 0);

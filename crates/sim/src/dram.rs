@@ -19,14 +19,24 @@ pub struct DramModel {
 
 impl Default for DramModel {
     fn default() -> Self {
-        DramModel { bytes_per_cycle: 25.6, latency_cycles: 120, read_bytes: 0, write_bytes: 0 }
+        DramModel {
+            bytes_per_cycle: 25.6,
+            latency_cycles: 120,
+            read_bytes: 0,
+            write_bytes: 0,
+        }
     }
 }
 
 impl DramModel {
     /// Creates a model with explicit parameters.
     pub fn new(bytes_per_cycle: f64, latency_cycles: u64) -> Self {
-        DramModel { bytes_per_cycle, latency_cycles, read_bytes: 0, write_bytes: 0 }
+        DramModel {
+            bytes_per_cycle,
+            latency_cycles,
+            read_bytes: 0,
+            write_bytes: 0,
+        }
     }
 
     /// Accounts a read of `bytes`; returns the cycles the transfer

@@ -132,7 +132,11 @@ mod tests {
 
     #[test]
     fn breakdown_totals() {
-        let b = EnergyBreakdown { sram_pj: 1.0, dram_pj: 2.0, compute_pj: 3.0 };
+        let b = EnergyBreakdown {
+            sram_pj: 1.0,
+            dram_pj: 2.0,
+            compute_pj: 3.0,
+        };
         assert_eq!(b.total_pj(), 6.0);
         let s = b.add(&b);
         assert_eq!(s.total_pj(), 12.0);

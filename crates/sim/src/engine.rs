@@ -127,7 +127,11 @@ struct RateAcc {
 
 impl RateAcc {
     fn new(num: i64, den: i64) -> Self {
-        RateAcc { num: num.max(0) as u64, den: den.max(1) as u64, acc: 0 }
+        RateAcc {
+            num: num.max(0) as u64,
+            den: den.max(1) as u64,
+            acc: 0,
+        }
     }
 
     fn step(&mut self) -> u64 {
@@ -175,8 +179,7 @@ impl StageState {
     }
 
     fn chunk_done(&self) -> bool {
-        self.read_remaining.iter().all(|&r| r == 0)
-            && self.write_remaining.iter().all(|&w| w == 0)
+        self.read_remaining.iter().all(|&r| r == 0) && self.write_remaining.iter().all(|&w| w == 0)
     }
 
     /// Advances the slowdown accumulator; `true` when the stage may work
@@ -215,8 +218,11 @@ pub fn run(
     let n_chunks = config.n_chunks.max(1);
     let ii = plan.initiation_interval;
 
-    let mut buffers: Vec<LineBuffer> =
-        schedule.buffer_sizes.iter().map(|&s| LineBuffer::new(s)).collect();
+    let mut buffers: Vec<LineBuffer> = schedule
+        .buffer_sizes
+        .iter()
+        .map(|&s| LineBuffer::new(s))
+        .collect();
     let mut dram = DramModel::default();
     let mut rng = match config.global_latency {
         GlobalLatencyModel::Variable { seed, .. } => SmallRng::seed_from_u64(seed),
@@ -239,7 +245,11 @@ pub fn run(
             .map(|(i, _)| i)
             .collect();
         let read_total = in_edges.iter().map(|&e| edges[e].volume).max().unwrap_or(0);
-        let write_total = out_edges.iter().map(|&e| edges[e].volume).max().unwrap_or(0);
+        let write_total = out_edges
+            .iter()
+            .map(|&e| edges[e].volume)
+            .max()
+            .unwrap_or(0);
         let tau_in = node.tau_in();
         let tau_out = node.tau_out();
         // Variable latency: global stages run slower by a sampled factor
@@ -338,6 +348,15 @@ pub fn run(
                     // A stage cannot emit results for data it has not
                     // read: cap cumulative output at the proportional
                     // share of input consumed (sources are uncapped).
+                    // The share rounds *up*: the ILP's fluid occupancy
+                    // model assumes writes track τ_out continuously once
+                    // the stage depth has elapsed, and flooring here
+                    // silently discards write allowance for
+                    // fractional-rate stages (e.g. a ×5 reduction
+                    // emitting 2 elements per 5 cycles), delaying chunk
+                    // completion past the fluid finish time and
+                    // overflowing exact-sized upstream buffers in later
+                    // chunks.
                     for (slot, &e) in stage.out_edges.clone().iter().enumerate() {
                         let remaining = stage.write_remaining[slot];
                         let want = allowance.min(remaining);
@@ -346,9 +365,9 @@ pub fn run(
                         }
                         let cap = if stage.read_total > 0 {
                             let vol = edges[e].volume as u128;
-                            let done_share = (stage.read_done as u128 * vol
-                                / stage.read_total.max(1) as u128)
-                                as u64;
+                            let read_total = stage.read_total as u128;
+                            let done_share =
+                                (stage.read_done as u128 * vol).div_ceil(read_total) as u64;
                             let written = edges[e].volume - remaining;
                             done_share.saturating_sub(written)
                         } else {
@@ -507,7 +526,10 @@ mod tests {
             &schedule,
             &plan,
             &EnergyModel::default(),
-            &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+            &EngineConfig {
+                n_chunks: 4,
+                ..EngineConfig::default()
+            },
         );
         assert_eq!(report.overflow_edge, None, "ILP schedule must not overflow");
         for (i, (&peak, &cap)) in report
@@ -530,7 +552,10 @@ mod tests {
             &schedule,
             &plan,
             &EnergyModel::default(),
-            &EngineConfig { n_chunks: 1, ..EngineConfig::default() },
+            &EngineConfig {
+                n_chunks: 1,
+                ..EngineConfig::default()
+            },
         );
         let r4 = run(
             &g,
@@ -538,7 +563,10 @@ mod tests {
             &schedule,
             &plan,
             &EnergyModel::default(),
-            &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+            &EngineConfig {
+                n_chunks: 4,
+                ..EngineConfig::default()
+            },
         );
         let expected = plan.total_cycles(schedule.makespan, 4);
         // Within a few cycles of the analytic model.
@@ -559,7 +587,10 @@ mod tests {
             &schedule,
             &plan,
             &EnergyModel::default(),
-            &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+            &EngineConfig {
+                n_chunks: 4,
+                ..EngineConfig::default()
+            },
         );
         let var = run(
             &g,
@@ -592,7 +623,10 @@ mod tests {
             &schedule,
             &plan,
             &EnergyModel::default(),
-            &EngineConfig { n_chunks: 2, ..EngineConfig::default() },
+            &EngineConfig {
+                n_chunks: 2,
+                ..EngineConfig::default()
+            },
         );
         // Fully streaming: only source reads and sink writes hit DRAM —
         // 2 chunks × 300 elements × 4 bytes each way.
@@ -611,7 +645,10 @@ mod tests {
             &schedule,
             &plan,
             &EnergyModel::default(),
-            &EngineConfig { n_chunks: 1, ..EngineConfig::default() },
+            &EngineConfig {
+                n_chunks: 1,
+                ..EngineConfig::default()
+            },
         );
         assert!(report.overflow_edge.is_some() || report.stall_cycles > 0);
     }
@@ -625,7 +662,10 @@ mod tests {
             &schedule,
             &plan,
             &EnergyModel::default(),
-            &EngineConfig { n_chunks: 2, ..EngineConfig::default() },
+            &EngineConfig {
+                n_chunks: 2,
+                ..EngineConfig::default()
+            },
         );
         assert!(report.energy.sram_pj > 0.0);
         assert!(report.energy.dram_pj > 0.0);

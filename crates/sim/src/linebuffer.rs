@@ -13,7 +13,11 @@ pub struct OverflowError {
 
 impl std::fmt::Display for OverflowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line buffer overflow: {} elements over capacity {}", self.excess, self.capacity)
+        write!(
+            f,
+            "line buffer overflow: {} elements over capacity {}",
+            self.excess, self.capacity
+        )
     }
 }
 
@@ -34,7 +38,13 @@ pub struct LineBuffer {
 impl LineBuffer {
     /// Creates an empty buffer with the given capacity (elements).
     pub fn new(capacity: u64) -> Self {
-        LineBuffer { capacity, occupancy: 0, max_occupancy: 0, total_writes: 0, total_reads: 0 }
+        LineBuffer {
+            capacity,
+            occupancy: 0,
+            max_occupancy: 0,
+            total_writes: 0,
+            total_reads: 0,
+        }
     }
 
     /// Capacity in elements.
@@ -76,7 +86,10 @@ impl LineBuffer {
     /// triggers this — the integration tests rely on that.
     pub fn write(&mut self, n: u64) -> Result<(), OverflowError> {
         if n > self.free() {
-            return Err(OverflowError { capacity: self.capacity, excess: n - self.free() });
+            return Err(OverflowError {
+                capacity: self.capacity,
+                excess: n - self.free(),
+            });
         }
         self.occupancy += n;
         self.total_writes += n;

@@ -62,7 +62,10 @@ pub struct HwBudget {
 
 impl Default for HwBudget {
     fn default() -> Self {
-        HwBudget { pes: 256, onchip_bytes: 2 * 1024 * 1024 }
+        HwBudget {
+            pes: 256,
+            onchip_bytes: 2 * 1024 * 1024,
+        }
     }
 }
 
@@ -79,6 +82,8 @@ pub struct PriorReport {
     pub energy: EnergyBreakdown,
 }
 
+// Internal tally helper: the argument list IS the report recipe.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     name: &str,
     cycles: f64,
@@ -97,7 +102,12 @@ fn finish(
         dram_pj: em.dram_pj(dram_bytes),
         compute_pj: em.compute_pj(macs, alu),
     };
-    PriorReport { name: name.to_owned(), cycles, dram_bytes, energy }
+    PriorReport {
+        name: name.to_owned(),
+        cycles,
+        dram_bytes,
+        energy,
+    }
 }
 
 /// Cycles a DRAM transfer of `bytes` costs at LPDDR3-1600×4 bandwidth.
@@ -114,7 +124,16 @@ pub fn mesorasi(w: &WorkloadProfile, budget: &HwBudget, em: &EnergyModel) -> Pri
     // Phases serialize; DRAM partially overlaps compute (50%).
     let cycles = search + compute + 0.5 * dram_cycles(dram);
     let sram = (w.input_bytes + w.intermediate_bytes) as f64 * 2.0;
-    finish("Mesorasi", cycles, dram, sram, w.macs, w.queries * w.mean_steps_full as u64, budget, em)
+    finish(
+        "Mesorasi",
+        cycles,
+        dram,
+        sram,
+        w.macs,
+        w.queries * w.mean_steps_full as u64,
+        budget,
+        em,
+    )
 }
 
 /// PointAcc: sorting-based neighbor units, tighter overlap, less
@@ -125,7 +144,16 @@ pub fn pointacc(w: &WorkloadProfile, budget: &HwBudget, em: &EnergyModel) -> Pri
     let dram = w.input_bytes as f64 + 1.2 * w.intermediate_bytes as f64;
     let cycles = search.max(compute) + 0.4 * dram_cycles(dram);
     let sram = (w.input_bytes + w.intermediate_bytes) as f64 * 2.0;
-    finish("PointAcc", cycles, dram, sram, w.macs, w.queries * w.mean_steps_full as u64, budget, em)
+    finish(
+        "PointAcc",
+        cycles,
+        dram,
+        sram,
+        w.macs,
+        w.queries * w.mean_steps_full as u64,
+        budget,
+        em,
+    )
 }
 
 /// QuickNN: full kd traversal per query, 2 cycles per step (fetch +
@@ -180,7 +208,16 @@ pub fn gscore(w: &WorkloadProfile, budget: &HwBudget, em: &EnergyModel) -> Prior
     let dram = w.input_bytes as f64 + 2.0 * lists;
     let cycles = sort + shade + 0.5 * dram_cycles(dram);
     let sram = lists * 2.0;
-    finish("GScore", cycles, dram, sram, w.macs, (g * g.log2().max(1.0)) as u64, budget, em)
+    finish(
+        "GScore",
+        cycles,
+        dram,
+        sram,
+        w.macs,
+        (g * g.log2().max(1.0)) as u64,
+        budget,
+        em,
+    )
 }
 
 /// The StreamGrid design itself under the same analytic lens: chunked,
@@ -200,7 +237,8 @@ pub fn streamgrid_analytic(
     } else {
         0.0
     };
-    let dram = w.input_bytes as f64 + 0.2 * w.intermediate_bytes as f64 * 0.0
+    let dram = w.input_bytes as f64
+        + 0.2 * w.intermediate_bytes as f64 * 0.0
         + w.input_bytes as f64 * 0.25; // output stream
     let cycles = search.max(compute).max(sort) + 0.2 * dram_cycles(dram);
     let sram = (w.input_bytes + w.intermediate_bytes) as f64 * 2.0;

@@ -52,7 +52,11 @@ impl BankedSram {
     /// Panics if `banks == 0`.
     pub fn new(banks: u32, policy: ConflictPolicy) -> Self {
         assert!(banks > 0, "need at least one bank");
-        BankedSram { banks, policy, stats: SramStats::default() }
+        BankedSram {
+            banks,
+            policy,
+            stats: SramStats::default(),
+        }
     }
 
     /// The conflict policy.

@@ -12,9 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 use streamgrid_dataflow::DataflowGraph;
-use streamgrid_optimizer::{
-    edge_infos, optimize, plan_multi_chunk, OptimizeConfig, OptimizeError,
-};
+use streamgrid_optimizer::{edge_infos, optimize, plan_multi_chunk, OptimizeConfig, OptimizeError};
 
 use crate::cache::CacheModel;
 use crate::energy::{EnergyBreakdown, EnergyModel};
@@ -35,7 +33,12 @@ pub enum Variant {
 
 impl Variant {
     /// All variants in presentation order.
-    pub const ALL: [Variant; 4] = [Variant::Base, Variant::BaseCache, Variant::Cs, Variant::CsDt];
+    pub const ALL: [Variant; 4] = [
+        Variant::Base,
+        Variant::BaseCache,
+        Variant::Cs,
+        Variant::CsDt,
+    ];
 
     /// Display label matching the paper.
     pub fn label(self) -> &'static str {
@@ -138,7 +141,10 @@ pub fn evaluate(
     let (latency, policy) = match variant {
         Variant::CsDt => (GlobalLatencyModel::Deterministic, BufferPolicy::Strict),
         _ => (
-            GlobalLatencyModel::Variable { cv: config.latency_cv, seed: config.seed },
+            GlobalLatencyModel::Variable {
+                cv: config.latency_cv,
+                seed: config.seed,
+            },
             BufferPolicy::Elastic,
         ),
     };
@@ -243,7 +249,10 @@ mod tests {
 
     #[test]
     fn csdt_uses_less_buffer_than_base() {
-        let cfg = VariantConfig { n_chunks: 4, ..VariantConfig::new(2400) };
+        let cfg = VariantConfig {
+            n_chunks: 4,
+            ..VariantConfig::new(2400)
+        };
         let em = EnergyModel::default();
         let base = evaluate(&pipeline(1), Variant::Base, &cfg, &em).unwrap();
         let csdt = evaluate(&pipeline(2), Variant::CsDt, &cfg, &em).unwrap();

@@ -59,11 +59,7 @@ impl ChunkedIndex {
     /// # Panics
     ///
     /// Panics if `partition.chunk_count() != grid.dims().chunk_count()`.
-    pub fn from_partition(
-        points: &[Point3],
-        grid: ChunkGrid,
-        partition: &ChunkPartition,
-    ) -> Self {
+    pub fn from_partition(points: &[Point3], grid: ChunkGrid, partition: &ChunkPartition) -> Self {
         assert_eq!(
             partition.chunk_count(),
             grid.dims().chunk_count(),
@@ -77,10 +73,13 @@ impl ChunkedIndex {
         partition
             .iter()
             .map(|(_, indices)| {
-                let local: Vec<Point3> =
-                    indices.iter().map(|&i| points[i as usize]).collect();
+                let local: Vec<Point3> = indices.iter().map(|&i| points[i as usize]).collect();
                 let tree = KdTree::build(&local);
-                Chunk { points: local, global: indices.to_vec(), tree }
+                Chunk {
+                    points: local,
+                    global: indices.to_vec(),
+                    tree,
+                }
             })
             .collect()
     }
@@ -105,7 +104,11 @@ impl ChunkedIndex {
     /// reach a leaf before the deadline starts trimming backtracking
     /// (Fig. 9's deadline covers the descent).
     pub fn max_tree_depth(&self) -> usize {
-        self.chunks.iter().map(|c| c.tree.depth()).max().unwrap_or(0)
+        self.chunks
+            .iter()
+            .map(|c| c.tree.depth())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Exact kNN that opens chunks nearest-first and prunes chunks whose
@@ -127,7 +130,11 @@ impl ChunkedIndex {
             .collect();
         order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
         let mut heap = KnnHeap::new(k);
-        let mut stats = ChunkSearchStats { chunks_accessed: 0, steps: 0, completed: true };
+        let mut stats = ChunkSearchStats {
+            chunks_accessed: 0,
+            steps: 0,
+            completed: true,
+        };
         for (lower_bound, c) in order {
             if heap.is_full() && lower_bound > heap.worst() {
                 break;
@@ -154,7 +161,11 @@ impl ChunkedIndex {
         per_chunk_budget: StepBudget,
     ) -> (Vec<Neighbor>, ChunkSearchStats) {
         let mut heap = KnnHeap::new(k);
-        let mut stats = ChunkSearchStats { chunks_accessed: 0, steps: 0, completed: true };
+        let mut stats = ChunkSearchStats {
+            chunks_accessed: 0,
+            steps: 0,
+            completed: true,
+        };
         for &cid in window {
             let chunk = &self.chunks[cid.index()];
             if chunk.points.is_empty() {
@@ -180,13 +191,19 @@ impl ChunkedIndex {
         per_chunk_budget: StepBudget,
     ) -> (Vec<Neighbor>, ChunkSearchStats) {
         let mut out = Vec::new();
-        let mut stats = ChunkSearchStats { chunks_accessed: 0, steps: 0, completed: true };
+        let mut stats = ChunkSearchStats {
+            chunks_accessed: 0,
+            steps: 0,
+            completed: true,
+        };
         for &cid in window {
             let chunk = &self.chunks[cid.index()];
             if chunk.points.is_empty() {
                 continue;
             }
-            let (hits, t) = chunk.tree.range(&chunk.points, query, radius, per_chunk_budget);
+            let (hits, t) = chunk
+                .tree
+                .range(&chunk.points, query, radius, per_chunk_budget);
             stats.chunks_accessed += 1;
             stats.steps += t.steps;
             stats.completed &= t.completed;
@@ -292,8 +309,14 @@ mod tests {
         let pts = random_points(4000, 3);
         let idx = index(&pts, 8, 8);
         let q = Point3::new(8.0, 8.0, 2.0);
-        let small = idx.knn_adaptive(q, 1, StepBudget::Unlimited).1.chunks_accessed;
-        let large = idx.knn_adaptive(q, 256, StepBudget::Unlimited).1.chunks_accessed;
+        let small = idx
+            .knn_adaptive(q, 1, StepBudget::Unlimited)
+            .1
+            .chunks_accessed;
+        let large = idx
+            .knn_adaptive(q, 256, StepBudget::Unlimited)
+            .1
+            .chunks_accessed;
         assert!(large >= small);
         assert!(large < 64, "even 256-NN should not touch every chunk");
     }
@@ -303,8 +326,12 @@ mod tests {
         let pts = random_points(1000, 4);
         let idx = index(&pts, 4, 1);
         let window = [ChunkId(0), ChunkId(1)];
-        let (hits, stats) =
-            idx.knn_in_window(Point3::new(2.0, 8.0, 2.0), 16, &window, StepBudget::Unlimited);
+        let (hits, stats) = idx.knn_in_window(
+            Point3::new(2.0, 8.0, 2.0),
+            16,
+            &window,
+            StepBudget::Unlimited,
+        );
         assert_eq!(stats.chunks_accessed, 2);
         // All results must come from the left half of the cloud (x < 8).
         for h in hits {
@@ -330,8 +357,14 @@ mod tests {
     fn window_for_chunk_clamps_at_edges() {
         let dims = GridDims::new(4, 1, 1);
         let spec = WindowSpec::new((2, 1, 1), (1, 1, 1));
-        assert_eq!(window_for_chunk(dims, ChunkId(0), &spec), vec![ChunkId(0), ChunkId(1)]);
-        assert_eq!(window_for_chunk(dims, ChunkId(3), &spec), vec![ChunkId(2), ChunkId(3)]);
+        assert_eq!(
+            window_for_chunk(dims, ChunkId(0), &spec),
+            vec![ChunkId(0), ChunkId(1)]
+        );
+        assert_eq!(
+            window_for_chunk(dims, ChunkId(3), &spec),
+            vec![ChunkId(2), ChunkId(3)]
+        );
     }
 
     #[test]
@@ -364,7 +397,11 @@ mod tests {
         // show it.
         use streamgrid_pointcloud::datasets::lidar::{scan, LidarConfig, Scene};
         let scene = Scene::urban(31, 45.0, 20, 10);
-        let cfg = LidarConfig { beams: 16, azimuth_steps: 1080, ..LidarConfig::default() };
+        let cfg = LidarConfig {
+            beams: 16,
+            azimuth_steps: 1080,
+            ..LidarConfig::default()
+        };
         let sweep = scan(&scene, &cfg, Point3::ZERO, 0.0, 7);
         let pts = sweep.cloud.points().to_vec();
         let grid = ChunkGrid::new(

@@ -112,7 +112,12 @@ impl KdTree {
             Some(bb) => build_recursive(points, &mut indices[..], &mut nodes, bb),
             None => NIL,
         };
-        KdTree { nodes, root, bounds, len: points.len() }
+        KdTree {
+            nodes,
+            root,
+            bounds,
+            len: points.len(),
+        }
     }
 
     /// Number of indexed points.
@@ -180,10 +185,15 @@ impl KdTree {
     ) -> (Vec<Neighbor>, TraversalStats) {
         assert_eq!(points.len(), self.len, "point slice changed since build");
         let mut heap = KnnHeap::new(k);
-        let mut stats = TraversalStats { steps: 0, completed: true };
+        let mut stats = TraversalStats {
+            steps: 0,
+            completed: true,
+        };
         let limit = budget.limit();
         if self.root != NIL {
-            self.search_knn(points, self.root, query, &mut heap, &mut stats, limit, order);
+            self.search_knn(
+                points, self.root, query, &mut heap, &mut stats, limit, order,
+            );
         }
         (heap.into_sorted(), stats)
     }
@@ -214,8 +224,11 @@ impl KdTree {
         let delta = query.axis(axis) - p.axis(axis);
         let (first, second, second_is_far_side) = match order {
             TraversalOrder::NearestFirst => {
-                let (near, far) =
-                    if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+                let (near, far) = if delta < 0.0 {
+                    (node.left, node.right)
+                } else {
+                    (node.right, node.left)
+                };
                 (near, far, true)
             }
             // Fixed order: the far side may come first, in which case the
@@ -225,8 +238,7 @@ impl KdTree {
         };
         self.search_knn(points, first, query, heap, stats, limit, order);
         // The far side is prunable; the near side never is.
-        let visit_second =
-            !second_is_far_side || delta * delta < heap.worst();
+        let visit_second = !second_is_far_side || delta * delta < heap.worst();
         if stats.completed && visit_second {
             self.search_knn(points, second, query, heap, stats, limit, order);
         }
@@ -249,7 +261,10 @@ impl KdTree {
         assert_eq!(points.len(), self.len, "point slice changed since build");
         assert!(radius >= 0.0, "radius must be non-negative");
         let mut out = Vec::new();
-        let mut stats = TraversalStats { steps: 0, completed: true };
+        let mut stats = TraversalStats {
+            steps: 0,
+            completed: true,
+        };
         let limit = budget.limit();
         let r_sq = radius * radius;
         if self.root != NIL {
@@ -286,7 +301,11 @@ impl KdTree {
         }
         let axis = node.axis as usize;
         let delta = query.axis(axis) - p.axis(axis);
-        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
         self.search_range(points, near, query, r_sq, out, stats, limit);
         if stats.completed && delta * delta <= r_sq {
             self.search_range(points, far, query, r_sq, out, stats, limit);
@@ -343,8 +362,11 @@ impl KdTree {
         let delta = query.axis(axis) - p.axis(axis);
         let (first, second, second_is_far_side) = match order {
             TraversalOrder::NearestFirst => {
-                let (near, far) =
-                    if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+                let (near, far) = if delta < 0.0 {
+                    (node.left, node.right)
+                } else {
+                    (node.right, node.left)
+                };
                 (near, far, true)
             }
             TraversalOrder::Fixed => (node.left, node.right, delta < 0.0),
@@ -430,7 +452,12 @@ fn build_recursive(
     let point = indices[mid];
     let split_at = points[point as usize].axis(axis);
     let slot = nodes.len();
-    nodes.push(Node { point, axis: axis as u8, left: NIL, right: NIL });
+    nodes.push(Node {
+        point,
+        axis: axis as u8,
+        left: NIL,
+        right: NIL,
+    });
     let (lo_bb, hi_bb) = bounds.split(
         axis,
         split_at.clamp(bounds.min().axis(axis), bounds.max().axis(axis)),
@@ -530,7 +557,11 @@ mod tests {
             let exact = tree.knn(&pts, q, 8, StepBudget::Unlimited).0;
             let capped = tree.knn(&pts, q, 8, budget).0;
             exact_sum += exact.iter().map(|n| n.dist_sq as f64).sum::<f64>();
-            capped_sum += capped.iter().take(exact.len()).map(|n| n.dist_sq as f64).sum::<f64>();
+            capped_sum += capped
+                .iter()
+                .take(exact.len())
+                .map(|n| n.dist_sq as f64)
+                .sum::<f64>();
         }
         assert!(
             capped_sum <= exact_sum * 2.0,
@@ -633,13 +664,8 @@ mod tests {
         let mut fixed_steps = 0u64;
         for &q in &queries {
             let (a, sa) = tree.knn(&pts, q, 32, StepBudget::Unlimited);
-            let (b, sb) = tree.knn_with_order(
-                &pts,
-                q,
-                32,
-                StepBudget::Unlimited,
-                TraversalOrder::Fixed,
-            );
+            let (b, sb) =
+                tree.knn_with_order(&pts, q, 32, StepBudget::Unlimited, TraversalOrder::Fixed);
             // Exactness is order-independent.
             let da: Vec<f32> = a.iter().map(|n| n.dist_sq).collect();
             let db: Vec<f32> = b.iter().map(|n| n.dist_sq).collect();

@@ -40,7 +40,10 @@ impl KnnHeap {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        KnnHeap { k, heap: Vec::with_capacity(k) }
+        KnnHeap {
+            k,
+            heap: Vec::with_capacity(k),
+        }
     }
 
     /// Number of candidates currently held (≤ k).

@@ -61,8 +61,16 @@ impl Octree {
     /// Panics if `leaf_capacity == 0`.
     pub fn new(bounds: Aabb, leaf_capacity: usize) -> Self {
         assert!(leaf_capacity > 0, "leaf capacity must be positive");
-        let root = Node { bounds, kind: NodeKind::Leaf(Vec::new()) };
-        Octree { nodes: vec![root], root: 0, leaf_capacity, len: 0 }
+        let root = Node {
+            bounds,
+            kind: NodeKind::Leaf(Vec::new()),
+        };
+        Octree {
+            nodes: vec![root],
+            root: 0,
+            leaf_capacity,
+            len: 0,
+        }
     }
 
     /// Number of inserted points.
@@ -235,7 +243,10 @@ impl Octree {
         budget: StepBudget,
     ) -> (Vec<Neighbor>, TraversalStats) {
         let mut heap = KnnHeap::new(k);
-        let mut stats = TraversalStats { steps: 0, completed: true };
+        let mut stats = TraversalStats {
+            steps: 0,
+            completed: true,
+        };
         let limit = match budget {
             StepBudget::Unlimited => u64::MAX,
             StepBudget::Capped(n) => n,
@@ -301,9 +312,21 @@ fn octant_of(bounds: &Aabb, p: Point3) -> usize {
 fn octant_bounds(bounds: &Aabb, oct: usize) -> Aabb {
     let c = bounds.center();
     let (min, max) = (bounds.min(), bounds.max());
-    let x = if oct & 1 == 0 { (min.x, c.x) } else { (c.x, max.x) };
-    let y = if oct & 2 == 0 { (min.y, c.y) } else { (c.y, max.y) };
-    let z = if oct & 4 == 0 { (min.z, c.z) } else { (c.z, max.z) };
+    let x = if oct & 1 == 0 {
+        (min.x, c.x)
+    } else {
+        (c.x, max.x)
+    };
+    let y = if oct & 2 == 0 {
+        (min.y, c.y)
+    } else {
+        (c.y, max.y)
+    };
+    let z = if oct & 4 == 0 {
+        (min.z, c.z)
+    } else {
+        (c.z, max.z)
+    };
     Aabb::new(Point3::new(x.0, y.0, z.0), Point3::new(x.1, y.1, z.1))
 }
 
@@ -388,7 +411,9 @@ mod tests {
         let mut tree = Octree::new(bounds(), 4);
         tree.insert_slice(&pts, 0);
         assert_eq!(tree.len(), 100);
-        let hits = tree.knn(&pts, Point3::splat(1.0), 10, StepBudget::Unlimited).0;
+        let hits = tree
+            .knn(&pts, Point3::splat(1.0), 10, StepBudget::Unlimited)
+            .0;
         assert_eq!(hits.len(), 10);
     }
 

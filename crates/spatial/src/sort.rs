@@ -166,11 +166,7 @@ fn count_inversions(items: &mut [(f32, usize)]) -> u64 {
 /// Sorts point indices by depth along `view_dir` using hierarchical
 /// sorting over a spatial partition along the view axis — the 3DGS
 /// chunked sorter.
-pub fn hierarchical_depth_sort(
-    points: &[Point3],
-    view_dir: Point3,
-    chunks: usize,
-) -> Vec<u32> {
+pub fn hierarchical_depth_sort(points: &[Point3], view_dir: Point3, chunks: usize) -> Vec<u32> {
     let depth = |i: u32| points[i as usize].dot(view_dir);
     if points.is_empty() {
         return Vec::new();
@@ -179,7 +175,9 @@ pub fn hierarchical_depth_sort(
     let depths: Vec<f32> = (0..points.len() as u32).map(depth).collect();
     let (min_d, max_d) = depths
         .iter()
-        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &d| {
+            (lo.min(d), hi.max(d))
+        });
     let _ = Aabb::new(Point3::splat(0.0), Point3::splat(0.0)); // slab partition is 1-D
     let span = (max_d - min_d).max(1e-9);
     let mut slabs: Vec<Vec<u32>> = vec![Vec::new(); chunks.max(1)];
@@ -246,7 +244,10 @@ mod tests {
     #[test]
     fn global_sort_is_exact() {
         let keys: Vec<f32> = vec![5.0, 3.0, 1.0, 4.0];
-        assert_eq!(global_sort_indices(4, |i| keys[i as usize]), vec![2, 1, 3, 0]);
+        assert_eq!(
+            global_sort_indices(4, |i| keys[i as usize]),
+            vec![2, 1, 3, 0]
+        );
     }
 
     #[test]
@@ -275,12 +276,17 @@ mod tests {
         let order = hierarchical_depth_sort(&points, Point3::new(0.0, 0.0, 1.0), 8);
         let sorted_keys: Vec<f32> = order.iter().map(|&i| points[i as usize].z).collect();
         let frac = inversion_fraction(&sorted_keys);
-        assert_eq!(frac, 0.0, "slab partition along key must sort exactly; frac={frac}");
+        assert_eq!(
+            frac, 0.0,
+            "slab partition along key must sort exactly; frac={frac}"
+        );
     }
 
     #[test]
     fn hierarchical_depth_sort_is_permutation() {
-        let points: Vec<Point3> = (0..100).map(|i| Point3::splat((i * 37 % 100) as f32)).collect();
+        let points: Vec<Point3> = (0..100)
+            .map(|i| Point3::splat((i * 37 % 100) as f32))
+            .collect();
         let order = hierarchical_depth_sort(&points, Point3::new(1.0, 0.0, 0.0), 5);
         let mut seen = vec![false; 100];
         for &i in &order {

@@ -45,7 +45,15 @@ impl Camera {
             .expect("view direction must not be vertical");
         let up = right.cross(forward);
         let focal = width as f32 / (2.0 * (fov_deg.to_radians() / 2.0).tan());
-        Camera { position, forward, right, up, focal, width, height }
+        Camera {
+            position,
+            forward,
+            right,
+            up,
+            focal,
+            width,
+            height,
+        }
     }
 
     /// The view (forward) direction.

@@ -9,7 +9,11 @@ use crate::render::Image;
 ///
 /// Panics if the image dimensions differ.
 pub fn psnr(a: &Image, b: &Image) -> f64 {
-    assert_eq!((a.width, a.height), (b.width, b.height), "image size mismatch");
+    assert_eq!(
+        (a.width, a.height),
+        (b.width, b.height),
+        "image size mismatch"
+    );
     let mse: f64 = a
         .data()
         .iter()

@@ -27,7 +27,11 @@ pub struct Image {
 impl Image {
     /// A black image.
     pub fn black(width: u32, height: u32) -> Self {
-        Image { width, height, data: vec![0.0; (width * height * 3) as usize] }
+        Image {
+            width,
+            height,
+            data: vec![0.0; (width * height * 3) as usize],
+        }
     }
 
     /// Wraps raw channel data (3 floats per pixel, row-major).
@@ -36,8 +40,16 @@ impl Image {
     ///
     /// Panics if `data.len() != width * height * 3`.
     pub fn from_data(width: u32, height: u32, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), (width * height * 3) as usize, "channel buffer size mismatch");
-        Image { width, height, data }
+        assert_eq!(
+            data.len(),
+            (width * height * 3) as usize,
+            "channel buffer size mismatch"
+        );
+        Image {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Pixel accessor.
@@ -98,7 +110,9 @@ struct Projected {
 pub fn render(scene: &GaussianScene, camera: &Camera, mode: SortMode) -> (Image, RenderStats) {
     let mut projected: Vec<Projected> = Vec::with_capacity(scene.len());
     for g in &scene.gaussians {
-        let Some((x, y, depth)) = camera.project(g.center) else { continue };
+        let Some((x, y, depth)) = camera.project(g.center) else {
+            continue;
+        };
         let world_r = (g.scale.x + g.scale.y + g.scale.z) / 3.0 * 2.0;
         let radius = camera.project_radius(world_r, depth).clamp(0.5, 40.0);
         if x + radius < 0.0
@@ -136,7 +150,12 @@ pub fn render(scene: &GaussianScene, camera: &Camera, mode: SortMode) -> (Image,
             chunked_depth_order(&centers, &projected, dims, camera)
         }
     };
-    let inversions = count_inversions(&order.iter().map(|&i| projected[i].depth).collect::<Vec<_>>());
+    let inversions = count_inversions(
+        &order
+            .iter()
+            .map(|&i| projected[i].depth)
+            .collect::<Vec<_>>(),
+    );
 
     // Front-to-back alpha compositing.
     let mut image = Image::black(camera.width, camera.height);
@@ -265,7 +284,10 @@ mod tests {
         assert!(stats.splats_drawn > 100);
         assert!(stats.blends > 1000);
         assert_eq!(stats.order_inversions, 0, "global sort is exact");
-        assert!(img.data().iter().any(|&v| v > 0.01), "image should not be black");
+        assert!(
+            img.data().iter().any(|&v| v > 0.01),
+            "image should not be black"
+        );
     }
 
     #[test]
@@ -283,7 +305,10 @@ mod tests {
         let (_, stats) = render(&scene, &camera, SortMode::Chunked { dims });
         let n = stats.splats_drawn as u64;
         let pairs = n * (n - 1) / 2;
-        assert!(stats.order_inversions > 0, "spatial chunking reorders something");
+        assert!(
+            stats.order_inversions > 0,
+            "spatial chunking reorders something"
+        );
         assert!(
             (stats.order_inversions as f64) < pairs as f64 * 0.10,
             "inversions {} of {} pairs",

@@ -17,7 +17,11 @@ use streamgrid_nn::train::{eval_classifier, train_classifier, ClsSample, TrainCo
 use streamgrid_pointcloud::datasets::modelnet::{self, ModelNetConfig};
 
 fn dataset(per_class: usize, classes: usize, points: usize, seed: u64) -> Vec<ClsSample> {
-    let cfg = ModelNetConfig { classes: 10, points, noise: 0.01 };
+    let cfg = ModelNetConfig {
+        classes: 10,
+        points,
+        noise: 0.01,
+    };
     let mut out = Vec::new();
     for class in 0..classes as u32 {
         for i in 0..per_class {
@@ -39,7 +43,13 @@ fn main() {
     let t1 = train_classifier(
         &mut conventional,
         &train,
-        &TrainConfig { epochs: 24, lr: 0.003, seed: 0, mode: SearchMode::Exact, batch: 8 },
+        &TrainConfig {
+            epochs: 24,
+            lr: 0.003,
+            seed: 0,
+            mode: SearchMode::Exact,
+            batch: 8,
+        },
     );
 
     println!("Training co-trained model (CS+DT simulated in the forward pass)...");
@@ -47,7 +57,13 @@ fn main() {
     let t2 = train_classifier(
         &mut cotrained,
         &train,
-        &TrainConfig { epochs: 24, lr: 0.003, seed: 0, mode: streaming.clone(), batch: 8 },
+        &TrainConfig {
+            epochs: 24,
+            lr: 0.003,
+            seed: 0,
+            mode: streaming.clone(),
+            batch: 8,
+        },
     );
 
     let conv_exact = eval_classifier(&conventional, &test, &SearchMode::Exact);
@@ -55,9 +71,21 @@ fn main() {
     let co_stream = eval_classifier(&cotrained, &test, &streaming);
 
     println!("\n{:<34} {:>9}", "configuration", "accuracy");
-    println!("{:<34} {:>8.1}%", "conventional, exact inference", conv_exact * 100.0);
-    println!("{:<34} {:>8.1}%", "conventional, CS+DT inference", conv_stream * 100.0);
-    println!("{:<34} {:>8.1}%", "co-trained,   CS+DT inference", co_stream * 100.0);
+    println!(
+        "{:<34} {:>8.1}%",
+        "conventional, exact inference",
+        conv_exact * 100.0
+    );
+    println!(
+        "{:<34} {:>8.1}%",
+        "conventional, CS+DT inference",
+        conv_stream * 100.0
+    );
+    println!(
+        "{:<34} {:>8.1}%",
+        "co-trained,   CS+DT inference",
+        co_stream * 100.0
+    );
     println!(
         "\nco-training overhead: {:.1}x wall-clock (paper reports 3.1x)",
         t2.wall_seconds / t1.wall_seconds.max(1e-9)

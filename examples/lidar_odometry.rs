@@ -13,7 +13,11 @@ use streamgrid_registration::odometry::{run_odometry, trajectory_error, Odometry
 
 fn main() {
     let scene = Scene::urban(11, 45.0, 18, 10);
-    let lidar = LidarConfig { beams: 8, azimuth_steps: 480, ..LidarConfig::default() };
+    let lidar = LidarConfig {
+        beams: 8,
+        azimuth_steps: 480,
+        ..LidarConfig::default()
+    };
     let truth = trajectory(10, 0.4, 0.004);
     println!("Simulating {} LiDAR sweeps...", truth.len());
     let scans: Vec<_> = truth
@@ -24,10 +28,16 @@ fn main() {
 
     for (label, mode) in [
         ("Base (exact kNN)", CorrespondenceMode::Exact),
-        ("CS+DT (4 chunks, 25% deadline)", CorrespondenceMode::paper_registration()),
+        (
+            "CS+DT (4 chunks, 25% deadline)",
+            CorrespondenceMode::paper_registration(),
+        ),
     ] {
         let config = OdometryConfig {
-            icp: IcpConfig { mode: mode.clone(), ..IcpConfig::default() },
+            icp: IcpConfig {
+                mode: mode.clone(),
+                ..IcpConfig::default()
+            },
             ..OdometryConfig::default()
         };
         let poses = run_odometry(&scans, &config);

@@ -7,15 +7,13 @@
 //! ```
 
 use streamgrid_core::apps::AppDomain;
-use streamgrid_core::framework::StreamGrid;
+use streamgrid_core::framework::{ExecuteOptions, StreamGrid};
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
-use streamgrid_sim::EnergyModel;
 
 fn main() {
     // A cloud of 4096 points × 3 attributes entering the PointNet++
     // classification pipeline.
     let elements = 4096 * 3;
-    let energy = EnergyModel::default();
 
     println!("StreamGrid quickstart — classification pipeline, {elements} source elements\n");
     println!(
@@ -23,26 +21,27 @@ fn main() {
         "variant", "on-chip bytes", "cycles", "mem stalls", "starved", "DRAM bytes", "energy (uJ)"
     );
 
+    let options = ExecuteOptions {
+        seed: 42,
+        ..ExecuteOptions::for_domain(AppDomain::Classification)
+    };
     for (label, config) in [
         ("Base", StreamGridConfig::base()),
         ("CS", StreamGridConfig::cs(SplitConfig::paper_cls())),
         ("CS+DT", StreamGridConfig::cs_dt(SplitConfig::paper_cls())),
     ] {
-        let framework = StreamGrid::new(config);
-        let compiled = framework
-            .compile(AppDomain::Classification, elements)
-            .expect("pipeline compiles");
-        let summary = compiled.summary();
-        let report = compiled.simulate(&energy, 42);
+        let report = StreamGrid::new(config)
+            .execute_with(AppDomain::Classification, elements, &options)
+            .expect("pipeline compiles and runs");
         println!(
             "{:<10} {:>14} {:>12} {:>11} {:>9} {:>12} {:>13.2}",
             label,
-            summary.onchip_bytes,
-            report.cycles,
-            report.stall_cycles,
-            report.starved_cycles,
-            report.dram_read_bytes + report.dram_write_bytes,
-            report.energy.total_uj(),
+            report.onchip_bytes(),
+            report.run.cycles,
+            report.run.stall_cycles,
+            report.run.starved_cycles,
+            report.dram_bytes(),
+            report.total_uj(),
         );
     }
 

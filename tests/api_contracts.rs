@@ -37,7 +37,9 @@ struct CountingSerializer {
 
 fn serde_json_like<T: serde::Serialize>(value: &T) -> CountingOutput {
     let mut ser = CountingSerializer::default();
-    value.serialize(&mut ser).expect("serialization must not fail");
+    value
+        .serialize(&mut ser)
+        .expect("serialization must not fail");
     CountingOutput { fields: ser.events }
 }
 
@@ -77,7 +79,7 @@ mod counting_impl {
         };
     }
 
-    impl<'a> Serializer for &'a mut CountingSerializer {
+    impl Serializer for &mut CountingSerializer {
         type Ok = ();
         type Error = NeverFails;
         type SerializeSeq = Self;
@@ -149,11 +151,7 @@ mod counting_impl {
         fn serialize_tuple(self, _: usize) -> Result<Self, NeverFails> {
             Ok(self)
         }
-        fn serialize_tuple_struct(
-            self,
-            _: &'static str,
-            _: usize,
-        ) -> Result<Self, NeverFails> {
+        fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Self, NeverFails> {
             Ok(self)
         }
         fn serialize_tuple_variant(
@@ -207,7 +205,7 @@ mod counting_impl {
         SerializeStructVariant { serialize_field, key }
     );
 
-    impl<'a> SerializeMap for &'a mut CountingSerializer {
+    impl SerializeMap for &mut CountingSerializer {
         type Ok = ();
         type Error = NeverFails;
         fn serialize_key<T: ?Sized + Serialize>(&mut self, k: &T) -> Result<(), NeverFails> {
@@ -252,7 +250,11 @@ fn data_types_serialize_completely() {
     g.connect(s, k);
     assert!(serde_json_like(&g).fields > 0);
 
-    let e = EnergyBreakdown { sram_pj: 1.0, dram_pj: 2.0, compute_pj: 3.0 };
+    let e = EnergyBreakdown {
+        sram_pj: 1.0,
+        dram_pj: 2.0,
+        compute_pj: 3.0,
+    };
     assert!(serde_json_like(&e).fields >= 3);
 
     assert!(serde_json_like(&EnergyModel::default()).fields >= 6);

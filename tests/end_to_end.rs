@@ -12,9 +12,7 @@ use streamgrid_dataflow::{DataflowGraph, Shape};
 use streamgrid_optimizer::{
     build, edge_infos, optimize, plan_multi_chunk, FormulationKind, OptimizeConfig,
 };
-use streamgrid_sim::{
-    evaluate, run, EngineConfig, EnergyModel, Variant, VariantConfig,
-};
+use streamgrid_sim::{evaluate, run, EnergyModel, EngineConfig, Variant, VariantConfig};
 
 #[test]
 fn csdt_runs_clean_across_all_domains_and_chunkings() {
@@ -37,6 +35,25 @@ fn csdt_runs_clean_across_all_domains_and_chunkings() {
                 assert!(peak <= cap, "{domain:?} n={n} edge {i}: {peak} > {cap}");
             }
         }
+    }
+}
+
+#[test]
+fn unified_execute_covers_every_domain() {
+    // The single compile→execute→report entry point (Fig. 1 end to end):
+    // one call must produce a consistent compile summary, run report,
+    // and energy tally on every Tbl. 2 domain.
+    for domain in AppDomain::ALL {
+        let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+        let report = fw
+            .execute(domain, 4 * 600)
+            .unwrap_or_else(|e| panic!("{domain:?}: {e}"));
+        assert!(report.is_clean(), "{domain:?}: CS+DT must run clean");
+        assert!(report.run.cycles > 0, "{domain:?}");
+        assert_eq!(report.energy, report.run.energy, "{domain:?}");
+        assert!(report.total_uj() > 0.0, "{domain:?}");
+        let compiled = fw.compile(domain, 4 * 600).unwrap();
+        assert_eq!(report.compile, compiled.summary(), "{domain:?}");
     }
 }
 
@@ -91,7 +108,8 @@ fn pruned_and_full_formulations_agree_on_apps() {
     // drives debug-mode branch & bound into a huge tree (its LP optima
     // sit fractionally between integer start times); the release-mode
     // ablation harness covers it at stride 1024 in milliseconds.
-    for domain in [AppDomain::Classification] {
+    {
+        let domain = AppDomain::Classification;
         let (graph, _) = streamgrid_core::apps::dataflow_graph(domain);
         let elements = 900u64;
         let edges = edge_infos(&graph, elements);
@@ -132,7 +150,10 @@ fn variant_ordering_matches_paper() {
     assert!(csdt.onchip_bytes <= cs.onchip_bytes);
     assert!(cs.onchip_bytes < base.onchip_bytes);
     assert_eq!(csdt.stall_cycles, 0);
-    assert!(base.starved_cycles > 0, "non-determinism must cost Base bubbles");
+    assert!(
+        base.starved_cycles > 0,
+        "non-determinism must cost Base bubbles"
+    );
     assert!(csdt.energy.total_pj() < base.energy.total_pj());
 }
 
@@ -159,7 +180,10 @@ fn custom_pipeline_through_public_interface() {
         &schedule,
         &plan,
         &EnergyModel::default(),
-        &EngineConfig { n_chunks: 4, ..EngineConfig::default() },
+        &EngineConfig {
+            n_chunks: 4,
+            ..EngineConfig::default()
+        },
     );
     assert_eq!(report.overflow_edge, None);
     assert_eq!(report.stall_cycles, 0);

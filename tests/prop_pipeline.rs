@@ -7,7 +7,7 @@ use streamgrid_dataflow::{DataflowGraph, Shape};
 use streamgrid_optimizer::{
     edge_infos, optimize, plan_multi_chunk, validate_schedule, OptimizeConfig,
 };
-use streamgrid_sim::{run, EngineConfig, EnergyModel};
+use streamgrid_sim::{run, EnergyModel, EngineConfig};
 
 /// A random stage descriptor: (kind, points-per-burst, depth, reuse).
 #[derive(Debug, Clone)]
@@ -23,8 +23,11 @@ fn arb_stage() -> impl Strategy<Value = StageKind> {
         (1u32..4, 0u32..8).prop_map(|(shape, depth)| StageKind::Map { shape, depth }),
         (2u32..5, 0u32..6).prop_map(|(reuse, depth)| StageKind::Stencil { reuse, depth }),
         (2u32..8, 0u32..6).prop_map(|(factor, depth)| StageKind::Reduction { factor, depth }),
-        (1u32..6, 1u32..8, 1u32..10)
-            .prop_map(|(group, freq, depth)| StageKind::Global { group, freq, depth }),
+        (1u32..6, 1u32..8, 1u32..10).prop_map(|(group, freq, depth)| StageKind::Global {
+            group,
+            freq,
+            depth
+        }),
     ]
 }
 

@@ -10,8 +10,7 @@ use streamgrid_spatial::sort::{bitonic_sort_by_key, inversion_fraction};
 use streamgrid_spatial::{bruteforce, ChunkedIndex};
 
 fn arb_point() -> impl Strategy<Value = Point3> {
-    (-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0)
-        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+    (-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0).prop_map(|(x, y, z)| Point3::new(x, y, z))
 }
 
 fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {

@@ -1,0 +1,114 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the macro/API surface `benches/` uses — [`Criterion`],
+//! `benchmark_group`, `bench_function`, [`Bencher::iter`],
+//! [`criterion_group!`], [`criterion_main!`] — backed by a simple
+//! wall-clock loop: warm up once, time a fixed batch, report the mean
+//! per-iteration latency. No statistics, plots, or baselines; swap in
+//! real criterion when a registry is available.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named group; benchmarks in it are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{id:<40} {:>12.3?}/iter", bencher.mean);
+        self.results.push((id, bencher.mean));
+        self
+    }
+
+    /// Prints the collected results (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks run", self.results.len());
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.prefix, id.into());
+        self.criterion.bench_function(id, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure.
+pub struct Bencher {
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then size the batch so the measurement takes
+        // roughly 50 ms (capped to keep `cargo bench` quick offline).
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+/// Re-export for call sites using `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRunner};
+use rand::RngExt;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A vector whose length is drawn from `len` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range in collection::vec");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let n = runner.rng().random_range(self.len.clone());
+        (0..n).map(|_| self.element.sample(runner)).collect()
+    }
+}

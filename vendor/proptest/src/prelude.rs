@@ -1,0 +1,9 @@
+//! The conventional glob import for property tests.
+
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, BoxedStrategy,
+    Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRunner,
+};
+
+/// Alias of the crate root, so `prop::collection::vec(...)` resolves.
+pub use crate as prop;

@@ -1,0 +1,212 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no registry access, so
+//! this crate reimplements the surface the workspace uses: [`RngCore`],
+//! [`SeedableRng`], the [`RngExt`] extension trait (`random_range`,
+//! `random_bool`, `random`), [`rngs::SmallRng`] (xoshiro256++ seeded via
+//! SplitMix64, matching upstream's algorithm choice), and
+//! [`seq::SliceRandom::shuffle`]. All draws are deterministic functions
+//! of the seed, which is what every caller in this workspace relies on.
+
+pub mod rngs;
+
+/// A source of uniformly distributed random bits.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An RNG that can be reproducibly seeded.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it with
+    /// SplitMix64 (the upstream convention).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniform draw of the full value domain (`f32`/`f64` in [0, 1)).
+    fn random<T: distr::StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Alias kept for call sites written against the `Rng` spelling.
+pub use RngExt as Rng;
+
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → [0, 1) with full double precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub(crate) fn unit_f32(bits: u64) -> f32 {
+    // 24 high bits → [0, 1) with full single precision.
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+pub mod distr {
+    //! Uniform sampling over ranges and the standard distribution.
+
+    use super::{unit_f32, unit_f64, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce a uniform sample of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Types with a canonical "standard" distribution.
+    pub trait StandardUniform: Sized {
+        /// Draws from the standard distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl StandardUniform for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+            unit_f32(rng.next_u64())
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardUniform for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardUniform for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range in random_range");
+            self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+        }
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "empty range in random_range");
+            self.start + (self.end - self.start) * unit_f32(rng.next_u64())
+        }
+    }
+
+    macro_rules! int_ranges {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range in random_range");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        // Modulo bias is negligible for the spans used in
+                        // this workspace (all far below 2^32).
+                        (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range in random_range");
+                        let span = (hi as i128 - lo as i128 + 1) as u64;
+                        (lo as i128 + (rng.next_u64() % span) as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::{RngCore, RngExt};
+
+    /// Extension methods on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.random_range(0..self.len()))
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The deserialization half of the data model — stubbed.
+//!
+//! Nothing in the workspace deserializes yet (there is no format crate
+//! in the offline dependency set), so [`Deserialize`] is a marker trait:
+//! `#[derive(Deserialize)]` records the *intent* that a type roundtrips
+//! and keeps call sites source-compatible with real serde, without
+//! carrying a full `Deserializer` implementation that no code would
+//! exercise. Grow this into the real trait when a format lands.
+
+/// Marker for types that will deserialize once a format crate exists.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! deserialize_prim {
+    ($($t:ty),* $(,)?) => {
+        $(impl<'de> Deserialize<'de> for $t {})*
+    };
+}
+
+deserialize_prim!(
+    bool,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    f32,
+    f64,
+    char,
+    String,
+    ()
+);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, H: Default> Deserialize<'de>
+    for std::collections::HashMap<K, V, H>
+{
+}
+impl<'de, T> Deserialize<'de> for std::marker::PhantomData<T> {}
+
+macro_rules! deserialize_tuple {
+    ($($($t:ident)+),+ $(,)?) => {
+        $(impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {})+
+    };
+}
+
+deserialize_tuple! {
+    T0,
+    T0 T1,
+    T0 T1 T2,
+    T0 T1 T2 T3,
+    T0 T1 T2 T3 T4,
+    T0 T1 T2 T3 T4 T5,
+}

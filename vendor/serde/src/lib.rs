@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The container this workspace builds in has no network access to a
+//! crates registry, so this crate reimplements the subset of serde the
+//! workspace actually uses: the [`Serialize`]/[`Serializer`] data-model
+//! traits (the full `ser` surface, including every compound serializer
+//! trait), a marker [`Deserialize`] trait, and the two derive macros.
+//! Any format crate written against real serde's `ser` API — such as the
+//! counting serializer in `tests/api_contracts.rs` — compiles unchanged.
+//!
+//! Deserialization is intentionally a stub: nothing in the workspace
+//! parses serialized data yet. When a real registry is available, this
+//! path dependency can be swapped for crates.io `serde` without touching
+//! any call site.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,298 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with a
+//! hand-rolled token parser — the container has no registry access, so
+//! `syn`/`quote` are unavailable. Supports the shapes this workspace
+//! derives on: non-generic structs with named fields, tuple structs, and
+//! enums whose variants are unit, tuple, or struct-like. `#[serde(...)]`
+//! field attributes are not supported (none are used in-tree).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// The parsed derive input.
+struct Input {
+    name: String,
+    kind: InputKind,
+}
+
+enum InputKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derives `serde::Serialize` by emitting calls into the `ser` data
+/// model, exactly as real serde_derive would for attribute-free types.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.kind {
+        InputKind::UnitStruct => format!("serializer.serialize_unit_struct(\"{name}\")"),
+        InputKind::NamedStruct(fields) => {
+            let mut s = String::new();
+            s.push_str("use ::serde::ser::SerializeStruct as _;\n");
+            s.push_str(&format!(
+                "let mut state = serializer.serialize_struct(\"{name}\", {})?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                s.push_str(&format!("state.serialize_field(\"{f}\", &self.{f})?;\n"));
+            }
+            s.push_str("state.end()");
+            s
+        }
+        InputKind::TupleStruct(n) => {
+            let mut s = String::new();
+            s.push_str("use ::serde::ser::SerializeTupleStruct as _;\n");
+            s.push_str(&format!(
+                "let mut state = serializer.serialize_tuple_struct(\"{name}\", {n})?;\n"
+            ));
+            for i in 0..*n {
+                s.push_str(&format!("state.serialize_field(&self.{i})?;\n"));
+            }
+            s.push_str("state.end()");
+            s
+        }
+        InputKind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => s.push_str(&format!(
+                        "{name}::{vname} => \
+                         serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        s.push_str(&format!("{name}::{vname}({}) => {{\n", binds.join(", ")));
+                        if *n == 1 {
+                            s.push_str(&format!(
+                                "serializer.serialize_newtype_variant(\
+                                 \"{name}\", {idx}u32, \"{vname}\", __f0)\n"
+                            ));
+                        } else {
+                            s.push_str("use ::serde::ser::SerializeTupleVariant as _;\n");
+                            s.push_str(&format!(
+                                "let mut state = serializer.serialize_tuple_variant(\
+                                 \"{name}\", {idx}u32, \"{vname}\", {n})?;\n"
+                            ));
+                            for b in &binds {
+                                s.push_str(&format!("state.serialize_field({b})?;\n"));
+                            }
+                            s.push_str("state.end()\n");
+                        }
+                        s.push_str("}\n");
+                    }
+                    VariantFields::Named(fields) => {
+                        s.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n",
+                            fields.join(", ")
+                        ));
+                        s.push_str("use ::serde::ser::SerializeStructVariant as _;\n");
+                        s.push_str(&format!(
+                            "let mut state = serializer.serialize_struct_variant(\
+                             \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.len()
+                        ));
+                        for f in fields {
+                            s.push_str(&format!("state.serialize_field(\"{f}\", {f})?;\n"));
+                        }
+                        s.push_str("state.end()\n}\n");
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(\n\
+                 &self,\n\
+                 serializer: __S,\n\
+             ) -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("derived Serialize impl must parse")
+}
+
+/// Derives the marker `serde::Deserialize` impl (see `serde::de`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{}}\n"
+    )
+    .parse()
+    .expect("derived Deserialize impl must parse")
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let kind_kw = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+    let kind = match kind_kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                InputKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                InputKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => InputKind::UnitStruct,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                InputKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        "union" => panic!("vendored serde_derive does not support unions (deriving on `{name}`)"),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    Input { name, kind }
+}
+
+/// Advances past any leading `#[...]` attributes (incl. doc comments).
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        debug_assert!(matches!(tokens.get(*pos), Some(TokenTree::Group(_))));
+        *pos += 1;
+    }
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)`, or nothing.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips a type (or discriminant expression) up to a top-level comma,
+/// tracking angle-bracket depth so `Map<K, V>` commas don't split.
+fn skip_to_field_end(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        fields.push(expect_ident(&tokens, &mut pos));
+        // Consume `:` then the type, up to the separating comma.
+        pos += 1;
+        skip_to_field_end(&tokens, &mut pos);
+        pos += 1; // the comma (or one past the end)
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        count += 1;
+        skip_to_field_end(&tokens, &mut pos);
+        pos += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            skip_to_field_end(&tokens, &mut pos);
+        }
+        pos += 1; // the comma (or one past the end)
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
