@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use streamgrid_core::apps::{dataflow_graph, AppDomain};
+use streamgrid_core::apps::AppDomain;
+use streamgrid_core::framework::StreamGrid;
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
 use streamgrid_optimizer::{edge_infos, optimize, plan_multi_chunk, OptimizeConfig};
 use streamgrid_pointcloud::datasets::lidar::{scan, LidarConfig, Scene};
@@ -109,7 +110,7 @@ fn bench_sort(c: &mut Criterion) {
 fn bench_optimizer(c: &mut Criterion) {
     let mut g = c.benchmark_group("line_buffer_ilp");
     for domain in AppDomain::ALL {
-        let (mut graph, _) = dataflow_graph(domain);
+        let mut graph = domain.spec().into_graph();
         StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)).apply(&mut graph);
         g.bench_function(format!("{domain:?}"), |b| {
             b.iter(|| black_box(optimize(&graph, &OptimizeConfig::new(1200)).unwrap()))
@@ -118,8 +119,20 @@ fn bench_optimizer(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_session(c: &mut Criterion) {
+    // The amortization the Session cache buys: a warm `run` skips the
+    // ILP solve entirely, so this should sit orders of magnitude under
+    // `line_buffer_ilp/Classification` + engine time combined.
+    let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+    let mut session = fw.session(AppDomain::Classification.spec());
+    session.run(4 * 1200).expect("warms the compile cache");
+    c.bench_function("session_run_warm_cls", |b| {
+        b.iter(|| black_box(session.run(4 * 1200).unwrap()))
+    });
+}
+
 fn bench_engine(c: &mut Criterion) {
-    let (mut graph, _) = dataflow_graph(AppDomain::Classification);
+    let mut graph = AppDomain::Classification.spec().into_graph();
     StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)).apply(&mut graph);
     let elements = 1200u64;
     let edges = edge_infos(&graph, elements);
@@ -148,6 +161,7 @@ criterion_group!(
     bench_knn,
     bench_sort,
     bench_optimizer,
+    bench_session,
     bench_engine
 );
 criterion_main!(benches);

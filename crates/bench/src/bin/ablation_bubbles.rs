@@ -5,7 +5,7 @@
 //! initiation interval (bubbling the fast ones) keeps single-chunk
 //! buffer sizes.
 
-use streamgrid_core::apps::{dataflow_graph, AppDomain};
+use streamgrid_core::apps::AppDomain;
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
 use streamgrid_optimizer::{
     edge_infos, multi_chunk_peaks, optimize, plan_multi_chunk, OptimizeConfig,
@@ -18,7 +18,7 @@ fn main() {
         0,
     );
     for domain in [AppDomain::Classification, AppDomain::NeuralRendering] {
-        let (mut graph, _) = dataflow_graph(domain);
+        let mut graph = domain.spec().into_graph();
         StreamGridConfig::cs_dt(SplitConfig::linear(8, 2)).apply(&mut graph);
         let elements = 1200u64;
         let edges = edge_infos(&graph, elements);

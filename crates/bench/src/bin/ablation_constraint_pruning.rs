@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use streamgrid_core::apps::{dataflow_graph, AppDomain};
+use streamgrid_core::apps::AppDomain;
 use streamgrid_optimizer::{asap_schedule, build, edge_infos, FormulationKind};
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
         (AppDomain::Classification, 30_000u64),
         (AppDomain::Registration, 100_000u64),
     ] {
-        let (graph, _) = dataflow_graph(domain);
+        let graph = domain.spec().into_graph();
         let edges = edge_infos(&graph, elements);
         let (_, asap) = asap_schedule(&graph, &edges);
         let limit = asap + graph.node_count() as f64 + 1.0;

@@ -38,9 +38,10 @@ fn main() {
     for domain in AppDomain::ALL {
         let (elements, n_chunks) = workload(domain);
         let csdt_config = StreamGridConfig::cs_dt(SplitConfig::linear(n_chunks as u32, 2));
-        let csdt = StreamGrid::new(csdt_config)
-            .execute(domain, elements)
-            .expect("CS+DT compiles and runs");
+        // One session per domain: the CS+DT and Base designs share the
+        // spec and resolve through the same compile cache.
+        let mut session = StreamGrid::new(csdt_config).session(domain.spec());
+        let csdt = session.run(elements).expect("CS+DT compiles and runs");
         assert!(csdt.is_clean(), "{domain:?}: CS+DT must run stall-free");
         // 3DGS Base: infeasible on-chip buffer — report like the paper.
         if matches!(domain, AppDomain::NeuralRendering) {
@@ -56,9 +57,8 @@ fn main() {
             );
             continue;
         }
-        let base = StreamGrid::new(StreamGridConfig::base())
-            .execute(domain, elements)
-            .expect("Base compiles and runs");
+        session.set_config(StreamGridConfig::base());
+        let base = session.run(elements).expect("Base compiles and runs");
         let reduction = 1.0 - csdt.onchip_bytes() as f64 / base.onchip_bytes() as f64;
         let norm_energy = csdt.energy.total_pj() / base.energy.total_pj();
         reductions.push(reduction);

@@ -128,10 +128,10 @@ fn main() {
 
     // --- Base+$ (engine-level comparison on the same pipeline). ---
     {
-        use streamgrid_core::apps::{dataflow_graph, AppDomain};
+        use streamgrid_core::apps::AppDomain;
         use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
         use streamgrid_sim::{evaluate, Variant, VariantConfig};
-        let (mut graph, _) = dataflow_graph(AppDomain::Classification);
+        let mut graph = AppDomain::Classification.spec().into_graph();
         StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)).apply(&mut graph);
         let cfg = VariantConfig {
             total_elements: 4096 * 3,

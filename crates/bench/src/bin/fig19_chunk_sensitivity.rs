@@ -46,24 +46,32 @@ fn main() {
     let seg_train = seg_dataset(8, 128, seed);
     let seg_test = seg_dataset(4, 128, 888);
 
-    // Energy at 4 chunks is the normalization point (paper Fig. 19).
-    let mut e4 = None;
+    // Hardware side runs through one reusable session; the per-chunking
+    // configs land in its compile cache, so drawing the normalization
+    // point up front costs nothing when the sweep reaches n = 4 again.
+    let elements = 4096 * 3;
+    let config_for = |n: u64| StreamGridConfig::cs_dt(SplitConfig::linear(n as u32, 2));
+    let mut session = StreamGrid::new(config_for(4)).session(AppDomain::Classification.spec());
+
+    // Energy at 4 chunks is the normalization point (paper Fig. 19);
+    // draw it eagerly so every row — including the 1-chunk row printed
+    // first — is normalized against it.
+    let e4 = session
+        .run(elements)
+        .expect("CS+DT compiles and runs")
+        .energy
+        .total_pj();
+
     println!(
         "{:>8} {:>14} {:>13} {:>12} {:>10}",
         "chunks", "buffer (KB)", "norm energy", "cls acc", "seg mIoU"
     );
     for n in [1u64, 4, 8, 16] {
-        // Hardware side: classification pipeline at this chunking,
-        // through the unified compile→execute entry point.
-        let config = StreamGridConfig::cs_dt(SplitConfig::linear(n as u32, 2));
-        let hw = StreamGrid::new(config)
-            .execute(AppDomain::Classification, 4096 * 3)
-            .expect("CS+DT compiles and runs");
-        let e = hw.energy.total_pj();
-        if n == 4 {
-            e4 = Some(e);
-        }
-        let norm = e / e4.unwrap_or(e);
+        // Classification pipeline at this chunking; the n = 4 row is a
+        // cache hit on the normalization run above.
+        session.set_config(config_for(n));
+        let hw = session.run(elements).expect("CS+DT compiles and runs");
+        let norm = hw.energy.total_pj() / e4;
 
         // Algorithm side: co-trained accuracy at this chunking.
         let mode = mode_for_chunks(n as u32);
@@ -102,5 +110,9 @@ fn main() {
             miou * 100.0,
         );
     }
-    println!("\nshape check: buffers and energy shrink with chunk count; accuracy drifts slowly.");
+    println!(
+        "\ncompile cache: {} ILP solves for 5 hardware runs (n = 4 reused the normalization point)",
+        session.solver_invocations()
+    );
+    println!("shape check: buffers and energy shrink with chunk count; accuracy drifts slowly.");
 }

@@ -1,6 +1,8 @@
-//! Tbl. 2: the evaluation benchmark registry.
+//! Tbl. 2: the evaluation benchmark registry, resolved through the
+//! pipeline registry (every preset is a named, builder-made spec).
 
 use streamgrid_core::apps::table2;
+use streamgrid_core::registry::PipelineRegistry;
 
 fn main() {
     streamgrid_bench::banner(
@@ -8,6 +10,7 @@ fn main() {
         "4 domains: classification, segmentation, registration, neural rendering",
         0,
     );
+    let registry = PipelineRegistry::with_paper_apps();
     println!(
         "{:<18} {:<16} {:<38} {:<22} {:<14} metric",
         "domain", "algorithm", "datasets", "hw baselines", "global dep"
@@ -21,6 +24,16 @@ fn main() {
             spec.hardware_baselines.join(", "),
             spec.global_dependency,
             spec.metric,
+        );
+    }
+    println!("\nregistered pipelines ({}):", registry.len());
+    for spec in registry.specs() {
+        println!(
+            "  {:<18} {} stages, {} line buffers, {} global op(s)",
+            spec.name(),
+            spec.graph().node_count(),
+            spec.graph().edge_count(),
+            spec.globals().len(),
         );
     }
 }

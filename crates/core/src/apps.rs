@@ -1,12 +1,17 @@
-//! The Tbl. 2 application registry and per-app dataflow graphs.
+//! The Tbl. 2 application registry and per-app pipeline presets.
 //!
 //! Each of the paper's four domains gets (a) a registry entry carrying
-//! the table's columns and (b) a dataflow-graph builder expressed in the
-//! Sec. 6 interface. The graphs are what the line-buffer optimizer and
-//! the cycle-level simulator consume for Figs. 17–20.
+//! the table's columns and (b) a [`PipelineSpec`] preset expressed
+//! through the [`crate::pipeline::PipelineBuilder`] over the Sec. 6
+//! interface. [`AppDomain`] is a thin alias layer over those presets:
+//! [`AppDomain::spec`] resolves the domain to its builder-made spec, and
+//! [`crate::registry::PipelineRegistry::with_paper_apps`] pre-registers
+//! all four under [`AppDomain::pipeline_name`].
 
 use serde::{Deserialize, Serialize};
-use streamgrid_dataflow::{DataflowGraph, NodeId, Shape};
+use streamgrid_dataflow::Shape;
+
+use crate::pipeline::PipelineSpec;
 
 /// The four application domains of Tbl. 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -39,6 +44,28 @@ impl AppDomain {
             AppDomain::Classification | AppDomain::Segmentation => 2048.0,
             AppDomain::Registration => 256.0,
             AppDomain::NeuralRendering => 512.0,
+        }
+    }
+
+    /// The domain's registry key (`PipelineRegistry::with_paper_apps`
+    /// registers every preset under this name).
+    pub fn pipeline_name(self) -> &'static str {
+        match self {
+            AppDomain::Classification => "classification",
+            AppDomain::Segmentation => "segmentation",
+            AppDomain::Registration => "registration",
+            AppDomain::NeuralRendering => "neural_rendering",
+        }
+    }
+
+    /// The domain's pipeline preset (thin alias over
+    /// [`PipelineSpec::classification`] and friends).
+    pub fn spec(self) -> PipelineSpec {
+        match self {
+            AppDomain::Classification => PipelineSpec::classification(),
+            AppDomain::Segmentation => PipelineSpec::segmentation(),
+            AppDomain::Registration => PipelineSpec::registration(),
+            AppDomain::NeuralRendering => PipelineSpec::neural_rendering(),
         }
     }
 }
@@ -98,131 +125,140 @@ pub fn table2() -> Vec<AppSpec> {
     ]
 }
 
-/// Builds the domain's pipeline as a dataflow graph (Sec. 6 interface).
-///
-/// Returned alongside the graph are the ids of its global-dependent
-/// stages (for transform application and inspection).
-pub fn dataflow_graph(domain: AppDomain) -> (DataflowGraph, Vec<NodeId>) {
-    let mut g = DataflowGraph::new();
-    match domain {
-        // PointNet++(c): scale → range search → grouped MLP → max-pool
-        // reduction → head MLP. (The Fig. 8 pipeline with its S/R/M
-        // stages, plus the classification tail.)
-        AppDomain::Classification => {
-            let src = g.source("reader", Shape::new(1, 3), 1);
-            let scale = g.map("scale", Shape::new(1, 3), Shape::new(1, 3), 2);
-            // Range search: reads one point per cycle, emits a group of
-            // 8 neighbor features every 8 cycles.
-            let rs = g.global_op(
-                "range_search",
-                Shape::new(1, 3),
-                1,
-                Shape::new(8, 3),
-                8,
-                (1, 1),
-                8,
-            );
-            let mlp = g.map("group_mlp", Shape::new(1, 3), Shape::new(1, 16), 4);
-            // Max-pool over each 8-neighbor group.
-            let pool = g.reduction("max_pool", Shape::new(1, 16), Shape::new(1, 16), 2, 8);
-            let head = g.map("head_mlp", Shape::new(1, 16), Shape::new(1, 4), 6);
-            let sink = g.sink("logits", Shape::new(1, 4), 1);
-            g.connect(src, scale);
-            g.connect(scale, rs);
-            g.connect(rs, mlp);
-            g.connect(mlp, pool);
-            g.connect(pool, head);
-            g.connect(head, sink);
-            (g, vec![rs])
-        }
-        // PointNet++(s): like (c) but with a feature-propagation stage
-        // that interpolates back to full resolution (stencil over the
-        // centroid stream) instead of a classification head.
-        AppDomain::Segmentation => {
-            let src = g.source("reader", Shape::new(1, 3), 1);
-            let scale = g.map("scale", Shape::new(1, 3), Shape::new(1, 3), 2);
-            let rs = g.global_op(
-                "range_search",
-                Shape::new(1, 3),
-                1,
-                Shape::new(8, 3),
-                8,
-                (1, 1),
-                8,
-            );
-            let mlp = g.map("group_mlp", Shape::new(1, 3), Shape::new(1, 16), 4);
-            let pool = g.reduction("max_pool", Shape::new(1, 16), Shape::new(1, 16), 2, 8);
-            let fp = g.stencil(
-                "feature_prop",
-                Shape::new(1, 16),
-                Shape::new(8, 8),
-                4,
-                (3, 1),
-            );
-            let head = g.map("point_head", Shape::new(1, 8), Shape::new(1, 4), 4);
-            let sink = g.sink("labels", Shape::new(1, 4), 1);
-            g.connect(src, scale);
-            g.connect(scale, rs);
-            g.connect(rs, mlp);
-            g.connect(mlp, pool);
-            g.connect(pool, fp);
-            g.connect(fp, head);
-            g.connect(head, sink);
-            (g, vec![rs])
-        }
-        // A-LOAM: curvature stencil → feature selection (reduction) →
-        // kNN correspondence search (global) → Gauss-Newton accumulation
-        // (reduction).
-        AppDomain::Registration => {
-            let src = g.source("scan_reader", Shape::new(1, 3), 1);
-            // 1×11 curvature stencil (±5 neighbors, Fig. 2a).
-            let curv = g.stencil("curvature", Shape::new(1, 3), Shape::new(1, 4), 4, (11, 1));
-            // Keep the best 1 of every 8 candidates.
-            let select = g.reduction("feature_select", Shape::new(1, 4), Shape::new(1, 4), 2, 8);
-            let knn = g.global_op(
-                "knn_search",
-                Shape::new(1, 4),
-                1,
-                Shape::new(2, 4),
-                4,
-                (1, 1),
-                8,
-            );
-            let residual = g.map("residual", Shape::new(1, 4), Shape::new(1, 8), 4);
-            // Normal-equation accumulation: one 6×6 system per 64
-            // correspondences.
-            let gn = g.reduction("gauss_newton", Shape::new(1, 8), Shape::new(6, 8), 8, 64);
-            let sink = g.sink("pose", Shape::new(6, 8), 1);
-            g.connect(src, curv);
-            g.connect(curv, select);
-            g.connect(select, knn);
-            g.connect(knn, residual);
-            g.connect(residual, gn);
-            g.connect(gn, sink);
-            (g, vec![knn])
-        }
-        // 3DGS: projection → depth sort (global) → tile raster.
-        AppDomain::NeuralRendering => {
-            let src = g.source("gaussian_reader", Shape::new(1, 8), 1);
-            let project = g.map("project", Shape::new(1, 8), Shape::new(1, 6), 4);
-            let sort = g.global_op(
-                "depth_sort",
-                Shape::new(1, 6),
-                1,
-                Shape::new(1, 6),
-                1,
-                (1, 1),
-                16,
-            );
-            // Rasterize: each sorted splat touches a 2×1 tile window.
-            let raster = g.stencil("rasterize", Shape::new(1, 6), Shape::new(1, 3), 8, (2, 1));
-            let sink = g.sink("framebuffer", Shape::new(1, 3), 1);
-            g.connect(src, project);
-            g.connect(project, sort);
-            g.connect(sort, raster);
-            g.connect(raster, sink);
-            (g, vec![sort])
-        }
+/// The Tbl. 2 presets, expressed through the builder. Stage parameters
+/// are unchanged from the original hand-wired graphs; the regression
+/// test in `tests/pipeline_api.rs` pins the compiled summaries against
+/// the legacy construction byte for byte.
+impl PipelineSpec {
+    /// PointNet++(c): scale → range search → grouped MLP → max-pool
+    /// reduction → head MLP. (The Fig. 8 pipeline with its S/R/M stages,
+    /// plus the classification tail.)
+    pub fn classification() -> PipelineSpec {
+        let mut b = PipelineSpec::builder(AppDomain::Classification.pipeline_name());
+        b.macs_per_element(AppDomain::Classification.macs_per_element());
+        let src = b.source("reader", Shape::new(1, 3), 1);
+        let scale = b.map("scale", Shape::new(1, 3), Shape::new(1, 3), 2);
+        // Range search: reads one point per cycle, emits a group of 8
+        // neighbor features every 8 cycles.
+        let rs = b.global_op(
+            "range_search",
+            Shape::new(1, 3),
+            1,
+            Shape::new(8, 3),
+            8,
+            (1, 1),
+            8,
+        );
+        let mlp = b.map("group_mlp", Shape::new(1, 3), Shape::new(1, 16), 4);
+        // Max-pool over each 8-neighbor group.
+        let pool = b.reduction("max_pool", Shape::new(1, 16), Shape::new(1, 16), 2, 8);
+        let head = b.map("head_mlp", Shape::new(1, 16), Shape::new(1, 4), 6);
+        let sink = b.sink("logits", Shape::new(1, 4), 1);
+        b.connect(src, scale)
+            .connect(scale, rs)
+            .connect(rs, mlp)
+            .connect(mlp, pool)
+            .connect(pool, head)
+            .connect(head, sink);
+        b.build().expect("the classification preset is valid")
+    }
+
+    /// PointNet++(s): like [`PipelineSpec::classification`] but with a
+    /// feature-propagation stage that interpolates back to full
+    /// resolution (stencil over the centroid stream) instead of a
+    /// classification head.
+    pub fn segmentation() -> PipelineSpec {
+        let mut b = PipelineSpec::builder(AppDomain::Segmentation.pipeline_name());
+        b.macs_per_element(AppDomain::Segmentation.macs_per_element());
+        let src = b.source("reader", Shape::new(1, 3), 1);
+        let scale = b.map("scale", Shape::new(1, 3), Shape::new(1, 3), 2);
+        let rs = b.global_op(
+            "range_search",
+            Shape::new(1, 3),
+            1,
+            Shape::new(8, 3),
+            8,
+            (1, 1),
+            8,
+        );
+        let mlp = b.map("group_mlp", Shape::new(1, 3), Shape::new(1, 16), 4);
+        let pool = b.reduction("max_pool", Shape::new(1, 16), Shape::new(1, 16), 2, 8);
+        let fp = b.stencil(
+            "feature_prop",
+            Shape::new(1, 16),
+            Shape::new(8, 8),
+            4,
+            (3, 1),
+        );
+        let head = b.map("point_head", Shape::new(1, 8), Shape::new(1, 4), 4);
+        let sink = b.sink("labels", Shape::new(1, 4), 1);
+        b.connect(src, scale)
+            .connect(scale, rs)
+            .connect(rs, mlp)
+            .connect(mlp, pool)
+            .connect(pool, fp)
+            .connect(fp, head)
+            .connect(head, sink);
+        b.build().expect("the segmentation preset is valid")
+    }
+
+    /// A-LOAM: curvature stencil → feature selection (reduction) → kNN
+    /// correspondence search (global) → Gauss-Newton accumulation
+    /// (reduction).
+    pub fn registration() -> PipelineSpec {
+        let mut b = PipelineSpec::builder(AppDomain::Registration.pipeline_name());
+        b.macs_per_element(AppDomain::Registration.macs_per_element());
+        let src = b.source("scan_reader", Shape::new(1, 3), 1);
+        // 1×11 curvature stencil (±5 neighbors, Fig. 2a).
+        let curv = b.stencil("curvature", Shape::new(1, 3), Shape::new(1, 4), 4, (11, 1));
+        // Keep the best 1 of every 8 candidates.
+        let select = b.reduction("feature_select", Shape::new(1, 4), Shape::new(1, 4), 2, 8);
+        let knn = b.global_op(
+            "knn_search",
+            Shape::new(1, 4),
+            1,
+            Shape::new(2, 4),
+            4,
+            (1, 1),
+            8,
+        );
+        let residual = b.map("residual", Shape::new(1, 4), Shape::new(1, 8), 4);
+        // Normal-equation accumulation: one 6×6 system per 64
+        // correspondences.
+        let gn = b.reduction("gauss_newton", Shape::new(1, 8), Shape::new(6, 8), 8, 64);
+        let sink = b.sink("pose", Shape::new(6, 8), 1);
+        b.connect(src, curv)
+            .connect(curv, select)
+            .connect(select, knn)
+            .connect(knn, residual)
+            .connect(residual, gn)
+            .connect(gn, sink);
+        b.build().expect("the registration preset is valid")
+    }
+
+    /// 3DGS: projection → depth sort (global) → tile raster.
+    pub fn neural_rendering() -> PipelineSpec {
+        let mut b = PipelineSpec::builder(AppDomain::NeuralRendering.pipeline_name());
+        b.macs_per_element(AppDomain::NeuralRendering.macs_per_element());
+        let src = b.source("gaussian_reader", Shape::new(1, 8), 1);
+        let project = b.map("project", Shape::new(1, 8), Shape::new(1, 6), 4);
+        let sort = b.global_op(
+            "depth_sort",
+            Shape::new(1, 6),
+            1,
+            Shape::new(1, 6),
+            1,
+            (1, 1),
+            16,
+        );
+        // Rasterize: each sorted splat touches a 2×1 tile window.
+        let raster = b.stencil("rasterize", Shape::new(1, 6), Shape::new(1, 3), 8, (2, 1));
+        let sink = b.sink("framebuffer", Shape::new(1, 3), 1);
+        b.connect(src, project)
+            .connect(project, sort)
+            .connect(sort, raster)
+            .connect(raster, sink);
+        b.build().expect("the neural-rendering preset is valid")
     }
 }
 
@@ -240,22 +276,27 @@ mod tests {
     }
 
     #[test]
-    fn all_graphs_validate() {
+    fn all_presets_validate() {
         for domain in AppDomain::ALL {
-            let (g, globals) = dataflow_graph(domain);
-            assert!(g.validate().is_ok(), "{domain:?} graph invalid");
-            assert!(!globals.is_empty(), "{domain:?} must have a global op");
-            for id in globals {
-                assert!(g.node(id).kind.is_global());
+            let spec = domain.spec();
+            assert_eq!(spec.name(), domain.pipeline_name());
+            assert!(spec.graph().validate().is_ok(), "{domain:?} graph invalid");
+            assert!(
+                !spec.globals().is_empty(),
+                "{domain:?} must have a global op"
+            );
+            for &id in spec.globals() {
+                assert!(spec.graph().node(id).kind.is_global());
             }
+            assert_eq!(spec.macs_per_element(), domain.macs_per_element());
         }
     }
 
     #[test]
-    fn volumes_flow_through_every_graph() {
+    fn volumes_flow_through_every_preset() {
         for domain in AppDomain::ALL {
-            let (g, _) = dataflow_graph(domain);
-            let w = g.volumes(3 * 1024);
+            let spec = domain.spec();
+            let w = spec.graph().volumes(3 * 1024);
             assert!(w.iter().all(|&v| v > 0), "{domain:?}: {w:?}");
         }
     }

@@ -5,14 +5,15 @@
 use serde::{Deserialize, Serialize};
 use streamgrid_dataflow::DataflowGraph;
 use streamgrid_optimizer::{
-    edge_infos, optimize, plan_multi_chunk, EdgeInfo, MultiChunkPlan, OptimizeConfig,
-    OptimizeError, Schedule,
+    edge_infos, optimize, plan_multi_chunk, EdgeInfo, MultiChunkPlan, OptimizeConfig, Schedule,
 };
 use streamgrid_sim::{
     run, BufferPolicy, EnergyBreakdown, EnergyModel, EngineConfig, GlobalLatencyModel, RunReport,
 };
 
-use crate::apps::{dataflow_graph, AppDomain};
+use crate::apps::AppDomain;
+use crate::pipeline::{CompileError, PipelineSpec};
+use crate::session::Session;
 use crate::transform::StreamGridConfig;
 
 /// Coefficient of variation of global-op latency when deterministic
@@ -89,6 +90,15 @@ impl ExecuteOptions {
             ..ExecuteOptions::default()
         }
     }
+
+    /// Defaults with the spec's datapath intensity (what
+    /// [`Session::run`] uses).
+    pub fn for_spec(spec: &PipelineSpec) -> Self {
+        ExecuteOptions {
+            macs_per_element: spec.macs_per_element(),
+            ..ExecuteOptions::default()
+        }
+    }
 }
 
 /// The unified result of the whole Fig. 1 flow: what the compiler
@@ -159,10 +169,10 @@ impl StreamGrid {
         &self.config
     }
 
-    /// Compiles an application pipeline for a cloud of `total_elements`
+    /// Compiles a pipeline description for a cloud of `total_elements`
     /// source elements: applies the CS/DT transform, extracts
-    /// dependencies, solves the line-buffer ILP, and plans multi-chunk
-    /// issue.
+    /// dependencies, solves the line-buffer ILP (exactly one solver
+    /// invocation), and plans multi-chunk issue.
     ///
     /// Without deterministic termination the ILP sizes cannot be trusted
     /// at runtime — global-op latency varies — so the compiled design
@@ -172,18 +182,19 @@ impl StreamGrid {
     ///
     /// # Errors
     ///
-    /// Propagates [`OptimizeError`] from the ILP stage.
-    pub fn compile(
+    /// Propagates [`CompileError`] from the ILP stage.
+    pub fn compile_spec(
         &self,
-        domain: AppDomain,
+        spec: &PipelineSpec,
         total_elements: u64,
-    ) -> Result<CompiledPipeline, OptimizeError> {
-        let (mut graph, _) = dataflow_graph(domain);
+    ) -> Result<CompiledPipeline, CompileError> {
+        let mut graph = spec.graph().clone();
         self.config.apply(&mut graph);
         let n_chunks = self.config.chunk_count();
         let chunk_elements = (total_elements / n_chunks).max(1);
         let edges = edge_infos(&graph, chunk_elements);
-        let mut schedule = optimize(&graph, &OptimizeConfig::new(chunk_elements))?;
+        let mut schedule = optimize(&graph, &OptimizeConfig::new(chunk_elements))
+            .map_err(CompileError::Optimize)?;
         if self.config.termination.is_none() {
             for s in schedule.buffer_sizes.iter_mut() {
                 *s = (*s as f64 * (1.0 + NON_DT_LATENCY_CV)).ceil() as u64;
@@ -202,13 +213,36 @@ impl StreamGrid {
         })
     }
 
-    /// Runs the whole Fig. 1 flow — compile, then execute on the
-    /// cycle-level simulator with the domain's paper defaults — and
-    /// returns the unified [`ExecutionReport`].
+    /// [`StreamGrid::compile_spec`] on a Tbl. 2 preset.
     ///
     /// # Errors
     ///
-    /// Propagates [`OptimizeError`] from the ILP stage.
+    /// Propagates [`CompileError`] from the ILP stage.
+    pub fn compile(
+        &self,
+        domain: AppDomain,
+        total_elements: u64,
+    ) -> Result<CompiledPipeline, CompileError> {
+        self.compile_spec(&domain.spec(), total_elements)
+    }
+
+    /// Opens a reusable [`Session`] over `spec` with this framework's
+    /// configuration. The session caches compiled designs keyed by
+    /// `(config, chunk_elements)`, so repeated executions amortize the
+    /// ILP solve; see [`Session`] for the cache semantics.
+    pub fn session(&self, spec: PipelineSpec) -> Session {
+        Session::new(spec, self.config)
+    }
+
+    /// Runs the whole Fig. 1 flow — compile, then execute on the
+    /// cycle-level simulator with the domain's paper defaults — and
+    /// returns the unified [`ExecutionReport`]. One-shot: for repeated
+    /// executions, open a [`StreamGrid::session`] and let its cache
+    /// amortize the ILP solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the ILP stage.
     ///
     /// # Examples
     ///
@@ -226,7 +260,7 @@ impl StreamGrid {
         &self,
         domain: AppDomain,
         total_elements: u64,
-    ) -> Result<ExecutionReport, OptimizeError> {
+    ) -> Result<ExecutionReport, CompileError> {
         self.execute_with(domain, total_elements, &ExecuteOptions::for_domain(domain))
     }
 
@@ -234,14 +268,30 @@ impl StreamGrid {
     ///
     /// # Errors
     ///
-    /// Propagates [`OptimizeError`] from the ILP stage.
+    /// Propagates [`CompileError`] from the ILP stage.
     pub fn execute_with(
         &self,
         domain: AppDomain,
         total_elements: u64,
         options: &ExecuteOptions,
-    ) -> Result<ExecutionReport, OptimizeError> {
+    ) -> Result<ExecutionReport, CompileError> {
         Ok(self.compile(domain, total_elements)?.execute(options))
+    }
+
+    /// [`StreamGrid::execute`] over an arbitrary [`PipelineSpec`] with
+    /// the spec's default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the ILP stage.
+    pub fn execute_spec(
+        &self,
+        spec: &PipelineSpec,
+        total_elements: u64,
+    ) -> Result<ExecutionReport, CompileError> {
+        Ok(self
+            .compile_spec(spec, total_elements)?
+            .execute(&ExecuteOptions::for_spec(spec)))
     }
 }
 
@@ -296,18 +346,6 @@ impl CompiledPipeline {
             run: run_report,
         }
     }
-
-    /// Executes with default options except the energy model and seed.
-    /// Thin wrapper over [`CompiledPipeline::execute`] kept for call
-    /// sites that only need the raw engine report.
-    pub fn simulate(&self, energy_model: &EnergyModel, seed: u64) -> RunReport {
-        self.execute(&ExecuteOptions {
-            energy_model: *energy_model,
-            seed,
-            ..ExecuteOptions::default()
-        })
-        .run
-    }
 }
 
 #[cfg(test)]
@@ -345,7 +383,7 @@ mod tests {
     fn csdt_simulation_is_clean() {
         let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
         let c = fw.compile(AppDomain::Classification, 9 * 300).unwrap();
-        let report = c.simulate(&EnergyModel::default(), 1);
+        let report = c.execute(&ExecuteOptions::default()).run;
         assert_eq!(report.overflow_edge, None);
         assert_eq!(report.stall_cycles, 0, "CS+DT must run stall-free");
     }
@@ -354,7 +392,12 @@ mod tests {
     fn base_simulation_starves() {
         let fw = StreamGrid::new(StreamGridConfig::base());
         let c = fw.compile(AppDomain::Classification, 2700).unwrap();
-        let report = c.simulate(&EnergyModel::default(), 2);
+        let report = c
+            .execute(&ExecuteOptions {
+                seed: 2,
+                ..ExecuteOptions::default()
+            })
+            .run;
         assert!(
             report.starved_cycles > 0,
             "Base's input-dependent latency must create pipeline bubbles"
@@ -398,17 +441,13 @@ mod tests {
     }
 
     #[test]
-    fn simulate_matches_execute_run() {
-        let fw = StreamGrid::new(StreamGridConfig::base());
-        let c = fw.compile(AppDomain::Registration, 2000).unwrap();
-        let via_simulate = c.simulate(&EnergyModel::default(), 7);
-        let via_execute = c
-            .execute(&ExecuteOptions {
-                seed: 7,
-                ..ExecuteOptions::default()
-            })
-            .run;
-        assert_eq!(via_simulate, via_execute);
+    fn execute_spec_matches_domain_execute() {
+        let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::paper_cls()));
+        let via_spec = fw
+            .execute_spec(&AppDomain::Classification.spec(), 9 * 300)
+            .unwrap();
+        let via_domain = fw.execute(AppDomain::Classification, 9 * 300).unwrap();
+        assert_eq!(via_spec, via_domain);
     }
 
     #[test]

@@ -7,13 +7,19 @@
 //! 1. **Algorithm transformation** ([`transform`]) — compulsory
 //!    splitting (Sec. 4.1) and deterministic termination (Sec. 4.2) as
 //!    configuration over a pipeline;
-//! 2. **Dataflow description** ([`apps`]) — the Tbl. 2 applications
-//!    expressed in the Sec. 6 programming interface;
+//! 2. **Pipeline description** ([`pipeline`]) — the open Sec. 6
+//!    programming interface: a typed [`pipeline::PipelineBuilder`]
+//!    produces validated [`pipeline::PipelineSpec`]s, a
+//!    [`registry::PipelineRegistry`] names them, and the Tbl. 2
+//!    applications ([`apps`]) are presets expressed through the same
+//!    builder;
 //! 3. **Line-buffer optimization** — delegated to
 //!    `streamgrid-optimizer` (Sec. 5's ILP with constraint pruning and
 //!    multi-chunk bubbles);
-//! 4. **Execution** ([`framework`]) — the compiled design runs on the
-//!    cycle-level simulator of `streamgrid-sim`.
+//! 4. **Execution** ([`framework`], [`session`]) — the compiled design
+//!    runs on the cycle-level simulator of `streamgrid-sim`; a
+//!    [`session::Session`] caches compiled designs so repeated
+//!    executions amortize the ILP solve.
 //!
 //! The algorithmic counterparts (how CS/DT change *results*, not just
 //! buffers) live in the application substrates: `streamgrid-nn` for
@@ -41,10 +47,16 @@
 
 pub mod apps;
 pub mod framework;
+pub mod pipeline;
+pub mod registry;
+pub mod session;
 pub mod transform;
 
-pub use apps::{dataflow_graph, table2, AppDomain, AppSpec};
+pub use apps::{table2, AppDomain, AppSpec};
 pub use framework::{
     CompileSummary, CompiledPipeline, ExecuteOptions, ExecutionReport, StreamGrid,
 };
+pub use pipeline::{CompileError, PipelineBuilder, PipelineSpec, StageId};
+pub use registry::PipelineRegistry;
+pub use session::Session;
 pub use transform::{SplitConfig, StreamGridConfig, TerminationConfig};

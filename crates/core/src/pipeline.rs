@@ -1,0 +1,519 @@
+//! Open pipeline descriptions: [`PipelineSpec`] and the typed
+//! [`PipelineBuilder`] over the Sec. 6 dataflow interface.
+//!
+//! The paper's pitch is a *programming interface*: developers describe
+//! any streaming point-cloud pipeline and StreamGrid compiles it. This
+//! module is that surface. A [`PipelineBuilder`] assembles named stages
+//! with their Tbl. 1 parameters, checks shapes, rates, and topology at
+//! build time, and produces an immutable [`PipelineSpec`] that the
+//! framework compiles ([`crate::framework::StreamGrid::compile_spec`]),
+//! the registry names ([`crate::registry::PipelineRegistry`]), and a
+//! session executes repeatedly ([`crate::session::Session`]).
+//!
+//! Every failure mode is a typed [`CompileError`] — builder misuse never
+//! panics.
+
+use std::fmt;
+
+use serde::Serialize;
+use streamgrid_dataflow::{DataflowGraph, GraphError, NodeId, OpKind, Shape};
+use streamgrid_optimizer::OptimizeError;
+use streamgrid_sim::EngineConfig;
+
+/// Everything that can go wrong between describing a pipeline and
+/// holding a compiled design: builder validation, graph validation, and
+/// ILP optimization, unified so every layer of the API returns one error
+/// type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Structural graph validation failed (cycle, shape mismatch,
+    /// missing producer, zero frequency, duplicate edge).
+    Graph(GraphError),
+    /// The line-buffer ILP failed (infeasible target or solver error).
+    Optimize(OptimizeError),
+    /// The pipeline has no source stage: nothing streams in.
+    NoSource,
+    /// The pipeline has no sink stage: results never leave the engine.
+    NoSink,
+    /// Two stages share a name (stage names key diagnostics and
+    /// constraint labels, so they must be unique).
+    DuplicateStage(String),
+    /// A non-sink stage has no consumer: its output stream dangles.
+    DanglingStage(String),
+    /// A [`StageId`] from a different builder was passed to
+    /// [`PipelineBuilder::connect`].
+    ForeignStage,
+    /// A registry already holds a pipeline under this name.
+    DuplicateName(String),
+    /// No registered pipeline has this name.
+    UnknownPipeline(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Graph(e) => write!(f, "invalid pipeline: {e}"),
+            CompileError::Optimize(e) => write!(f, "optimization failed: {e}"),
+            CompileError::NoSource => write!(f, "pipeline has no source stage"),
+            CompileError::NoSink => write!(f, "pipeline has no sink stage"),
+            CompileError::DuplicateStage(n) => write!(f, "duplicate stage name {n}"),
+            CompileError::DanglingStage(n) => {
+                write!(f, "stage {n} produces a stream no stage consumes")
+            }
+            CompileError::ForeignStage => {
+                write!(f, "a stage handle from a different builder was connected")
+            }
+            CompileError::DuplicateName(n) => {
+                write!(f, "a pipeline named {n} is already registered")
+            }
+            CompileError::UnknownPipeline(n) => write!(f, "no pipeline named {n} is registered"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Graph(e) => Some(e),
+            CompileError::Optimize(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CompileError {
+    fn from(e: GraphError) -> Self {
+        CompileError::Graph(e)
+    }
+}
+
+impl From<OptimizeError> for CompileError {
+    fn from(e: OptimizeError) -> Self {
+        CompileError::Optimize(e)
+    }
+}
+
+/// Handle to a stage added through a [`PipelineBuilder`]. Branded with
+/// its builder's identity: passing it to another builder's
+/// [`PipelineBuilder::connect`] is a typed [`CompileError::ForeignStage`]
+/// at build time, not a silently mis-wired pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageId {
+    node: NodeId,
+    builder: u64,
+}
+
+/// A validated, immutable pipeline description: the dataflow graph, the
+/// ids of its global-dependent stages, and the datapath intensity the
+/// execution layer defaults to.
+///
+/// Obtained from [`PipelineBuilder::build`], from a preset
+/// ([`PipelineSpec::classification`], …), or from an existing graph via
+/// [`PipelineSpec::from_graph`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PipelineSpec {
+    name: String,
+    graph: DataflowGraph,
+    globals: Vec<NodeId>,
+    macs_per_element: f64,
+}
+
+impl PipelineSpec {
+    /// Starts a [`PipelineBuilder`] for a pipeline with this name.
+    pub fn builder(name: &str) -> PipelineBuilder {
+        PipelineBuilder::new(name)
+    }
+
+    /// Wraps an already-assembled [`DataflowGraph`] as a spec, running
+    /// the same build-time validation the builder applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CompileError`] the graph violates.
+    pub fn from_graph(name: &str, graph: DataflowGraph) -> Result<Self, CompileError> {
+        validate_pipeline(&graph)?;
+        let globals = graph
+            .nodes()
+            .filter(|(_, n)| n.kind.is_global())
+            .map(|(id, _)| id)
+            .collect();
+        Ok(PipelineSpec {
+            name: name.to_owned(),
+            graph,
+            globals,
+            macs_per_element: EngineConfig::default().macs_per_element,
+        })
+    }
+
+    /// The pipeline's name (registry key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying dataflow graph.
+    pub fn graph(&self) -> &DataflowGraph {
+        &self.graph
+    }
+
+    /// Ids of the global-dependent stages.
+    pub fn globals(&self) -> &[NodeId] {
+        &self.globals
+    }
+
+    /// Datapath intensity (MACs per produced element) the execution
+    /// layer defaults to for this pipeline.
+    pub fn macs_per_element(&self) -> f64 {
+        self.macs_per_element
+    }
+
+    /// Consumes the spec, yielding the dataflow graph (for callers that
+    /// drive the optimizer or simulator layers directly).
+    pub fn into_graph(self) -> DataflowGraph {
+        self.graph
+    }
+
+    /// Returns the spec renamed (registry entries must be unique).
+    pub fn renamed(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+}
+
+/// Typed builder over the Sec. 6 dataflow interface (Listing 1): named
+/// stages, shape/rate checking at build time, explicit global-op
+/// marking.
+///
+/// Stage adders return [`StageId`] handles; [`PipelineBuilder::connect`]
+/// wires them; [`PipelineBuilder::build`] validates the whole
+/// description and returns an immutable [`PipelineSpec`] or a typed
+/// [`CompileError`] — never a panic.
+///
+/// # Examples
+///
+/// The Fig. 12 pipeline — an 8-stage kNN search feeding a 2×3 stencil:
+///
+/// ```
+/// use streamgrid_core::pipeline::PipelineSpec;
+/// use streamgrid_dataflow::Shape;
+///
+/// let mut b = PipelineSpec::builder("fig12");
+/// let src = b.source("reader", Shape::new(1, 3), 1);
+/// let knn = b.global_op("knn", Shape::new(1, 3), 1, Shape::new(4, 3), 8, (1, 1), 8);
+/// let sten = b.stencil("stencil2x3", Shape::new(1, 3), Shape::new(1, 1), 2, (2, 1));
+/// let sink = b.sink("writer", Shape::new(1, 1), 1);
+/// b.connect(src, knn).connect(knn, sten).connect(sten, sink);
+/// let spec = b.build().expect("a valid pipeline");
+/// assert_eq!(spec.globals().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    name: String,
+    id: u64,
+    graph: DataflowGraph,
+    edges: Vec<(StageId, StageId)>,
+    macs_per_element: f64,
+}
+
+impl PipelineBuilder {
+    /// Creates an empty builder for a pipeline with this name.
+    pub fn new(name: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_BUILDER_ID: AtomicU64 = AtomicU64::new(0);
+        PipelineBuilder {
+            name: name.to_owned(),
+            id: NEXT_BUILDER_ID.fetch_add(1, Ordering::Relaxed),
+            graph: DataflowGraph::new(),
+            edges: Vec::new(),
+            macs_per_element: EngineConfig::default().macs_per_element,
+        }
+    }
+
+    fn stage(&self, node: NodeId) -> StageId {
+        StageId {
+            node,
+            builder: self.id,
+        }
+    }
+
+    /// Sets the default datapath intensity (MACs per produced element)
+    /// executions of this pipeline charge for compute energy.
+    pub fn macs_per_element(&mut self, macs: f64) -> &mut Self {
+        self.macs_per_element = macs;
+        self
+    }
+
+    /// Adds an off-chip source producing `o_shape` every `o_freq`
+    /// cycles.
+    pub fn source(&mut self, name: &str, o_shape: Shape, o_freq: u32) -> StageId {
+        let node = self.graph.source(name, o_shape, o_freq);
+        self.stage(node)
+    }
+
+    /// Adds a sink consuming `i_shape` every `i_freq` cycles.
+    pub fn sink(&mut self, name: &str, i_shape: Shape, i_freq: u32) -> StageId {
+        let node = self.graph.sink(name, i_shape, i_freq);
+        self.stage(node)
+    }
+
+    /// Adds an elementwise map stage (scaling, per-point MLP, …).
+    pub fn map(&mut self, name: &str, i_shape: Shape, o_shape: Shape, stage: u32) -> StageId {
+        let node = self.graph.map(name, i_shape, o_shape, stage);
+        self.stage(node)
+    }
+
+    /// Adds a sliding-window stencil (Listing 1: `stencil(i_shape,
+    /// o_shape, stage, reuse)`).
+    pub fn stencil(
+        &mut self,
+        name: &str,
+        i_shape: Shape,
+        o_shape: Shape,
+        stage: u32,
+        reuse: (u32, u32),
+    ) -> StageId {
+        let node = self.graph.stencil(name, i_shape, o_shape, stage, reuse);
+        self.stage(node)
+    }
+
+    /// Adds a many-to-one reduction (Listing 1: `reduction(i_shape,
+    /// o_shape, stage, o_freq)`).
+    pub fn reduction(
+        &mut self,
+        name: &str,
+        i_shape: Shape,
+        o_shape: Shape,
+        stage: u32,
+        o_freq: u32,
+    ) -> StageId {
+        let node = self.graph.reduction(name, i_shape, o_shape, stage, o_freq);
+        self.stage(node)
+    }
+
+    /// Adds a global-dependent operation (kNN/range search, sorting) —
+    /// the explicit marking that routes the stage through Eqn. 7's
+    /// global data-dependency constraint and the CS/DT transform.
+    #[allow(clippy::too_many_arguments)]
+    pub fn global_op(
+        &mut self,
+        name: &str,
+        i_shape: Shape,
+        i_freq: u32,
+        o_shape: Shape,
+        o_freq: u32,
+        reuse: (u32, u32),
+        stage: u32,
+    ) -> StageId {
+        let node = self
+            .graph
+            .global_op(name, i_shape, i_freq, o_shape, o_freq, reuse, stage);
+        self.stage(node)
+    }
+
+    /// Records the `producer → consumer` stream (one line buffer).
+    /// Endpoint and duplication errors surface at
+    /// [`PipelineBuilder::build`] as typed [`CompileError`]s.
+    pub fn connect(&mut self, producer: StageId, consumer: StageId) -> &mut Self {
+        self.edges.push((producer, consumer));
+        self
+    }
+
+    /// Validates the description and produces the immutable spec.
+    ///
+    /// Checks, in order: unique stage names, edge endpoints and
+    /// uniqueness, presence of a source and a sink, the
+    /// [`DataflowGraph::validate`] battery (acyclicity, shape agreement
+    /// along every edge, positive rates, producers for every non-source
+    /// stage), and that no non-sink stage's output dangles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CompileError`] violated; building never
+    /// panics.
+    pub fn build(self) -> Result<PipelineSpec, CompileError> {
+        let PipelineBuilder {
+            name,
+            id: builder_id,
+            mut graph,
+            edges,
+            macs_per_element,
+        } = self;
+        for (id, node) in graph.nodes() {
+            if graph
+                .nodes()
+                .any(|(other, n)| other.index() < id.index() && n.name == node.name)
+            {
+                return Err(CompileError::DuplicateStage(node.name.clone()));
+            }
+        }
+        for (p, c) in edges {
+            if p.builder != builder_id || c.builder != builder_id {
+                return Err(CompileError::ForeignStage);
+            }
+            graph.try_connect(p.node, c.node)?;
+        }
+        let mut spec = PipelineSpec::from_graph(&name, graph)?;
+        spec.macs_per_element = macs_per_element;
+        Ok(spec)
+    }
+}
+
+/// The build-time validation battery shared by [`PipelineBuilder::build`]
+/// and [`PipelineSpec::from_graph`].
+fn validate_pipeline(graph: &DataflowGraph) -> Result<(), CompileError> {
+    if graph.node_count() == 0 {
+        return Err(CompileError::Graph(GraphError::Empty));
+    }
+    if !graph.has_source() {
+        return Err(CompileError::NoSource);
+    }
+    if !graph.has_sink() {
+        return Err(CompileError::NoSink);
+    }
+    graph.validate()?;
+    for (id, node) in graph.nodes() {
+        if !matches!(node.kind, OpKind::Sink) && graph.consumers(id).is_empty() {
+            return Err(CompileError::DanglingStage(node.name.clone()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_builder() -> (PipelineBuilder, StageId, StageId) {
+        let mut b = PipelineBuilder::new("t");
+        let src = b.source("src", Shape::new(1, 3), 1);
+        let sink = b.sink("sink", Shape::new(1, 3), 1);
+        (b, src, sink)
+    }
+
+    #[test]
+    fn minimal_pipeline_builds() {
+        let (mut b, src, sink) = linear_builder();
+        b.connect(src, sink);
+        let spec = b.build().unwrap();
+        assert_eq!(spec.name(), "t");
+        assert!(spec.globals().is_empty());
+        assert_eq!(spec.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_cycles() {
+        let mut b = PipelineBuilder::new("cyclic");
+        let src = b.source("src", Shape::new(1, 3), 1);
+        let a = b.map("a", Shape::new(1, 3), Shape::new(1, 3), 1);
+        let c = b.map("c", Shape::new(1, 3), Shape::new(1, 3), 1);
+        let sink = b.sink("sink", Shape::new(1, 3), 1);
+        b.connect(src, a)
+            .connect(a, c)
+            .connect(c, a)
+            .connect(c, sink);
+        assert!(matches!(
+            b.build(),
+            Err(CompileError::Graph(GraphError::Cycle(_)))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_shape_mismatch() {
+        let mut b = PipelineBuilder::new("mismatch");
+        let src = b.source("src", Shape::new(1, 3), 1);
+        let m = b.map("wide", Shape::new(1, 4), Shape::new(1, 4), 1);
+        let sink = b.sink("sink", Shape::new(1, 4), 1);
+        b.connect(src, m).connect(m, sink);
+        assert!(matches!(
+            b.build(),
+            Err(CompileError::Graph(GraphError::ShapeMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_missing_source_and_sink() {
+        let mut b = PipelineBuilder::new("no_source");
+        let m = b.map("m", Shape::new(1, 3), Shape::new(1, 3), 1);
+        let sink = b.sink("sink", Shape::new(1, 3), 1);
+        b.connect(m, sink);
+        assert_eq!(b.build().unwrap_err(), CompileError::NoSource);
+
+        let mut b = PipelineBuilder::new("no_sink");
+        let src = b.source("src", Shape::new(1, 3), 1);
+        let m = b.map("m", Shape::new(1, 3), Shape::new(1, 3), 1);
+        b.connect(src, m);
+        assert_eq!(b.build().unwrap_err(), CompileError::NoSink);
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_stage_names() {
+        let mut b = PipelineBuilder::new("dupe");
+        let src = b.source("stage", Shape::new(1, 3), 1);
+        let sink = b.sink("stage", Shape::new(1, 3), 1);
+        b.connect(src, sink);
+        assert_eq!(
+            b.build().unwrap_err(),
+            CompileError::DuplicateStage("stage".into())
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_edges() {
+        let (mut b, src, sink) = linear_builder();
+        b.connect(src, sink).connect(src, sink);
+        assert!(matches!(
+            b.build(),
+            Err(CompileError::Graph(GraphError::DuplicateEdge { .. }))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_dangling_stages() {
+        let mut b = PipelineBuilder::new("dangling");
+        let src = b.source("src", Shape::new(1, 3), 1);
+        let m = b.map("dead_end", Shape::new(1, 3), Shape::new(1, 3), 1);
+        let sink = b.sink("sink", Shape::new(1, 3), 1);
+        b.connect(src, m).connect(src, sink);
+        assert_eq!(
+            b.build().unwrap_err(),
+            CompileError::DanglingStage("dead_end".into())
+        );
+    }
+
+    #[test]
+    fn builder_rejects_foreign_handles() {
+        let (mut other, foreign_src, _) = linear_builder();
+        let _ = &mut other;
+        let mut b = PipelineBuilder::new("victim");
+        let _src = b.source("src", Shape::new(1, 3), 1);
+        let sink = b.sink("sink", Shape::new(1, 3), 1);
+        // `foreign_src` has the same index as `_src` but belongs to
+        // `other`; wiring it here must be a typed error, not a silent
+        // mis-connection.
+        b.connect(foreign_src, sink);
+        assert_eq!(b.build().unwrap_err(), CompileError::ForeignStage);
+    }
+
+    #[test]
+    fn build_marks_globals() {
+        let mut b = PipelineBuilder::new("g");
+        let src = b.source("src", Shape::new(1, 3), 1);
+        let knn = b.global_op("knn", Shape::new(1, 3), 1, Shape::new(4, 3), 8, (1, 1), 8);
+        let sink = b.sink("sink", Shape::new(3, 3), 1);
+        // kNN emits 4×3; sink reads attrs=3, widths agree.
+        b.connect(src, knn).connect(knn, sink);
+        let spec = b.build().unwrap();
+        assert_eq!(spec.globals().len(), 1);
+        assert!(spec.graph().node(spec.globals()[0]).kind.is_global());
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = CompileError::from(GraphError::Empty);
+        assert!(e.to_string().contains("invalid pipeline"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&CompileError::NoSink).is_none());
+        assert!(CompileError::UnknownPipeline("x".into())
+            .to_string()
+            .contains("no pipeline named x"));
+    }
+}

@@ -1,0 +1,147 @@
+//! The pipeline registry: names → [`PipelineSpec`]s.
+//!
+//! Bench binaries, examples, and user scenarios all resolve pipelines
+//! the same way: by name out of a [`PipelineRegistry`]. The four Tbl. 2
+//! applications come pre-registered
+//! ([`PipelineRegistry::with_paper_apps`]); custom specs built through
+//! [`crate::pipeline::PipelineBuilder`] register alongside them.
+
+use std::collections::BTreeMap;
+
+use crate::apps::AppDomain;
+use crate::pipeline::{CompileError, PipelineSpec};
+
+/// A name-keyed collection of pipeline descriptions.
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_core::apps::AppDomain;
+/// use streamgrid_core::registry::PipelineRegistry;
+///
+/// let registry = PipelineRegistry::with_paper_apps();
+/// let spec = registry.resolve(AppDomain::Registration.pipeline_name()).unwrap();
+/// assert_eq!(spec.name(), "registration");
+/// assert_eq!(registry.names().count(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineRegistry {
+    specs: BTreeMap<String, PipelineSpec>,
+}
+
+impl PipelineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PipelineRegistry::default()
+    }
+
+    /// A registry pre-loaded with the four Tbl. 2 application presets,
+    /// keyed by [`AppDomain::pipeline_name`].
+    pub fn with_paper_apps() -> Self {
+        let mut r = PipelineRegistry::new();
+        for domain in AppDomain::ALL {
+            r.register(domain.spec())
+                .expect("paper preset names are unique");
+        }
+        r
+    }
+
+    /// Registers a spec under its own name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::DuplicateName`] when a pipeline with the
+    /// same name is already registered (the existing entry is kept).
+    pub fn register(&mut self, spec: PipelineSpec) -> Result<(), CompileError> {
+        if self.specs.contains_key(spec.name()) {
+            return Err(CompileError::DuplicateName(spec.name().to_owned()));
+        }
+        self.specs.insert(spec.name().to_owned(), spec);
+        Ok(())
+    }
+
+    /// Looks a pipeline up by name.
+    pub fn get(&self, name: &str) -> Option<&PipelineSpec> {
+        self.specs.get(name)
+    }
+
+    /// Looks a pipeline up by name, failing with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UnknownPipeline`] when the name is not
+    /// registered.
+    pub fn resolve(&self, name: &str) -> Result<&PipelineSpec, CompileError> {
+        self.get(name)
+            .ok_or_else(|| CompileError::UnknownPipeline(name.to_owned()))
+    }
+
+    /// Registered names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.specs.keys().map(String::as_str)
+    }
+
+    /// Registered specs in name order.
+    pub fn specs(&self) -> impl Iterator<Item = &PipelineSpec> {
+        self.specs.values()
+    }
+
+    /// Number of registered pipelines.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamgrid_dataflow::Shape;
+
+    fn tiny(name: &str) -> PipelineSpec {
+        let mut b = PipelineSpec::builder(name);
+        let src = b.source("src", Shape::new(1, 3), 1);
+        let sink = b.sink("sink", Shape::new(1, 3), 1);
+        b.connect(src, sink);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn paper_apps_preregistered() {
+        let r = PipelineRegistry::with_paper_apps();
+        assert_eq!(r.len(), 4);
+        for domain in AppDomain::ALL {
+            let spec = r.resolve(domain.pipeline_name()).unwrap();
+            assert!(!spec.globals().is_empty(), "{domain:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected_and_original_kept() {
+        let mut r = PipelineRegistry::with_paper_apps();
+        let stages_before = r.get("classification").unwrap().graph().node_count();
+        let err = r.register(tiny("classification")).unwrap_err();
+        assert_eq!(err, CompileError::DuplicateName("classification".into()));
+        assert_eq!(
+            r.get("classification").unwrap().graph().node_count(),
+            stages_before,
+            "failed registration must not clobber the existing entry"
+        );
+    }
+
+    #[test]
+    fn custom_specs_register_alongside_presets() {
+        let mut r = PipelineRegistry::with_paper_apps();
+        r.register(tiny("user_pipeline")).unwrap();
+        assert_eq!(r.len(), 5);
+        assert!(r.names().any(|n| n == "user_pipeline"));
+        assert!(matches!(
+            r.resolve("missing"),
+            Err(CompileError::UnknownPipeline(_))
+        ));
+    }
+}

@@ -1,0 +1,303 @@
+//! Reusable pipeline sessions: compile once, execute many clouds.
+//!
+//! Bench sweeps execute the same pipeline hundreds of times, and the ILP
+//! solve dominates their wall-time. A [`Session`] amortizes it: compiled
+//! designs are cached keyed by `(config, chunk_elements)`, so re-running
+//! the same pipeline at the same chunking — any number of clouds, any
+//! seed — costs zero additional solver work.
+
+use std::collections::HashMap;
+
+use crate::framework::{CompiledPipeline, ExecuteOptions, ExecutionReport, StreamGrid};
+use crate::pipeline::{CompileError, PipelineSpec};
+use crate::transform::StreamGridConfig;
+
+/// A split configuration flattened to hashable integers: grid dims plus
+/// window kernel and stride.
+type SplitKey = (u32, u32, u32, (u32, u32, u32), (u32, u32, u32));
+
+/// Hashable fingerprint of a [`StreamGridConfig`] (the config carries an
+/// `f64` deadline, so it cannot derive `Eq`/`Hash` itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConfigKey {
+    splitting: Option<SplitKey>,
+    termination: Option<u64>,
+}
+
+impl ConfigKey {
+    fn of(config: &StreamGridConfig) -> Self {
+        ConfigKey {
+            splitting: config.splitting.map(|s| {
+                (
+                    s.dims.nx,
+                    s.dims.ny,
+                    s.dims.nz,
+                    s.window.kernel,
+                    s.window.stride,
+                )
+            }),
+            termination: config.termination.map(|t| t.deadline_fraction.to_bits()),
+        }
+    }
+}
+
+/// A reusable execution session over one [`PipelineSpec`].
+///
+/// Created by [`StreamGrid::session`]. The session holds an active
+/// [`StreamGridConfig`] (switchable with [`Session::set_config`]) and a
+/// cache of [`CompiledPipeline`]s keyed by `(config, chunk_elements)`:
+/// the first run at a given key pays one ILP solve, every later run at
+/// the same key reuses the schedule. [`Session::solver_invocations`]
+/// counts the solves actually performed, so callers can assert the
+/// amortization they expect.
+///
+/// # Examples
+///
+/// Three cloud sizes that share one chunking compile exactly once:
+///
+/// ```
+/// use streamgrid_core::apps::AppDomain;
+/// use streamgrid_core::framework::StreamGrid;
+/// use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+///
+/// let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+/// let mut session = fw.session(AppDomain::Classification.spec());
+/// // 2400 and 2401 source elements both stream as 600-element chunks.
+/// let reports = session.run_batch(&[2400, 2401, 2400]).unwrap();
+/// assert_eq!(reports.len(), 3);
+/// assert_eq!(session.solver_invocations(), 1);
+/// assert!(reports.iter().all(|r| r.is_clean()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    spec: PipelineSpec,
+    config: StreamGridConfig,
+    cache: HashMap<(ConfigKey, u64), CompiledPipeline>,
+    solver_invocations: u64,
+}
+
+impl Session {
+    pub(crate) fn new(spec: PipelineSpec, config: StreamGridConfig) -> Self {
+        Session {
+            spec,
+            config,
+            cache: HashMap::new(),
+            solver_invocations: 0,
+        }
+    }
+
+    /// The pipeline this session executes.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// The active transform configuration.
+    pub fn config(&self) -> &StreamGridConfig {
+        &self.config
+    }
+
+    /// Switches the active transform configuration. Cached compilations
+    /// persist — switching back to an earlier config re-hits its cache
+    /// entries instead of re-solving.
+    pub fn set_config(&mut self, config: StreamGridConfig) {
+        self.config = config;
+    }
+
+    /// ILP solves this session has performed (one per distinct
+    /// `(config, chunk_elements)` key it has compiled).
+    pub fn solver_invocations(&self) -> u64 {
+        self.solver_invocations
+    }
+
+    /// Number of distinct compiled designs in the cache.
+    pub fn compiled_count(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn key_for(&self, total_elements: u64) -> (ConfigKey, u64) {
+        let chunk_elements = (total_elements / self.config.chunk_count()).max(1);
+        (ConfigKey::of(&self.config), chunk_elements)
+    }
+
+    /// The compiled design for a cloud of `total_elements`, compiling
+    /// (one ILP solve) on the first request per `(config,
+    /// chunk_elements)` key and serving the cache afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the compile path.
+    pub fn compiled(&mut self, total_elements: u64) -> Result<&CompiledPipeline, CompileError> {
+        let key = self.key_for(total_elements);
+        if !self.cache.contains_key(&key) {
+            let compiled = StreamGrid::new(self.config).compile_spec(&self.spec, total_elements)?;
+            // `compile_spec` performs exactly one `optimize` call, i.e.
+            // one ILP solve (`streamgrid_optimizer::solve_invocations`
+            // observes the same count process-wide).
+            self.solver_invocations += 1;
+            self.cache.insert(key, compiled);
+        }
+        Ok(&self.cache[&key])
+    }
+
+    /// Executes one cloud with the spec's default options (its datapath
+    /// intensity, default energy model and seed), compiling only on a
+    /// cache miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the compile path.
+    pub fn run(&mut self, total_elements: u64) -> Result<ExecutionReport, CompileError> {
+        let options = ExecuteOptions::for_spec(&self.spec);
+        self.run_with(total_elements, &options)
+    }
+
+    /// [`Session::run`] with explicit execution options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the compile path.
+    pub fn run_with(
+        &mut self,
+        total_elements: u64,
+        options: &ExecuteOptions,
+    ) -> Result<ExecutionReport, CompileError> {
+        Ok(self.compiled(total_elements)?.execute(options))
+    }
+
+    /// Executes many clouds sequentially, compiling each distinct
+    /// `(config, chunk_elements)` key exactly once up front. Reports
+    /// come back in input order and equal fresh one-shot
+    /// [`StreamGrid::execute`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CompileError`] from the compile path.
+    pub fn run_batch(&mut self, sizes: &[u64]) -> Result<Vec<ExecutionReport>, CompileError> {
+        let options = ExecuteOptions::for_spec(&self.spec);
+        for &total in sizes {
+            self.compiled(total)?;
+        }
+        sizes
+            .iter()
+            .map(|&total| self.run_with(total, &options))
+            .collect()
+    }
+
+    /// [`Session::run_batch`] with the cycle-level executions fanned out
+    /// across `std::thread::scope` workers (at most
+    /// `available_parallelism`, draining a shared queue — a
+    /// thousand-cloud sweep never spawns a thousand threads). All
+    /// distinct keys compile up front (sequential ILP solves); execution
+    /// is deterministic, so reports are identical to the sequential
+    /// batch, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CompileError`] from the compile path.
+    pub fn run_batch_parallel(
+        &mut self,
+        sizes: &[u64],
+    ) -> Result<Vec<ExecutionReport>, CompileError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let options = ExecuteOptions::for_spec(&self.spec);
+        for &total in sizes {
+            self.compiled(total)?;
+        }
+        let compiled: Vec<&CompiledPipeline> = sizes
+            .iter()
+            .map(|&total| &self.cache[&self.key_for(total)])
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(sizes.len().max(1));
+        let next = AtomicUsize::new(0);
+        let reports: Mutex<Vec<Option<ExecutionReport>>> = Mutex::new(vec![None; sizes.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= compiled.len() {
+                        break;
+                    }
+                    let report = compiled[i].execute(&options);
+                    reports.lock().expect("no panics while holding the lock")[i] = Some(report);
+                });
+            }
+        });
+        Ok(reports
+            .into_inner()
+            .expect("all workers joined")
+            .into_iter()
+            .map(|r| r.expect("every index was drained from the queue"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppDomain;
+    use crate::transform::SplitConfig;
+
+    fn csdt4() -> StreamGrid {
+        StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)))
+    }
+
+    #[test]
+    fn cache_hits_skip_solves() {
+        let mut s = csdt4().session(AppDomain::Classification.spec());
+        s.run(4 * 300).unwrap();
+        s.run(4 * 300).unwrap();
+        s.run(4 * 600).unwrap();
+        assert_eq!(s.solver_invocations(), 2);
+        assert_eq!(s.compiled_count(), 2);
+    }
+
+    #[test]
+    fn chunk_elements_key_folds_equal_chunkings() {
+        let mut s = csdt4().session(AppDomain::Classification.spec());
+        // 2400 and 2401 total elements both floor to 600-element chunks.
+        s.run(2400).unwrap();
+        s.run(2401).unwrap();
+        assert_eq!(s.solver_invocations(), 1);
+    }
+
+    #[test]
+    fn config_switch_keeps_cache_warm() {
+        let csdt = StreamGridConfig::cs_dt(SplitConfig::linear(4, 2));
+        let base = StreamGridConfig::base();
+        let mut s = StreamGrid::new(csdt).session(AppDomain::Classification.spec());
+        s.run(4 * 300).unwrap();
+        s.set_config(base);
+        s.run(4 * 300).unwrap();
+        assert_eq!(s.solver_invocations(), 2);
+        // Switching back re-hits the first entry.
+        s.set_config(csdt);
+        s.run(4 * 300).unwrap();
+        assert_eq!(s.solver_invocations(), 2);
+    }
+
+    #[test]
+    fn session_reports_match_one_shot_execute() {
+        let fw = csdt4();
+        let mut s = fw.session(AppDomain::Registration.spec());
+        let cached = s.run(4 * 400).unwrap();
+        let fresh = fw.execute(AppDomain::Registration, 4 * 400).unwrap();
+        assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn parallel_batch_equals_sequential() {
+        let sizes = [4 * 300, 4 * 450, 4 * 600, 4 * 300];
+        let fw = csdt4();
+        let mut seq = fw.session(AppDomain::Classification.spec());
+        let mut par = fw.session(AppDomain::Classification.spec());
+        let a = seq.run_batch(&sizes).unwrap();
+        let b = par.run_batch_parallel(&sizes).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(seq.solver_invocations(), par.solver_invocations());
+    }
+}

@@ -143,6 +143,15 @@ pub enum GraphError {
     MissingProducer(String),
     /// A zero frequency was supplied.
     ZeroFrequency(String),
+    /// The same producer→consumer edge was connected twice.
+    DuplicateEdge {
+        /// Producer stage name.
+        producer: String,
+        /// Consumer stage name.
+        consumer: String,
+    },
+    /// An edge endpoint does not refer to a stage of this graph.
+    UnknownNode(usize),
 }
 
 impl fmt::Display for GraphError {
@@ -160,6 +169,10 @@ impl fmt::Display for GraphError {
                 write!(f, "stage {n} has no producer and is not a source")
             }
             GraphError::ZeroFrequency(n) => write!(f, "stage {n} has zero frequency"),
+            GraphError::DuplicateEdge { producer, consumer } => {
+                write!(f, "duplicate edge {producer} -> {consumer}")
+            }
+            GraphError::UnknownNode(i) => write!(f, "edge endpoint {i} is not a stage"),
         }
     }
 }
@@ -343,16 +356,55 @@ impl DataflowGraph {
     /// # Panics
     ///
     /// Panics if either id is out of range or the edge already exists.
+    /// [`DataflowGraph::try_connect`] is the non-panicking variant the
+    /// pipeline builder uses.
     pub fn connect(&mut self, producer: NodeId, consumer: NodeId) -> EdgeId {
-        assert!(producer.0 < self.nodes.len() && consumer.0 < self.nodes.len());
-        assert!(
-            !self.edges.contains(&(producer, consumer)),
-            "duplicate edge {} -> {}",
-            self.nodes[producer.0].name,
-            self.nodes[consumer.0].name
-        );
+        match self.try_connect(producer, consumer) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Connects `producer → consumer`, reporting endpoint and duplication
+    /// errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] when an endpoint is out of
+    /// range and [`GraphError::DuplicateEdge`] when the edge exists.
+    pub fn try_connect(
+        &mut self,
+        producer: NodeId,
+        consumer: NodeId,
+    ) -> Result<EdgeId, GraphError> {
+        for id in [producer, consumer] {
+            if id.0 >= self.nodes.len() {
+                return Err(GraphError::UnknownNode(id.0));
+            }
+        }
+        if self.contains_edge(producer, consumer) {
+            return Err(GraphError::DuplicateEdge {
+                producer: self.nodes[producer.0].name.clone(),
+                consumer: self.nodes[consumer.0].name.clone(),
+            });
+        }
         self.edges.push((producer, consumer));
-        EdgeId(self.edges.len() - 1)
+        Ok(EdgeId(self.edges.len() - 1))
+    }
+
+    /// `true` when the `producer → consumer` edge exists.
+    pub fn contains_edge(&self, producer: NodeId, consumer: NodeId) -> bool {
+        self.edges.contains(&(producer, consumer))
+    }
+
+    /// `true` when any stage is a [`OpKind::Source`].
+    pub fn has_source(&self) -> bool {
+        self.nodes.iter().any(|n| matches!(n.kind, OpKind::Source))
+    }
+
+    /// `true` when any stage is a [`OpKind::Sink`].
+    pub fn has_sink(&self) -> bool {
+        self.nodes.iter().any(|n| matches!(n.kind, OpKind::Sink))
     }
 
     /// Number of stages.
@@ -602,6 +654,37 @@ mod tests {
             g.connect(s, k);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_connect_reports_duplicates_and_unknown_nodes() {
+        let mut g = DataflowGraph::new();
+        let s = g.source("s", Shape::new(1, 1), 1);
+        let k = g.sink("k", Shape::new(1, 1), 1);
+        assert!(g.try_connect(s, k).is_ok());
+        assert!(g.contains_edge(s, k));
+        assert_eq!(
+            g.try_connect(s, k),
+            Err(GraphError::DuplicateEdge {
+                producer: "s".into(),
+                consumer: "k".into(),
+            })
+        );
+        assert_eq!(
+            g.try_connect(s, NodeId(99)),
+            Err(GraphError::UnknownNode(99))
+        );
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn source_and_sink_probes() {
+        let mut g = DataflowGraph::new();
+        assert!(!g.has_source() && !g.has_sink());
+        g.source("s", Shape::new(1, 1), 1);
+        assert!(g.has_source() && !g.has_sink());
+        g.sink("k", Shape::new(1, 1), 1);
+        assert!(g.has_sink());
     }
 
     #[test]

@@ -42,8 +42,20 @@ pub use formulation::{build, edge_infos, EdgeInfo, Formulation, FormulationKind}
 pub use multichunk::{multi_chunk_peaks, plan_multi_chunk, MultiChunkPlan};
 pub use schedule::{asap_schedule, peak_occupancy, validate_schedule, Schedule};
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use streamgrid_dataflow::DataflowGraph;
 use streamgrid_ilp::{SolveError, SolveStatus};
+
+/// Process-wide count of [`optimize`] invocations (each performs exactly
+/// one ILP solve). Monotonic; callers compare before/after deltas to
+/// verify compile-cache behavior (e.g. `streamgrid-core`'s `Session`).
+static SOLVE_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of ILP solves this process has performed so far.
+pub fn solve_invocations() -> u64 {
+    SOLVE_INVOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Configuration of one optimization run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +127,7 @@ impl From<SolveError> for OptimizeError {
 /// [`OptimizeError::ValidationFailed`] if the analytic occupancy check
 /// rejects the solution (formulation bug guard).
 pub fn optimize(graph: &DataflowGraph, config: &OptimizeConfig) -> Result<Schedule, OptimizeError> {
+    SOLVE_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
     let edges = edge_infos(graph, config.source_elements);
     let (_, asap_makespan) = asap_schedule(graph, &edges);
     // One cycle of headroom per stage: integer start times round up

@@ -6,7 +6,7 @@
 //! retry next cycle (pipeline stall); under [`ConflictPolicy::Elide`]
 //! one request proceeds and the rest are *dropped* — the requesting PE
 //! skips the data-structure subtree beneath the conflicting node, which
-//! is the accuracy-for-determinism trade Crescent [13] introduced and
+//! is the accuracy-for-determinism trade Crescent \[13\] introduced and
 //! the paper adopts (claiming no contribution).
 
 use serde::{Deserialize, Serialize};

@@ -1,5 +1,6 @@
 //! Quickstart: compile a point-cloud pipeline through the full
-//! StreamGrid flow (Fig. 1) and compare the Base design against CS+DT.
+//! StreamGrid flow (Fig. 1) and compare the Base design against CS+DT,
+//! using one reusable session over the classification preset.
 //!
 //! Run with:
 //! ```text
@@ -25,13 +26,18 @@ fn main() {
         seed: 42,
         ..ExecuteOptions::for_domain(AppDomain::Classification)
     };
+    // One session over the preset spec; each variant is a config switch
+    // and the compile cache keeps every solved schedule around.
+    let mut session =
+        StreamGrid::new(StreamGridConfig::base()).session(AppDomain::Classification.spec());
     for (label, config) in [
         ("Base", StreamGridConfig::base()),
         ("CS", StreamGridConfig::cs(SplitConfig::paper_cls())),
         ("CS+DT", StreamGridConfig::cs_dt(SplitConfig::paper_cls())),
     ] {
-        let report = StreamGrid::new(config)
-            .execute_with(AppDomain::Classification, elements, &options)
+        session.set_config(config);
+        let report = session
+            .run_with(elements, &options)
             .expect("pipeline compiles and runs");
         println!(
             "{:<10} {:>14} {:>12} {:>11} {:>9} {:>12} {:>13.2}",

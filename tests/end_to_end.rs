@@ -6,24 +6,27 @@
 //! multi-chunk plan predicts.
 
 use streamgrid_core::apps::AppDomain;
-use streamgrid_core::framework::StreamGrid;
+use streamgrid_core::framework::{ExecuteOptions, StreamGrid};
+use streamgrid_core::pipeline::PipelineSpec;
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
-use streamgrid_dataflow::{DataflowGraph, Shape};
-use streamgrid_optimizer::{
-    build, edge_infos, optimize, plan_multi_chunk, FormulationKind, OptimizeConfig,
-};
-use streamgrid_sim::{evaluate, run, EnergyModel, EngineConfig, Variant, VariantConfig};
+use streamgrid_dataflow::Shape;
+use streamgrid_optimizer::{build, edge_infos, FormulationKind};
+use streamgrid_sim::{evaluate, EnergyModel, Variant, VariantConfig};
 
 #[test]
 fn csdt_runs_clean_across_all_domains_and_chunkings() {
-    let energy = EnergyModel::default();
     for domain in AppDomain::ALL {
         for n in [2u32, 4, 8] {
             let config = StreamGridConfig::cs_dt(SplitConfig::linear(n, 2));
             let compiled = StreamGrid::new(config)
                 .compile(domain, n as u64 * 600)
                 .unwrap_or_else(|e| panic!("{domain:?} n={n}: {e}"));
-            let report = compiled.simulate(&energy, 3);
+            let report = compiled
+                .execute(&ExecuteOptions {
+                    seed: 3,
+                    ..ExecuteOptions::for_domain(domain)
+                })
+                .run;
             assert_eq!(report.overflow_edge, None, "{domain:?} n={n} overflowed");
             assert_eq!(report.stall_cycles, 0, "{domain:?} n={n} stalled");
             for (i, (&peak, &cap)) in report
@@ -59,11 +62,10 @@ fn unified_execute_covers_every_domain() {
 
 #[test]
 fn simulated_throughput_matches_plan_across_domains() {
-    let energy = EnergyModel::default();
     for domain in AppDomain::ALL {
         let config = StreamGridConfig::cs_dt(SplitConfig::linear(4, 2));
         let compiled = StreamGrid::new(config).compile(domain, 4 * 600).unwrap();
-        let report = compiled.simulate(&energy, 1);
+        let report = compiled.execute(&ExecuteOptions::for_domain(domain)).run;
         let planned = compiled
             .plan
             .total_cycles(compiled.schedule.makespan, compiled.n_chunks);
@@ -110,7 +112,7 @@ fn pruned_and_full_formulations_agree_on_apps() {
     // ablation harness covers it at stride 1024 in milliseconds.
     {
         let domain = AppDomain::Classification;
-        let (graph, _) = streamgrid_core::apps::dataflow_graph(domain);
+        let graph = domain.spec().into_graph();
         let elements = 900u64;
         let edges = edge_infos(&graph, elements);
         let (_, asap) = streamgrid_optimizer::asap_schedule(&graph, &edges);
@@ -140,7 +142,7 @@ fn pruned_and_full_formulations_agree_on_apps() {
 #[test]
 fn variant_ordering_matches_paper() {
     // On-chip buffers: CS+DT ≤ CS < Base; stalls: CS+DT = 0 < others.
-    let (mut graph, _) = streamgrid_core::apps::dataflow_graph(AppDomain::Classification);
+    let mut graph = AppDomain::Classification.spec().into_graph();
     StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)).apply(&mut graph);
     let cfg = VariantConfig::new(4 * 900);
     let energy = EnergyModel::default();
@@ -159,34 +161,28 @@ fn variant_ordering_matches_paper() {
 
 #[test]
 fn custom_pipeline_through_public_interface() {
-    // A user-defined pipeline via the Sec. 6 interface end to end.
-    let mut g = DataflowGraph::new();
-    let src = g.source("in", Shape::new(1, 3), 1);
-    let knn = g.global_op("knn", Shape::new(1, 3), 1, Shape::new(4, 3), 8, (1, 1), 8);
-    let sten = g.stencil("post", Shape::new(1, 3), Shape::new(1, 1), 2, (2, 1));
-    let sink = g.sink("out", Shape::new(1, 1), 1);
-    g.set_window_chunks(knn, 2);
-    g.connect(src, knn);
-    g.connect(knn, sten);
-    g.connect(sten, sink);
+    // A user-defined pipeline via the builder + session surface end to
+    // end: the CS+DT transform sets the 2-chunk window on the global op,
+    // the session compiles once and executes clean.
+    let mut b = PipelineSpec::builder("custom_knn_stencil");
+    let src = b.source("in", Shape::new(1, 3), 1);
+    let knn = b.global_op("knn", Shape::new(1, 3), 1, Shape::new(4, 3), 8, (1, 1), 8);
+    let sten = b.stencil("post", Shape::new(1, 3), Shape::new(1, 1), 2, (2, 1));
+    let sink = b.sink("out", Shape::new(1, 1), 1);
+    b.connect(src, knn).connect(knn, sten).connect(sten, sink);
+    let spec = b.build().expect("a valid custom pipeline");
 
+    let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+    let mut session = fw.session(spec);
     let elements = 768u64;
-    let edges = edge_infos(&g, elements);
-    let schedule = optimize(&g, &OptimizeConfig::new(elements)).unwrap();
-    let plan = plan_multi_chunk(&g, &edges);
-    let report = run(
-        &g,
-        &edges,
-        &schedule,
-        &plan,
-        &EnergyModel::default(),
-        &EngineConfig {
-            n_chunks: 4,
-            ..EngineConfig::default()
-        },
-    );
-    assert_eq!(report.overflow_edge, None);
-    assert_eq!(report.stall_cycles, 0);
+    let report = session.run(4 * elements).unwrap();
+    assert_eq!(report.run.overflow_edge, None);
+    assert_eq!(report.run.stall_cycles, 0);
+    let compiled = session.compiled(4 * elements).unwrap();
+    assert_eq!(compiled.chunk_elements, elements);
     // The kNN window holds 2 chunks of source data.
-    assert!(schedule.buffer_sizes[0] >= 2 * elements);
+    assert!(compiled.schedule.buffer_sizes[0] >= 2 * elements);
+    // The second cloud is a pure cache hit.
+    session.run(4 * elements).unwrap();
+    assert_eq!(session.solver_invocations(), 1);
 }

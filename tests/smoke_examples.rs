@@ -8,7 +8,10 @@
 
 use streamgrid_core::apps::AppDomain;
 use streamgrid_core::framework::{ExecuteOptions, StreamGrid};
+use streamgrid_core::pipeline::PipelineSpec;
+use streamgrid_core::registry::PipelineRegistry;
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+use streamgrid_dataflow::Shape;
 use streamgrid_nn::pointnet::ClsNet;
 use streamgrid_nn::sampling::SearchMode;
 use streamgrid_nn::train::{eval_classifier, train_classifier, ClsSample, TrainConfig};
@@ -20,8 +23,8 @@ use streamgrid_registration::icp::{CorrespondenceMode, IcpConfig};
 use streamgrid_registration::odometry::{run_odometry, trajectory_error, OdometryConfig};
 use streamgrid_splat::{psnr, render, Camera, SortMode};
 
-/// `examples/quickstart.rs`: Base vs CS vs CS+DT through the unified
-/// compile→execute entry point.
+/// `examples/quickstart.rs`: Base vs CS vs CS+DT through one reusable
+/// session over the classification preset.
 #[test]
 fn quickstart_path() {
     let elements = 1024 * 3;
@@ -29,14 +32,17 @@ fn quickstart_path() {
         seed: 42,
         ..ExecuteOptions::for_domain(AppDomain::Classification)
     };
+    let mut session =
+        StreamGrid::new(StreamGridConfig::base()).session(AppDomain::Classification.spec());
     let mut onchip = Vec::new();
     for config in [
         StreamGridConfig::base(),
         StreamGridConfig::cs(SplitConfig::paper_cls()),
         StreamGridConfig::cs_dt(SplitConfig::paper_cls()),
     ] {
-        let report = StreamGrid::new(config)
-            .execute_with(AppDomain::Classification, elements, &options)
+        session.set_config(config);
+        let report = session
+            .run_with(elements, &options)
             .expect("pipeline compiles and runs");
         assert!(report.run.cycles > 0);
         assert!(report.total_uj().is_finite() && report.total_uj() > 0.0);
@@ -47,6 +53,65 @@ fn quickstart_path() {
     assert!(
         csdt < base,
         "CS+DT buffers ({csdt}) must undercut Base ({base})"
+    );
+    assert_eq!(
+        session.solver_invocations(),
+        3,
+        "one ILP solve per variant config"
+    );
+}
+
+/// `examples/custom_pipeline.rs`: a non-paper pipeline (voxel downsample
+/// → normal estimation → kNN grouping) through builder, registry, and
+/// session, CS+DT clean.
+#[test]
+fn custom_pipeline_path() {
+    let mut b = PipelineSpec::builder("voxel_normals_knn");
+    b.macs_per_element(96.0);
+    let src = b.source("cloud_reader", Shape::new(1, 3), 1);
+    let voxel = b.reduction("voxel_downsample", Shape::new(1, 3), Shape::new(1, 3), 3, 8);
+    let normals = b.stencil(
+        "normal_estimation",
+        Shape::new(1, 3),
+        Shape::new(1, 6),
+        5,
+        (9, 1),
+    );
+    let knn = b.global_op(
+        "knn_group",
+        Shape::new(1, 6),
+        1,
+        Shape::new(4, 6),
+        8,
+        (1, 1),
+        8,
+    );
+    let sink = b.sink("features", Shape::new(4, 6), 1);
+    b.connect(src, voxel)
+        .connect(voxel, normals)
+        .connect(normals, knn)
+        .connect(knn, sink);
+    let spec = b.build().expect("the custom pipeline validates");
+
+    let mut registry = PipelineRegistry::with_paper_apps();
+    registry.register(spec).expect("name is free");
+    let spec = registry.resolve("voxel_normals_knn").unwrap().clone();
+
+    let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+    let mut session = fw.session(spec);
+    let sizes = [4 * 512 * 3, 4 * 1024 * 3, 4 * 512 * 3];
+    let reports = session.run_batch(&sizes).expect("CS+DT compiles and runs");
+    for (i, report) in reports.iter().enumerate() {
+        assert!(report.is_clean(), "cloud {i}: CS+DT must run clean");
+        assert!(
+            report.run.cycles > 0 && report.total_uj() > 0.0,
+            "cloud {i}"
+        );
+    }
+    assert_eq!(
+        session.solver_invocations(),
+        2,
+        "two distinct chunkings, one solve each"
     );
 }
 
