@@ -10,7 +10,7 @@ use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
 use streamgrid_optimizer::{edge_infos, optimize, plan_multi_chunk, OptimizeConfig};
 use streamgrid_pointcloud::datasets::lidar::{scan, LidarConfig, Scene};
 use streamgrid_pointcloud::{Aabb, ChunkGrid, GridDims, Point3, WindowSpec};
-use streamgrid_sim::{run, EnergyModel, EngineConfig};
+use streamgrid_sim::{run, run_with, EnergyModel, EngineConfig, EngineMode};
 use streamgrid_spatial::kdtree::{KdTree, StepBudget, TraversalOrder};
 use streamgrid_spatial::sort::{bitonic_sort_by_key, hierarchical_depth_sort};
 use streamgrid_spatial::ChunkedIndex;
@@ -132,6 +132,9 @@ fn bench_session(c: &mut Criterion) {
 }
 
 fn bench_engine(c: &mut Criterion) {
+    // Oracle vs event-driven on the same compiled design: the fast
+    // path's steady-state period skip makes its cost independent of the
+    // chunk count, so the gap must widen with n_chunks (≥10× at 256).
     let mut graph = AppDomain::Classification.spec().into_graph();
     StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)).apply(&mut graph);
     let elements = 1200u64;
@@ -139,21 +142,30 @@ fn bench_engine(c: &mut Criterion) {
     let schedule = optimize(&graph, &OptimizeConfig::new(elements)).unwrap();
     let plan = plan_multi_chunk(&graph, &edges);
     let energy = EnergyModel::default();
-    c.bench_function("engine_cls_4chunks", |b| {
-        b.iter(|| {
-            black_box(run(
-                &graph,
-                &edges,
-                &schedule,
-                &plan,
-                &energy,
-                &EngineConfig {
-                    n_chunks: 4,
-                    ..EngineConfig::default()
-                },
-            ))
-        })
-    });
+    let mut g = c.benchmark_group("engine_cls");
+    for n_chunks in [4u64, 64, 256] {
+        let config = EngineConfig {
+            n_chunks,
+            ..EngineConfig::default()
+        };
+        g.bench_function(format!("cycle_{n_chunks}chunks"), |b| {
+            b.iter(|| black_box(run(&graph, &edges, &schedule, &plan, &energy, &config)))
+        });
+        g.bench_function(format!("event_{n_chunks}chunks"), |b| {
+            b.iter(|| {
+                black_box(run_with(
+                    &graph,
+                    &edges,
+                    &schedule,
+                    &plan,
+                    &energy,
+                    &config,
+                    EngineMode::EventDriven,
+                ))
+            })
+        });
+    }
+    g.finish();
 }
 
 criterion_group!(

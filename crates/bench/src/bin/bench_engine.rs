@@ -1,0 +1,106 @@
+//! Engine-loop benchmark: cycle-accurate oracle vs event-driven fast
+//! path on the registry presets, across chunk counts.
+//!
+//! For every `(pipeline, n_chunks)` point both engines execute the same
+//! compiled design; the harness asserts their run reports are
+//! bit-identical, prints the wall-time speedup, and serializes every run
+//! to `BENCH_engine.json` ([`streamgrid_bench::report`]) so the perf
+//! trajectory has machine-readable data.
+//!
+//! `--smoke` runs one tiny sweep (CI's bench-smoke job); the full sweep
+//! reaches `n_chunks = 256`, where the event engine's steady-state
+//! period skip should deliver well over a 10× engine-loop speedup.
+
+use std::time::{Duration, Instant};
+
+use streamgrid_bench::report::{BenchReport, RunRecord};
+use streamgrid_core::framework::{ExecMode, ExecuteOptions, ExecutionReport};
+use streamgrid_core::registry::PipelineRegistry;
+use streamgrid_core::session::Session;
+use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+use streamgrid_core::StreamGrid;
+
+/// Elements each chunk streams from the source (paper-scale points×3).
+const CHUNK_ELEMENTS: u64 = 300;
+
+fn timed_run(session: &mut Session, elements: u64, mode: ExecMode) -> (ExecutionReport, Duration) {
+    let options = ExecuteOptions::for_spec(session.spec()).with_exec_mode(mode);
+    let t0 = Instant::now();
+    let report = session
+        .run_with(elements, &options)
+        .expect("compiled design executes");
+    (report, t0.elapsed())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = 1;
+    streamgrid_bench::banner(
+        "bench_engine — execution-engine loop, oracle vs event-driven",
+        "event-driven engine is bit-identical under DT and ≥10x faster at n_chunks ≥ 256",
+        seed,
+    );
+    let chunk_counts: &[u64] = if smoke { &[4, 16] } else { &[4, 16, 64, 256] };
+    let registry = PipelineRegistry::with_paper_apps();
+    let mut report = BenchReport::new("bench_engine", seed);
+
+    println!(
+        "{:<16} {:>8} {:>10} {:>12} {:>12} {:>9}",
+        "pipeline", "chunks", "cycles", "oracle (ms)", "event (ms)", "speedup"
+    );
+    let mut worst_large_speedup = f64::INFINITY;
+    for spec in registry.specs() {
+        for &n in chunk_counts {
+            let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(n as u32, 2)));
+            let mut session = fw.session(spec.clone());
+            let elements = n * CHUNK_ELEMENTS;
+            // Warm the compile cache so the timings isolate the engine
+            // loop from the (already amortized) ILP solve.
+            session.compiled(elements).expect("CS+DT design compiles");
+
+            let (oracle, t_oracle) = timed_run(&mut session, elements, ExecMode::CycleAccurate);
+            let (event, t_event) = timed_run(&mut session, elements, ExecMode::EventDriven);
+            assert_eq!(
+                oracle.run,
+                event.run,
+                "{}/{n}: engines diverged — the equivalence guarantee is broken",
+                spec.name()
+            );
+            assert!(oracle.is_clean() && event.is_clean());
+
+            let speedup = t_oracle.as_secs_f64() / t_event.as_secs_f64().max(1e-9);
+            if n >= 256 {
+                worst_large_speedup = worst_large_speedup.min(speedup);
+            }
+            println!(
+                "{:<16} {:>8} {:>10} {:>12.3} {:>12.3} {:>8.1}x",
+                spec.name(),
+                n,
+                oracle.run.cycles,
+                t_oracle.as_secs_f64() * 1e3,
+                t_event.as_secs_f64() * 1e3,
+                speedup
+            );
+            report.push(RunRecord::from_report(
+                spec.name(),
+                n,
+                elements,
+                &oracle,
+                t_oracle,
+            ));
+            report.push(RunRecord::from_report(
+                spec.name(),
+                n,
+                elements,
+                &event,
+                t_event,
+            ));
+        }
+    }
+
+    let path = report.write_default().expect("report file is writable");
+    println!("\nwrote {} records to {}", report.len(), path.display());
+    if !smoke {
+        println!("worst speedup at n_chunks >= 256: {worst_large_speedup:.1}x (target: >= 10x)");
+    }
+}

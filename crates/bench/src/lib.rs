@@ -2,7 +2,11 @@
 //!
 //! Every binary under `src/bin/` regenerates one table or figure of the
 //! paper (see `DESIGN.md` for the index) and prints the same rows or
-//! series the paper reports, plus the seed it ran with.
+//! series the paper reports, plus the seed it ran with. The [`report`]
+//! module additionally serializes per-run engine measurements to
+//! `BENCH_engine.json` so the perf trajectory is machine-readable.
+
+pub mod report;
 
 use streamgrid_nn::train::ClsSample;
 use streamgrid_pointcloud::datasets::modelnet::{self, ModelNetConfig};

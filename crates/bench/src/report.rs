@@ -1,0 +1,241 @@
+//! Machine-readable bench reports.
+//!
+//! The figure harnesses print human-readable tables; this module gives
+//! the perf trajectory durable data: a [`BenchReport`] collects one
+//! [`RunRecord`] per engine execution (cycles, stalls, energy, wall
+//! time, exec mode) and serializes them to `BENCH_engine.json` — plain
+//! hand-rolled JSON, since the offline vendored serde has no format
+//! crate behind it.
+//!
+//! Override the output path with the `BENCH_ENGINE_JSON` environment
+//! variable (the CI smoke job points it into a scratch directory).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+use std::{fs, io};
+
+use streamgrid_core::framework::ExecutionReport;
+
+/// Default output file, relative to the working directory.
+pub const DEFAULT_PATH: &str = "BENCH_engine.json";
+
+/// One engine execution's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Pipeline name (registry key).
+    pub pipeline: String,
+    /// Chunks streamed.
+    pub n_chunks: u64,
+    /// Source elements for the whole cloud.
+    pub total_elements: u64,
+    /// Engine that ran (`"CycleAccurate"` / `"EventDriven"`).
+    pub exec_mode: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Distinct stalled cycles.
+    pub stall_cycles: u64,
+    /// Distinct starved cycles.
+    pub starved_cycles: u64,
+    /// `true` when the run hit its cycle budget before finishing.
+    pub truncated: bool,
+    /// Provisioned on-chip buffer bytes.
+    pub onchip_bytes: u64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Total energy in microjoules.
+    pub energy_uj: f64,
+    /// Host wall time of the engine run in milliseconds.
+    pub wall_time_ms: f64,
+}
+
+impl RunRecord {
+    /// Builds a record from an [`ExecutionReport`], the workload
+    /// identity the report cannot recover on its own, and the measured
+    /// wall time.
+    pub fn from_report(
+        pipeline: &str,
+        n_chunks: u64,
+        total_elements: u64,
+        report: &ExecutionReport,
+        wall: Duration,
+    ) -> Self {
+        RunRecord {
+            pipeline: pipeline.to_owned(),
+            n_chunks,
+            total_elements,
+            exec_mode: format!("{:?}", report.exec_mode),
+            cycles: report.run.cycles,
+            stall_cycles: report.run.stall_cycles,
+            starved_cycles: report.run.starved_cycles,
+            truncated: report.run.truncated,
+            onchip_bytes: report.onchip_bytes(),
+            dram_bytes: report.dram_bytes(),
+            energy_uj: report.total_uj(),
+            wall_time_ms: wall.as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// A harness's collected records, serializable as one JSON document.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    harness: String,
+    seed: u64,
+    records: Vec<RunRecord>,
+}
+
+impl BenchReport {
+    /// An empty report for the named harness.
+    pub fn new(harness: &str, seed: u64) -> Self {
+        BenchReport {
+            harness: harness.to_owned(),
+            seed,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one run's record.
+    pub fn push(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of collected records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"harness\": {},", json_str(&self.harness));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"pipeline\": {}, \"n_chunks\": {}, \"total_elements\": {}, \
+                 \"exec_mode\": {}, \"cycles\": {}, \"stall_cycles\": {}, \
+                 \"starved_cycles\": {}, \"truncated\": {}, \"onchip_bytes\": {}, \
+                 \"dram_bytes\": {}, \"energy_uj\": {}, \"wall_time_ms\": {}}}{}",
+                json_str(&r.pipeline),
+                r.n_chunks,
+                r.total_elements,
+                json_str(&r.exec_mode),
+                r.cycles,
+                r.stall_cycles,
+                r.starved_cycles,
+                r.truncated,
+                r.onchip_bytes,
+                r.dram_bytes,
+                json_f64(r.energy_uj),
+                json_f64(r.wall_time_ms),
+                comma
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON document to `BENCH_engine.json` (or the
+    /// `BENCH_ENGINE_JSON` override) and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_default(&self) -> io::Result<PathBuf> {
+        let path = PathBuf::from(
+            std::env::var("BENCH_ENGINE_JSON").unwrap_or_else(|_| DEFAULT_PATH.to_owned()),
+        );
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// JSON string literal with minimal escaping (quotes, backslash,
+/// control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON number (JSON has no NaN/Inf; clamp those to 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str) -> RunRecord {
+        RunRecord {
+            pipeline: name.to_owned(),
+            n_chunks: 4,
+            total_elements: 1200,
+            exec_mode: "EventDriven".to_owned(),
+            cycles: 1234,
+            stall_cycles: 0,
+            starved_cycles: 7,
+            truncated: false,
+            onchip_bytes: 4096,
+            dram_bytes: 9600,
+            energy_uj: 1.25,
+            wall_time_ms: 0.5,
+        }
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let mut r = BenchReport::new("bench_engine", 1);
+        r.push(record("classification"));
+        r.push(record("registration"));
+        let json = r.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"harness\": \"bench_engine\""));
+        assert!(json.contains("\"pipeline\": \"classification\""));
+        assert!(json.contains("\"exec_mode\": \"EventDriven\""));
+        assert!(json.trim_end().ends_with('}'));
+        // Two records, exactly one separating comma between them.
+        assert_eq!(json.matches("\"pipeline\"").count(), 2);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_are_clamped() {
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+        assert!(json_f64(1.5).starts_with("1.5"));
+    }
+}

@@ -54,7 +54,7 @@ pub mod transform;
 
 pub use apps::{table2, AppDomain, AppSpec};
 pub use framework::{
-    CompileSummary, CompiledPipeline, ExecuteOptions, ExecutionReport, StreamGrid,
+    CompileSummary, CompiledPipeline, ExecMode, ExecuteOptions, ExecutionReport, StreamGrid,
 };
 pub use pipeline::{CompileError, PipelineBuilder, PipelineSpec, StageId};
 pub use registry::PipelineRegistry;

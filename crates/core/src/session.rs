@@ -290,6 +290,31 @@ mod tests {
     }
 
     #[test]
+    fn session_runs_resolve_and_record_exec_mode() {
+        use crate::framework::{ExecMode, ExecuteOptions};
+        use streamgrid_sim::EngineMode;
+
+        let mut s = csdt4().session(AppDomain::Classification.spec());
+        // Default options carry ExecMode::Auto: event-driven under CS+DT.
+        let auto = s.run(4 * 300).unwrap();
+        assert_eq!(auto.exec_mode, EngineMode::EventDriven);
+        // Forcing the oracle through the same session changes the engine
+        // but not one bit of the run report.
+        let oracle = s
+            .run_with(
+                4 * 300,
+                &ExecuteOptions::for_spec(&AppDomain::Classification.spec())
+                    .with_exec_mode(ExecMode::CycleAccurate),
+            )
+            .unwrap();
+        assert_eq!(oracle.exec_mode, EngineMode::CycleAccurate);
+        assert_eq!(auto.run, oracle.run);
+        // Base (variable latency) resolves Auto to the oracle.
+        s.set_config(StreamGridConfig::base());
+        assert_eq!(s.run(4 * 300).unwrap().exec_mode, EngineMode::CycleAccurate);
+    }
+
+    #[test]
     fn parallel_batch_equals_sequential() {
         let sizes = [4 * 300, 4 * 450, 4 * 600, 4 * 300];
         let fw = csdt4();

@@ -14,7 +14,7 @@
 //! dependency constraints instead — the ablation showing why pruning is
 //! needed (PointNet++-scale graphs exceed 100K constraints, Sec. 5.2).
 
-use streamgrid_dataflow::{DataflowGraph, NodeId, OpKind};
+use streamgrid_dataflow::{DataflowGraph, NodeId, OpKind, Rate};
 use streamgrid_ilp::{CmpOp, LinExpr, Model, Sense, VarId};
 
 /// Which dependency-constraint formulation to build.
@@ -42,6 +42,13 @@ pub struct EdgeInfo {
     pub tau_out: f64,
     /// Consumer read rate from this buffer (elements/cycle).
     pub tau_in: f64,
+    /// Exact producer write rate — the same τ_out the float field
+    /// approximates, kept as a rational so the execution engines can run
+    /// integer-exact accumulators without re-deriving rates from the
+    /// graph.
+    pub tau_out_rate: Rate,
+    /// Exact consumer read rate (see [`EdgeInfo::tau_out_rate`]).
+    pub tau_in_rate: Rate,
     /// Elements the producer writes per chunk (`W_P`).
     pub volume: u64,
     /// Producer pipeline depth (write start offset from `t_{s,P}`).
@@ -86,8 +93,10 @@ pub fn edge_infos(graph: &DataflowGraph, source_elements: u64) -> Vec<EdgeInfo> 
         .map(|(_, p, c)| {
             let prod = graph.node(p);
             let cons = graph.node(c);
-            let tau_out = prod.tau_out().as_f64();
-            let tau_in = cons.tau_in().as_f64();
+            let tau_out_rate = prod.tau_out();
+            let tau_in_rate = cons.tau_in();
+            let tau_out = tau_out_rate.as_f64();
+            let tau_in = tau_in_rate.as_f64();
             assert!(tau_out > 0.0, "producer {} has zero output rate", prod.name);
             assert!(tau_in > 0.0, "consumer {} has zero input rate", cons.name);
             let volume = volumes[p.index()];
@@ -99,6 +108,8 @@ pub fn edge_infos(graph: &DataflowGraph, source_elements: u64) -> Vec<EdgeInfo> 
                 consumer: c,
                 tau_out,
                 tau_in,
+                tau_out_rate,
+                tau_in_rate,
                 volume,
                 depth_p: prod.stage_depth as u64,
                 write_dur: volume as f64 / tau_out,
@@ -398,5 +409,10 @@ mod tests {
         assert!((infos[0].write_dur - 100.0).abs() < 1e-9);
         assert!((infos[0].read_dur - 100.0).abs() < 1e-9);
         assert!(!infos[0].global_consumer);
+        // The exact rationals agree with the float rates the ILP uses.
+        for e in &infos {
+            assert!((e.tau_out_rate.as_f64() - e.tau_out).abs() < 1e-12);
+            assert!((e.tau_in_rate.as_f64() - e.tau_in).abs() < 1e-12);
+        }
     }
 }

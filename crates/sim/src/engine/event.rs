@@ -1,0 +1,81 @@
+//! The event-driven fast path.
+//!
+//! Under deterministic termination every stage moves at a fixed rational
+//! rate between a finite set of events — chunk issues, depth-gate
+//! expiries, buffer fill/drain transitions, accumulator boundaries — so
+//! the simulation is piecewise-linear in time and, because all stages
+//! share one initiation interval `II`, *periodic* in the steady state:
+//! the trace of period `[t, t+II)` is the trace of `[t−II, t)` with
+//! every chunk index shifted by one. This engine exploits both
+//! structures while never re-implementing stage semantics:
+//!
+//! 1. **Quiescent-gap skip** — when no stage can act at `now` (each is
+//!    waiting on a future chunk issue), `now` jumps straight to the next
+//!    issue event; nothing can change in between.
+//! 2. **Steady-state period skip** — at initiation-interval boundaries
+//!    the engine snapshots the full stepper state. Two consecutive
+//!    snapshots that match as a one-chunk shift certify periodicity;
+//!    the engine then advances whole periods in closed form, scaling
+//!    each monotone counter (SRAM/DRAM traffic, compute elements,
+//!    stall/starve cycles, buffer transfer totals) by the observed
+//!    per-period delta. Buffer peaks need no update: the skipped
+//!    periods replay occupancy trajectories already recorded.
+//!
+//! Cycles the engine cannot prove uneventful or periodic — warm-up,
+//! the final chunks, truncated or overflowing runs — go through the
+//! same [`EngineState::step_cycle`] the oracle uses, which is why the
+//! resulting [`super::RunReport`]s are bit-identical by construction.
+//! Work becomes O(makespan + II) instead of O(n_chunks × II), so large
+//! sweeps no longer pay per-chunk stepping costs.
+//!
+//! The fast path requires [`super::GlobalLatencyModel::Deterministic`];
+//! [`super::run_with`] falls back to the oracle for variable latency.
+
+use super::state::{Counters, EngineState, StateKey, Step};
+use super::EngineConfig;
+
+/// Drives `state` to completion, skipping provably-idle gaps and
+/// provably-repeating steady-state periods.
+pub(super) fn run_to_completion(state: &mut EngineState, config: &EngineConfig) {
+    let ii = state.initiation_interval();
+    let mut prev: Option<(StateKey, Counters)> = None;
+    while state.any_incomplete() {
+        if state.now >= config.max_cycles {
+            break;
+        }
+        // Event 1: next chunk issue, when every stage is idle until it.
+        if let Some(next) = state.next_event_if_quiescent() {
+            state.now = next.min(config.max_cycles);
+            continue;
+        }
+        // Event 2: an initiation-interval boundary — snapshot, and jump
+        // whole periods once two consecutive snapshots certify the
+        // steady state.
+        if state.now.is_multiple_of(ii) {
+            let key = state.state_key();
+            let counters = state.counters();
+            let jump = match &prev {
+                Some((prev_key, prev_counters)) if key.is_period_shift_of(prev_key) => {
+                    let periods = state.skippable_periods(config.max_cycles);
+                    if periods > 0 {
+                        state.fast_forward_periods(periods, prev_counters, &counters);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            };
+            if jump {
+                // The tail (final chunks draining) re-arms detection
+                // from scratch if another steady span remains.
+                prev = None;
+                continue;
+            }
+            prev = Some((key, counters));
+        }
+        if state.step_cycle(config) == Step::Overflow {
+            break;
+        }
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! This crate is the Sec. 7 evaluation substrate:
 //!
-//! * [`engine`] — cycle-level execution of a scheduled dataflow graph
-//!   with bounded line buffers, rational stage throughputs, and optional
-//!   input-dependent global-op latency;
+//! * [`engine`] — execution of a scheduled dataflow graph with bounded
+//!   line buffers, rational stage throughputs, and optional
+//!   input-dependent global-op latency. Two engines share one stepping
+//!   core: the cycle-accurate oracle and an event-driven fast path that
+//!   is bit-identical under deterministic termination
+//!   ([`engine::EngineMode`]);
 //! * [`linebuffer`], [`sram`], [`dram`], [`cache`] — the memory system:
 //!   occupancy-checked FIFOs, banked scratchpads with conflict
 //!   stall/elision, LPDDR3-1600×4 bandwidth/energy, and the
@@ -32,7 +35,9 @@ pub mod variants;
 pub use cache::{CacheModel, CacheReport};
 pub use dram::DramModel;
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use engine::{run, BufferPolicy, EngineConfig, GlobalLatencyModel, RunReport};
+pub use engine::{
+    run, run_with, BufferPolicy, EngineConfig, EngineMode, GlobalLatencyModel, RunReport,
+};
 pub use linebuffer::LineBuffer;
 pub use priors::{HwBudget, PriorReport, WorkloadProfile};
 pub use sram::{BankedSram, ConflictPolicy, SramStats};

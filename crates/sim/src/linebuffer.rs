@@ -111,6 +111,15 @@ impl LineBuffer {
     pub fn retire(&mut self, n: u64) {
         self.occupancy = self.occupancy.saturating_sub(n);
     }
+
+    /// Credits transfer totals without moving occupancy — the
+    /// event-driven engine accounts whole skipped steady-state periods
+    /// this way (net occupancy change over a period is zero, and the
+    /// high-water mark was already recorded in the period that repeats).
+    pub(crate) fn fast_forward(&mut self, reads: u64, writes: u64) {
+        self.total_reads += reads;
+        self.total_writes += writes;
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@ use streamgrid_optimizer::{edge_infos, optimize, plan_multi_chunk, OptimizeConfi
 
 use crate::cache::CacheModel;
 use crate::energy::{EnergyBreakdown, EnergyModel};
-use crate::engine::{run, BufferPolicy, EngineConfig, GlobalLatencyModel, RunReport};
+use crate::engine::{
+    run_with, BufferPolicy, EngineConfig, EngineMode, GlobalLatencyModel, RunReport,
+};
 
 /// The four design points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -148,7 +150,9 @@ pub fn evaluate(
             BufferPolicy::Elastic,
         ),
     };
-    let report: RunReport = run(
+    // CS+DT is deterministic, so the event-driven engine is exact (and
+    // much faster for chunked sweeps); the others need the oracle.
+    let report: RunReport = run_with(
         graph,
         &edges,
         &schedule,
@@ -162,6 +166,7 @@ pub fn evaluate(
             macs_per_element: config.macs_per_element,
             ..EngineConfig::default()
         },
+        EngineMode::fastest_exact(latency),
     );
 
     let mut onchip_bytes = report.onchip_bytes(config.bytes_per_element);
