@@ -1,0 +1,155 @@
+//! Streaming-ingestion benchmark: exact vs bucketed compile reuse over
+//! dataset-backed frame streams.
+//!
+//! For each workload (LiDAR sweeps → registration, ModelNet samples →
+//! classification) the harness streams the same frame sequence through
+//! a fresh `Session` under every `SizeBucketing` policy and reports the
+//! ILP solves paid, the scheduled-element overhead bucketing costs, the
+//! per-frame latency percentiles, and the wall time. Every sweep is
+//! serialized to `BENCH_streaming.json`
+//! ([`streamgrid_bench::report::StreamBenchReport`]).
+//!
+//! `--smoke` runs a short sweep (CI's bench-smoke job); the full sweep
+//! streams 64 LiDAR frames, where quantized bucketing should hold the
+//! solve count to a small handful.
+
+use std::time::Instant;
+
+use streamgrid_bench::report::{StreamBenchReport, StreamRecord};
+use streamgrid_core::apps::AppDomain;
+use streamgrid_core::source::{DatasetSource, SizeBucketing, StreamOptions};
+use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+use streamgrid_core::StreamGrid;
+use streamgrid_pointcloud::datasets::lidar::{trajectory, LidarConfig, Scene};
+use streamgrid_pointcloud::datasets::modelnet::ModelNetConfig;
+use streamgrid_pointcloud::datasets::stream::{LidarStream, ModelNetStream};
+
+/// The policies the sweep compares, exact first as the baseline.
+const POLICIES: [SizeBucketing; 3] = [
+    SizeBucketing::Exact,
+    SizeBucketing::Pow2,
+    SizeBucketing::Quantize(512),
+];
+
+/// The frame sources the sweep benchmarks; the exhaustive match in
+/// `main` ties each variant to its stream so a workload can never be
+/// recorded under the wrong label.
+#[derive(Debug, Clone, Copy)]
+enum Workload {
+    Lidar,
+    ModelNet,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Lidar => "lidar",
+            Workload::ModelNet => "modelnet",
+        }
+    }
+}
+
+fn lidar_source(seed: u64, frames: usize) -> LidarStream {
+    LidarStream::new(
+        Scene::urban(seed, 40.0, 14, 8),
+        LidarConfig {
+            beams: 6,
+            azimuth_steps: 300,
+            ..LidarConfig::default()
+        },
+        trajectory(frames, 0.4, 0.004),
+        seed,
+    )
+}
+
+fn modelnet_source(seed: u64, frames: usize) -> ModelNetStream {
+    ModelNetStream::new(
+        ModelNetConfig {
+            classes: 10,
+            points: 400,
+            noise: 0.01,
+        },
+        frames,
+        seed,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = 1;
+    let frames = if smoke { 8 } else { 64 };
+    streamgrid_bench::banner(
+        "bench_streaming — frame streams, exact vs bucketed compile reuse",
+        "size bucketing amortizes the ILP solve across frames of drifting sweep sizes",
+        seed,
+    );
+    let mut out = StreamBenchReport::new("bench_streaming", seed);
+
+    println!(
+        "{:<16} {:<10} {:<14} {:>7} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "pipeline",
+        "source",
+        "policy",
+        "frames",
+        "solves",
+        "p50 cyc",
+        "p95 cyc",
+        "overhead",
+        "wall (ms)"
+    );
+    for (domain, workload) in [
+        (AppDomain::Registration, Workload::Lidar),
+        (AppDomain::Classification, Workload::ModelNet),
+    ] {
+        let source_name = workload.name();
+        let mut exact_solves = None;
+        for policy in POLICIES {
+            let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+            let mut session = fw.session(domain.spec());
+            let options = StreamOptions::bucketed(policy);
+            let t0 = Instant::now();
+            let report = match workload {
+                Workload::Lidar => session
+                    .stream(DatasetSource::new(lidar_source(seed, frames)), &options)
+                    .expect("lidar stream compiles and runs"),
+                Workload::ModelNet => session
+                    .stream(DatasetSource::new(modelnet_source(seed, frames)), &options)
+                    .expect("modelnet stream compiles and runs"),
+            };
+            let wall = t0.elapsed();
+            assert_eq!(report.frame_count(), frames as u64);
+            assert!(report.all_clean(), "CS+DT streams must run clean");
+            // Bucketing can only fold compile keys, never split them.
+            match exact_solves {
+                None => exact_solves = Some(report.solver_invocations),
+                Some(exact) => assert!(
+                    report.solver_invocations <= exact,
+                    "{source_name}/{policy:?}: bucketed solves exceed exact"
+                ),
+            }
+            let overhead = report.scheduled_elements() - report.source_elements();
+            println!(
+                "{:<16} {:<10} {:<14} {:>7} {:>7} {:>10} {:>10} {:>10} {:>10.2}",
+                domain.spec().name(),
+                source_name,
+                format!("{policy:?}"),
+                report.frame_count(),
+                report.solver_invocations,
+                report.p50_frame_cycles(),
+                report.p95_frame_cycles(),
+                overhead,
+                wall.as_secs_f64() * 1e3
+            );
+            out.push(StreamRecord::from_stream_report(
+                domain.spec().name(),
+                source_name,
+                &report,
+                wall,
+            ));
+        }
+    }
+
+    let path = out.write_default().expect("report file is writable");
+    println!("\nwrote {} records to {}", out.len(), path.display());
+    println!("overhead = scheduled - source elements: the work bucketing rounds up per sweep.");
+}

@@ -3,12 +3,15 @@
 //! The figure harnesses print human-readable tables; this module gives
 //! the perf trajectory durable data: a [`BenchReport`] collects one
 //! [`RunRecord`] per engine execution (cycles, stalls, energy, wall
-//! time, exec mode) and serializes them to `BENCH_engine.json` — plain
-//! hand-rolled JSON, since the offline vendored serde has no format
-//! crate behind it.
+//! time, exec mode) and serializes them to `BENCH_engine.json`, and a
+//! [`StreamBenchReport`] collects one [`StreamRecord`] per
+//! `Session::stream` sweep (frames, solves, latency percentiles) into
+//! `BENCH_streaming.json` — plain hand-rolled JSON, since the offline
+//! vendored serde has no format crate behind it.
 //!
-//! Override the output path with the `BENCH_ENGINE_JSON` environment
-//! variable (the CI smoke job points it into a scratch directory).
+//! Override the output paths with the `BENCH_ENGINE_JSON` /
+//! `BENCH_STREAMING_JSON` environment variables (the CI smoke job
+//! points them into a scratch directory).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -16,9 +19,13 @@ use std::time::Duration;
 use std::{fs, io};
 
 use streamgrid_core::framework::ExecutionReport;
+use streamgrid_core::source::StreamReport;
 
 /// Default output file, relative to the working directory.
 pub const DEFAULT_PATH: &str = "BENCH_engine.json";
+
+/// Default streaming output file, relative to the working directory.
+pub const STREAMING_PATH: &str = "BENCH_streaming.json";
 
 /// One engine execution's measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,36 +119,31 @@ impl BenchReport {
 
     /// The report as a JSON document.
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        let _ = writeln!(out, "  \"harness\": {},", json_str(&self.harness));
-        let _ = writeln!(out, "  \"seed\": {},", self.seed);
-        out.push_str("  \"records\": [\n");
-        for (i, r) in self.records.iter().enumerate() {
-            let comma = if i + 1 < self.records.len() { "," } else { "" };
-            let _ = writeln!(
-                out,
-                "    {{\"pipeline\": {}, \"n_chunks\": {}, \"total_elements\": {}, \
-                 \"exec_mode\": {}, \"cycles\": {}, \"stall_cycles\": {}, \
-                 \"starved_cycles\": {}, \"truncated\": {}, \"onchip_bytes\": {}, \
-                 \"dram_bytes\": {}, \"energy_uj\": {}, \"wall_time_ms\": {}}}{}",
-                json_str(&r.pipeline),
-                r.n_chunks,
-                r.total_elements,
-                json_str(&r.exec_mode),
-                r.cycles,
-                r.stall_cycles,
-                r.starved_cycles,
-                r.truncated,
-                r.onchip_bytes,
-                r.dram_bytes,
-                json_f64(r.energy_uj),
-                json_f64(r.wall_time_ms),
-                comma
-            );
-        }
-        out.push_str("  ]\n}\n");
-        out
+        let records: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"pipeline\": {}, \"n_chunks\": {}, \"total_elements\": {}, \
+                     \"exec_mode\": {}, \"cycles\": {}, \"stall_cycles\": {}, \
+                     \"starved_cycles\": {}, \"truncated\": {}, \"onchip_bytes\": {}, \
+                     \"dram_bytes\": {}, \"energy_uj\": {}, \"wall_time_ms\": {}}}",
+                    json_str(&r.pipeline),
+                    r.n_chunks,
+                    r.total_elements,
+                    json_str(&r.exec_mode),
+                    r.cycles,
+                    r.stall_cycles,
+                    r.starved_cycles,
+                    r.truncated,
+                    r.onchip_bytes,
+                    r.dram_bytes,
+                    json_f64(r.energy_uj),
+                    json_f64(r.wall_time_ms),
+                )
+            })
+            .collect();
+        json_document(&self.harness, self.seed, &records)
     }
 
     /// Writes the JSON document to `BENCH_engine.json` (or the
@@ -151,12 +153,175 @@ impl BenchReport {
     ///
     /// Propagates the underlying filesystem error.
     pub fn write_default(&self) -> io::Result<PathBuf> {
-        let path = PathBuf::from(
-            std::env::var("BENCH_ENGINE_JSON").unwrap_or_else(|_| DEFAULT_PATH.to_owned()),
-        );
-        fs::write(&path, self.to_json())?;
-        Ok(path)
+        write_env_path("BENCH_ENGINE_JSON", DEFAULT_PATH, &self.to_json())
     }
+}
+
+/// One `Session::stream` sweep's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRecord {
+    /// Pipeline name (registry key).
+    pub pipeline: String,
+    /// Frame source driving the sweep (e.g. `"lidar"`, `"modelnet"`).
+    pub source: String,
+    /// Bucketing policy (`"Exact"` / `"Pow2"` / `"Quantize(512)"`).
+    pub policy: String,
+    /// Frames streamed.
+    pub frames: u64,
+    /// ILP solves the stream paid.
+    pub solver_invocations: u64,
+    /// Source elements the frames actually carried.
+    pub source_elements: u64,
+    /// Elements the schedules provisioned for (bucketing overhead =
+    /// `scheduled - source`).
+    pub scheduled_elements: u64,
+    /// Total simulated cycles across all frames.
+    pub total_cycles: u64,
+    /// Median per-frame cycles.
+    pub p50_frame_cycles: u64,
+    /// 95th-percentile per-frame cycles.
+    pub p95_frame_cycles: u64,
+    /// Worst per-frame cycles.
+    pub max_frame_cycles: u64,
+    /// Total energy in microjoules.
+    pub energy_uj: f64,
+    /// `true` when every frame ran overflow-, stall- and
+    /// truncation-free.
+    pub all_clean: bool,
+    /// Host wall time of the whole sweep in milliseconds.
+    pub wall_time_ms: f64,
+}
+
+impl StreamRecord {
+    /// Builds a record from a [`StreamReport`], the workload identity
+    /// the report cannot recover on its own, and the measured wall
+    /// time.
+    pub fn from_stream_report(
+        pipeline: &str,
+        source: &str,
+        report: &StreamReport,
+        wall: Duration,
+    ) -> Self {
+        StreamRecord {
+            pipeline: pipeline.to_owned(),
+            source: source.to_owned(),
+            policy: format!("{:?}", report.bucketing),
+            frames: report.frame_count(),
+            solver_invocations: report.solver_invocations,
+            source_elements: report.source_elements(),
+            scheduled_elements: report.scheduled_elements(),
+            total_cycles: report.total_cycles(),
+            p50_frame_cycles: report.p50_frame_cycles(),
+            p95_frame_cycles: report.p95_frame_cycles(),
+            max_frame_cycles: report.max_frame_cycles(),
+            energy_uj: report.total_uj(),
+            all_clean: report.all_clean(),
+            wall_time_ms: wall.as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// A streaming harness's collected records, serializable as one JSON
+/// document (`BENCH_streaming.json`).
+#[derive(Debug, Clone)]
+pub struct StreamBenchReport {
+    harness: String,
+    seed: u64,
+    records: Vec<StreamRecord>,
+}
+
+impl StreamBenchReport {
+    /// An empty report for the named harness.
+    pub fn new(harness: &str, seed: u64) -> Self {
+        StreamBenchReport {
+            harness: harness.to_owned(),
+            seed,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one sweep's record.
+    pub fn push(&mut self, record: StreamRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of collected records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let records: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"pipeline\": {}, \"source\": {}, \"policy\": {}, \"frames\": {}, \
+                     \"solver_invocations\": {}, \"source_elements\": {}, \
+                     \"scheduled_elements\": {}, \"total_cycles\": {}, \
+                     \"p50_frame_cycles\": {}, \"p95_frame_cycles\": {}, \
+                     \"max_frame_cycles\": {}, \"energy_uj\": {}, \"all_clean\": {}, \
+                     \"wall_time_ms\": {}}}",
+                    json_str(&r.pipeline),
+                    json_str(&r.source),
+                    json_str(&r.policy),
+                    r.frames,
+                    r.solver_invocations,
+                    r.source_elements,
+                    r.scheduled_elements,
+                    r.total_cycles,
+                    r.p50_frame_cycles,
+                    r.p95_frame_cycles,
+                    r.max_frame_cycles,
+                    json_f64(r.energy_uj),
+                    r.all_clean,
+                    json_f64(r.wall_time_ms),
+                )
+            })
+            .collect();
+        json_document(&self.harness, self.seed, &records)
+    }
+
+    /// Writes the JSON document to `BENCH_streaming.json` (or the
+    /// `BENCH_STREAMING_JSON` override) and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_default(&self) -> io::Result<PathBuf> {
+        write_env_path("BENCH_STREAMING_JSON", STREAMING_PATH, &self.to_json())
+    }
+}
+
+/// The shared report envelope: `{"harness", "seed", "records": [...]}`
+/// over pre-rendered record objects. Both report types serialize
+/// through this, so their document shapes cannot drift apart.
+fn json_document(harness: &str, seed: u64, records: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"harness\": {},", json_str(harness));
+    let _ = writeln!(out, "  \"seed\": {},", seed);
+    out.push_str("  \"records\": [\n");
+    for (i, record) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(out, "    {record}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `json` to the `env_var` override path or `default`, returning
+/// the path written.
+fn write_env_path(env_var: &str, default: &str, json: &str) -> io::Result<PathBuf> {
+    let path = PathBuf::from(std::env::var(env_var).unwrap_or_else(|_| default.to_owned()));
+    fs::write(&path, json)?;
+    Ok(path)
 }
 
 /// JSON string literal with minimal escaping (quotes, backslash,
@@ -237,5 +402,62 @@ mod tests {
         assert_eq!(json_f64(f64::NAN), "0.0");
         assert_eq!(json_f64(f64::INFINITY), "0.0");
         assert!(json_f64(1.5).starts_with("1.5"));
+    }
+
+    #[test]
+    fn stream_json_document_shape() {
+        let mut r = StreamBenchReport::new("bench_streaming", 1);
+        r.push(StreamRecord {
+            pipeline: "registration".to_owned(),
+            source: "lidar".to_owned(),
+            policy: "Quantize(512)".to_owned(),
+            frames: 64,
+            solver_invocations: 3,
+            source_elements: 60000,
+            scheduled_elements: 63488,
+            total_cycles: 99999,
+            p50_frame_cycles: 1500,
+            p95_frame_cycles: 1600,
+            max_frame_cycles: 1700,
+            energy_uj: 2.5,
+            all_clean: true,
+            wall_time_ms: 12.0,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"harness\": \"bench_streaming\""));
+        assert!(json.contains("\"policy\": \"Quantize(512)\""));
+        assert!(json.contains("\"solver_invocations\": 3"));
+        assert!(json.contains("\"all_clean\": true"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn stream_record_flattens_stream_report() {
+        use std::time::Duration;
+        use streamgrid_core::apps::AppDomain;
+        use streamgrid_core::framework::StreamGrid;
+        use streamgrid_core::source::{ReplaySource, SizeBucketing, StreamOptions};
+        use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+
+        let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+        let mut session = fw.session(AppDomain::Classification.spec());
+        let report = session
+            .stream(
+                ReplaySource::new(&[1200, 1250, 1300]),
+                &StreamOptions::bucketed(SizeBucketing::Quantize(400)),
+            )
+            .unwrap();
+        let record = StreamRecord::from_stream_report(
+            "classification",
+            "replay",
+            &report,
+            Duration::from_millis(5),
+        );
+        assert_eq!(record.frames, 3);
+        assert_eq!(record.solver_invocations, report.solver_invocations);
+        assert_eq!(record.source_elements, 1200 + 1250 + 1300);
+        assert!(record.scheduled_elements >= record.source_elements);
+        assert!(record.all_clean);
+        assert_eq!(record.policy, "Quantize(400)");
     }
 }

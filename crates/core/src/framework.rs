@@ -238,7 +238,11 @@ impl StreamGrid {
         let mut graph = spec.graph().clone();
         self.config.apply(&mut graph);
         let n_chunks = self.config.chunk_count();
-        let chunk_elements = (total_elements / n_chunks).max(1);
+        // Ceiling division: flooring would drop up to `n_chunks - 1`
+        // source elements from the schedule entirely. The compiled
+        // design must always cover the whole cloud.
+        let chunk_elements = total_elements.div_ceil(n_chunks).max(1);
+        debug_assert!(chunk_elements * n_chunks >= total_elements);
         let edges = edge_infos(&graph, chunk_elements);
         let mut schedule = optimize(&graph, &OptimizeConfig::new(chunk_elements))
             .map_err(CompileError::Optimize)?;
@@ -413,6 +417,32 @@ mod tests {
             let c = fw.compile(domain, 9 * 600).expect("compiles");
             assert!(c.schedule.total_buffer_elements > 0, "{domain:?}");
             assert_eq!(c.n_chunks, 9);
+        }
+    }
+
+    #[test]
+    fn chunking_never_drops_remainder_elements() {
+        // Regression: `total_elements / n_chunks` floored, so e.g.
+        // `total = n_chunks + 1` scheduled 1-element chunks and silently
+        // dropped the remainder. Ceiling division must cover every
+        // element for any (total, n_chunks) combination.
+        for n in [2u32, 4, 7, 9] {
+            let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(n, 2)));
+            let n = n as u64;
+            for total in [1, n - 1, n, n + 1, 3 * n - 1, 3 * n + 1, 100 * n + n / 2] {
+                let c = fw.compile(AppDomain::Classification, total).unwrap();
+                assert!(
+                    c.chunk_elements * c.n_chunks >= total,
+                    "{n} chunks × {} elements < {total} total",
+                    c.chunk_elements
+                );
+                // And never over-provisions by a full chunk.
+                assert!(
+                    (c.chunk_elements - 1) * c.n_chunks < total,
+                    "{n} chunks × {} elements over-covers {total} total",
+                    c.chunk_elements
+                );
+            }
         }
     }
 

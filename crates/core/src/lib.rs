@@ -16,10 +16,13 @@
 //! 3. **Line-buffer optimization** — delegated to
 //!    `streamgrid-optimizer` (Sec. 5's ILP with constraint pruning and
 //!    multi-chunk bubbles);
-//! 4. **Execution** ([`framework`], [`session`]) — the compiled design
-//!    runs on the cycle-level simulator of `streamgrid-sim`; a
-//!    [`session::Session`] caches compiled designs so repeated
-//!    executions amortize the ILP solve.
+//! 4. **Execution** ([`framework`], [`session`], [`source`]) — the
+//!    compiled design runs on the cycle-level simulator of
+//!    `streamgrid-sim`; a [`session::Session`] caches compiled designs
+//!    so repeated executions amortize the ILP solve, and
+//!    [`session::Session::stream`] pulls [`source::Frame`]s from a
+//!    [`source::FrameSource`] (synthetic, replayed, or dataset-backed)
+//!    with size-bucketed compile reuse ([`source::SizeBucketing`]).
 //!
 //! The algorithmic counterparts (how CS/DT change *results*, not just
 //! buffers) live in the application substrates: `streamgrid-nn` for
@@ -50,6 +53,7 @@ pub mod framework;
 pub mod pipeline;
 pub mod registry;
 pub mod session;
+pub mod source;
 pub mod transform;
 
 pub use apps::{table2, AppDomain, AppSpec};
@@ -59,4 +63,8 @@ pub use framework::{
 pub use pipeline::{CompileError, PipelineBuilder, PipelineSpec, StageId};
 pub use registry::PipelineRegistry;
 pub use session::Session;
+pub use source::{
+    DatasetSource, Frame, FrameReport, FrameSource, FrameStats, ReplaySource, SizeBucketing,
+    StreamOptions, StreamReport, SyntheticSource,
+};
 pub use transform::{SplitConfig, StreamGridConfig, TerminationConfig};

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use crate::framework::{CompiledPipeline, ExecuteOptions, ExecutionReport, StreamGrid};
 use crate::pipeline::{CompileError, PipelineSpec};
+use crate::source::{FrameReport, FrameSource, ReplaySource, StreamOptions, StreamReport};
 use crate::transform::StreamGridConfig;
 
 /// A split configuration flattened to hashable integers: grid dims plus
@@ -62,8 +63,8 @@ impl ConfigKey {
 ///
 /// let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
 /// let mut session = fw.session(AppDomain::Classification.spec());
-/// // 2400 and 2401 source elements both stream as 600-element chunks.
-/// let reports = session.run_batch(&[2400, 2401, 2400]).unwrap();
+/// // 2397 and 2400 source elements both stream as 600-element chunks.
+/// let reports = session.run_batch(&[2400, 2397, 2400]).unwrap();
 /// assert_eq!(reports.len(), 3);
 /// assert_eq!(session.solver_invocations(), 1);
 /// assert!(reports.iter().all(|r| r.is_clean()));
@@ -115,7 +116,9 @@ impl Session {
     }
 
     fn key_for(&self, total_elements: u64) -> (ConfigKey, u64) {
-        let chunk_elements = (total_elements / self.config.chunk_count()).max(1);
+        // Ceiling division, mirroring `StreamGrid::compile_spec`: the
+        // key must be the chunk size the compile actually provisions.
+        let chunk_elements = total_elements.div_ceil(self.config.chunk_count()).max(1);
         (ConfigKey::of(&self.config), chunk_elements)
     }
 
@@ -139,9 +142,87 @@ impl Session {
         Ok(&self.cache[&key])
     }
 
+    /// Streams every frame of `source` through the compiled pipeline
+    /// and returns a [`StreamReport`]: per-frame execution reports plus
+    /// stream-level aggregates (total cycles, energy, frames per solve,
+    /// p50/p95/max frame cycles).
+    ///
+    /// Each frame's size is rounded up to its
+    /// [`StreamOptions::bucketing`] bucket before compiling, so a
+    /// stream of near-identical sweep sizes hits the `(config,
+    /// chunk_elements)` compile cache instead of paying one ILP solve
+    /// per unique frame size; [`StreamReport::solver_invocations`]
+    /// records the solves this stream actually paid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CompileError`] from the compile path.
+    ///
+    /// # Examples
+    ///
+    /// A 16-frame stream of jittering sweep sizes costs one solve per
+    /// 1024-element bucket, not one per frame:
+    ///
+    /// ```
+    /// use streamgrid_core::apps::AppDomain;
+    /// use streamgrid_core::framework::StreamGrid;
+    /// use streamgrid_core::source::{ReplaySource, SizeBucketing, StreamOptions};
+    /// use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+    ///
+    /// let sizes: Vec<u64> = (0..16).map(|i| 3000 + 64 * i).collect();
+    /// let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+    /// let mut session = fw.session(AppDomain::Registration.spec());
+    /// let report = session
+    ///     .stream(
+    ///         ReplaySource::new(&sizes),
+    ///         &StreamOptions::bucketed(SizeBucketing::Quantize(1024)),
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(report.frame_count(), 16);
+    /// assert!(report.solver_invocations < 16);
+    /// assert!(report.all_clean());
+    /// assert!(report.p95_frame_cycles() >= report.p50_frame_cycles());
+    /// ```
+    pub fn stream<S: FrameSource>(
+        &mut self,
+        mut source: S,
+        options: &StreamOptions,
+    ) -> Result<StreamReport, CompileError> {
+        let exec = options
+            .exec
+            .unwrap_or_else(|| ExecuteOptions::for_spec(&self.spec));
+        let solves_before = self.solver_invocations;
+        let (lower, upper) = source.size_hint();
+        let mut frames = Vec::with_capacity(upper.unwrap_or(lower).min(1 << 16));
+        loop {
+            if options
+                .max_frames
+                .is_some_and(|max| frames.len() as u64 >= max)
+            {
+                break;
+            }
+            let Some(frame) = source.next_frame() else {
+                break;
+            };
+            let scheduled_elements = options.bucketing.bucket(frame.elements);
+            let report = self.compiled(scheduled_elements)?.execute(&exec);
+            frames.push(FrameReport {
+                frame,
+                scheduled_elements,
+                report,
+            });
+        }
+        Ok(StreamReport {
+            frames,
+            solver_invocations: self.solver_invocations - solves_before,
+            bucketing: options.bucketing,
+        })
+    }
+
     /// Executes one cloud with the spec's default options (its datapath
     /// intensity, default energy model and seed), compiling only on a
-    /// cache miss.
+    /// cache miss. A thin wrapper over [`Session::stream`] with a
+    /// single-frame [`ReplaySource`] and exact bucketing.
     ///
     /// # Errors
     ///
@@ -161,26 +242,30 @@ impl Session {
         total_elements: u64,
         options: &ExecuteOptions,
     ) -> Result<ExecutionReport, CompileError> {
-        Ok(self.compiled(total_elements)?.execute(options))
+        let report = self.stream(
+            ReplaySource::new(&[total_elements]),
+            &StreamOptions::default().with_exec(*options),
+        )?;
+        Ok(report
+            .frames
+            .into_iter()
+            .next()
+            .expect("a one-entry replay yields exactly one frame")
+            .report)
     }
 
     /// Executes many clouds sequentially, compiling each distinct
-    /// `(config, chunk_elements)` key exactly once up front. Reports
-    /// come back in input order and equal fresh one-shot
-    /// [`StreamGrid::execute`] calls.
+    /// `(config, chunk_elements)` key exactly once. Reports come back
+    /// in input order and equal fresh one-shot [`StreamGrid::execute`]
+    /// calls. A thin wrapper over [`Session::stream`] with a
+    /// [`ReplaySource`] and exact bucketing.
     ///
     /// # Errors
     ///
     /// Propagates the first [`CompileError`] from the compile path.
     pub fn run_batch(&mut self, sizes: &[u64]) -> Result<Vec<ExecutionReport>, CompileError> {
-        let options = ExecuteOptions::for_spec(&self.spec);
-        for &total in sizes {
-            self.compiled(total)?;
-        }
-        sizes
-            .iter()
-            .map(|&total| self.run_with(total, &options))
-            .collect()
+        let report = self.stream(ReplaySource::new(sizes), &StreamOptions::default())?;
+        Ok(report.frames.into_iter().map(|f| f.report).collect())
     }
 
     /// [`Session::run_batch`] with the cycle-level executions fanned out
@@ -259,10 +344,14 @@ mod tests {
     #[test]
     fn chunk_elements_key_folds_equal_chunkings() {
         let mut s = csdt4().session(AppDomain::Classification.spec());
-        // 2400 and 2401 total elements both floor to 600-element chunks.
+        // 2397 and 2400 total elements both round up to 600-element
+        // chunks; 2401 needs 601-element chunks (ceiling division — no
+        // element may be dropped).
         s.run(2400).unwrap();
-        s.run(2401).unwrap();
+        s.run(2397).unwrap();
         assert_eq!(s.solver_invocations(), 1);
+        s.run(2401).unwrap();
+        assert_eq!(s.solver_invocations(), 2);
     }
 
     #[test]
@@ -312,6 +401,103 @@ mod tests {
         // Base (variable latency) resolves Auto to the oracle.
         s.set_config(StreamGridConfig::base());
         assert_eq!(s.run(4 * 300).unwrap().exec_mode, EngineMode::CycleAccurate);
+    }
+
+    #[test]
+    fn stream_replay_matches_run_batch() {
+        use crate::source::{ReplaySource, StreamOptions};
+
+        let sizes = [4 * 300, 4 * 450, 4 * 300, 4 * 600];
+        let fw = csdt4();
+        let mut batch_session = fw.session(AppDomain::Classification.spec());
+        let mut stream_session = fw.session(AppDomain::Classification.spec());
+        let batch = batch_session.run_batch(&sizes).unwrap();
+        let stream = stream_session
+            .stream(ReplaySource::new(&sizes), &StreamOptions::default())
+            .unwrap();
+        assert_eq!(stream.frame_count(), sizes.len() as u64);
+        for (frame, report) in stream.frames.iter().zip(&batch) {
+            assert_eq!(&frame.report, report);
+            assert_eq!(frame.scheduled_elements, frame.frame.elements);
+        }
+        assert_eq!(
+            stream.solver_invocations,
+            batch_session.solver_invocations()
+        );
+        assert_eq!(stream.source_elements(), sizes.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn stream_bucketing_amortizes_solves() {
+        use crate::source::{ReplaySource, SizeBucketing, StreamOptions};
+
+        // 12 distinct sizes: Exact pays 12 solves, Quantize(1200) folds
+        // them into 2 buckets (4800 and 6000).
+        let sizes: Vec<u64> = (0..12u64).map(|i| 4000 + 100 * i).collect();
+        let fw = csdt4();
+        let mut exact = fw.session(AppDomain::Classification.spec());
+        let exact_report = exact
+            .stream(
+                ReplaySource::new(&sizes),
+                &StreamOptions::bucketed(SizeBucketing::Exact),
+            )
+            .unwrap();
+        assert_eq!(exact_report.solver_invocations, 12);
+
+        let mut bucketed = fw.session(AppDomain::Classification.spec());
+        let bucketed_report = bucketed
+            .stream(
+                ReplaySource::new(&sizes),
+                &StreamOptions::bucketed(SizeBucketing::Quantize(1200)),
+            )
+            .unwrap();
+        assert_eq!(bucketed_report.solver_invocations, 2);
+        assert_eq!(bucketed_report.frame_count(), 12);
+        assert!(bucketed_report.all_clean());
+        // Bucketing rounds work up, never down.
+        assert!(bucketed_report.scheduled_elements() >= bucketed_report.source_elements());
+        assert_eq!(
+            exact_report.scheduled_elements(),
+            exact_report.source_elements()
+        );
+        // Aggregates are well-formed.
+        assert!(bucketed_report.frames_per_solve() > 1.0);
+        assert!(bucketed_report.p50_frame_cycles() <= bucketed_report.p95_frame_cycles());
+        assert!(bucketed_report.p95_frame_cycles() <= bucketed_report.max_frame_cycles());
+        assert!(bucketed_report.total_cycles() >= bucketed_report.max_frame_cycles());
+    }
+
+    #[test]
+    fn stream_solver_invocations_count_only_this_stream() {
+        use crate::source::{ReplaySource, StreamOptions};
+
+        let mut s = csdt4().session(AppDomain::Classification.spec());
+        s.run(4 * 300).unwrap();
+        assert_eq!(s.solver_invocations(), 1);
+        // The replayed size is already cached: the stream pays nothing.
+        let report = s
+            .stream(
+                ReplaySource::new(&[4 * 300, 4 * 300]),
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(report.solver_invocations, 0);
+        assert_eq!(s.solver_invocations(), 1);
+    }
+
+    #[test]
+    fn stream_respects_max_frames() {
+        use crate::source::{StreamOptions, SyntheticSource};
+
+        let mut s = csdt4().session(AppDomain::Classification.spec());
+        let report = s
+            .stream(
+                SyntheticSource::new(4 * 300, 100),
+                &StreamOptions::default().with_max_frames(5),
+            )
+            .unwrap();
+        assert_eq!(report.frame_count(), 5);
+        assert_eq!(report.solver_invocations, 1);
     }
 
     #[test]

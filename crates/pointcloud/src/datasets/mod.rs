@@ -14,6 +14,10 @@
 //! * [`shapenet`] — part-labeled objects, for segmentation (mIoU).
 //! * [`gaussians`] — translucent anisotropic Gaussian scenes, for the
 //!   3DGS rendering pipeline where depth sorting is the global operation.
+//! * [`stream`] — frame-stream iterators over the generators above
+//!   ([`stream::LidarStream`], [`stream::ModelNetStream`],
+//!   [`stream::ShapeNetStream`]), the dataset side of the core crate's
+//!   `FrameSource` ingestion surface.
 //!
 //! Every generator takes an explicit seed and is deterministic for a given
 //! seed, so experiments are reproducible run-to-run.
@@ -22,6 +26,7 @@ pub mod gaussians;
 pub mod lidar;
 pub mod modelnet;
 pub mod shapenet;
+pub mod stream;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -1,0 +1,297 @@
+//! Frame-stream iterators over the synthetic dataset generators.
+//!
+//! The generators in this module's siblings produce one cloud per call;
+//! streaming analytics consumes *sequences* of clouds. Each stream here
+//! is a plain `Iterator` over its generator's natural item type
+//! ([`LidarScan`], ModelNet [`Sample`], ShapeNet [`SegSample`]) —
+//! deterministic per seed, frame by frame — plus an `Into<PointCloud>`
+//! conversion so `streamgrid-core`'s `DatasetSource` bridge can turn
+//! any of them into a `FrameSource` without this crate depending on
+//! `streamgrid-core`.
+
+use crate::cloud::PointCloud;
+use crate::point::Point3;
+
+use super::lidar::{scan, trajectory, LidarConfig, LidarScan, Scene};
+use super::modelnet::{self, ModelNetConfig, Sample};
+use super::shapenet::{self, Category, SegSample};
+
+/// A rotating-beam LiDAR sweep stream: one [`LidarScan`] per trajectory
+/// pose, ray-cast against a fixed scene.
+///
+/// Sweep sizes vary naturally frame to frame (rays that miss return
+/// nothing), which is exactly the workload size-bucketed compile reuse
+/// exists for.
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_pointcloud::datasets::stream::LidarStream;
+///
+/// let scans: Vec<_> = LidarStream::kitti_like(7, 3).collect();
+/// assert_eq!(scans.len(), 3);
+/// assert!(scans.iter().all(|s| !s.cloud.is_empty()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LidarStream {
+    scene: Scene,
+    config: LidarConfig,
+    trajectory: Vec<(Point3, f32)>,
+    seed: u64,
+    next: usize,
+}
+
+impl LidarStream {
+    /// A stream sweeping `config` along `trajectory` through `scene`.
+    /// Per-frame range noise derives from `seed` and the frame index,
+    /// so an identically constructed stream replays byte-identically.
+    pub fn new(
+        scene: Scene,
+        config: LidarConfig,
+        trajectory: Vec<(Point3, f32)>,
+        seed: u64,
+    ) -> Self {
+        LidarStream {
+            scene,
+            config,
+            trajectory,
+            seed,
+            next: 0,
+        }
+    }
+
+    /// A KITTI-like default: an urban scene and a gently turning
+    /// `frames`-pose trajectory under the default scanner intrinsics.
+    pub fn kitti_like(seed: u64, frames: usize) -> Self {
+        LidarStream::new(
+            Scene::urban(seed, 45.0, 18, 10),
+            LidarConfig::default(),
+            trajectory(frames, 0.4, 0.004),
+            seed,
+        )
+    }
+
+    /// Sweeps not yet produced.
+    pub fn frames_remaining(&self) -> usize {
+        self.trajectory.len() - self.next
+    }
+}
+
+impl Iterator for LidarStream {
+    type Item = LidarScan;
+
+    fn next(&mut self) -> Option<LidarScan> {
+        let &(pose, yaw) = self.trajectory.get(self.next)?;
+        let sweep = scan(
+            &self.scene,
+            &self.config,
+            pose,
+            yaw,
+            self.seed.wrapping_add(self.next as u64),
+        );
+        self.next += 1;
+        Some(sweep)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.frames_remaining();
+        (left, Some(left))
+    }
+}
+
+impl From<LidarScan> for PointCloud {
+    fn from(sweep: LidarScan) -> PointCloud {
+        sweep.cloud
+    }
+}
+
+/// A stream of ModelNet-like classification samples, cycling through
+/// the class labels so any prefix is near-balanced.
+#[derive(Debug, Clone)]
+pub struct ModelNetStream {
+    config: ModelNetConfig,
+    seed: u64,
+    samples: usize,
+    next: usize,
+}
+
+impl ModelNetStream {
+    /// A stream of `samples` clouds under `config`, deterministic per
+    /// `seed`.
+    pub fn new(config: ModelNetConfig, samples: usize, seed: u64) -> Self {
+        ModelNetStream {
+            config,
+            seed,
+            samples,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for ModelNetStream {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        if self.next >= self.samples {
+            return None;
+        }
+        let i = self.next as u64;
+        let label = (i % self.config.classes as u64) as u32;
+        let sample = modelnet::sample(&self.config, label, self.seed ^ (i << 20));
+        self.next += 1;
+        Some(sample)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.samples - self.next;
+        (left, Some(left))
+    }
+}
+
+impl From<Sample> for PointCloud {
+    fn from(sample: Sample) -> PointCloud {
+        sample.cloud
+    }
+}
+
+/// A stream of ShapeNet-like part-labeled samples, cycling through the
+/// object categories.
+#[derive(Debug, Clone)]
+pub struct ShapeNetStream {
+    points: usize,
+    seed: u64,
+    samples: usize,
+    next: usize,
+}
+
+impl ShapeNetStream {
+    /// A stream of `samples` objects of `points` points each,
+    /// deterministic per `seed`.
+    pub fn new(points: usize, samples: usize, seed: u64) -> Self {
+        ShapeNetStream {
+            points,
+            seed,
+            samples,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for ShapeNetStream {
+    type Item = SegSample;
+
+    fn next(&mut self) -> Option<SegSample> {
+        if self.next >= self.samples {
+            return None;
+        }
+        let i = self.next as u64;
+        let category = Category::ALL[self.next % Category::ALL.len()];
+        let sample = shapenet::sample(category, self.points, self.seed ^ (i << 20));
+        self.next += 1;
+        Some(sample)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.samples - self.next;
+        (left, Some(left))
+    }
+}
+
+impl From<SegSample> for PointCloud {
+    fn from(sample: SegSample) -> PointCloud {
+        sample.cloud
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_lidar() -> LidarStream {
+        LidarStream::new(
+            Scene::urban(3, 30.0, 8, 4),
+            LidarConfig {
+                beams: 4,
+                azimuth_steps: 90,
+                ..LidarConfig::default()
+            },
+            trajectory(5, 0.4, 0.004),
+            11,
+        )
+    }
+
+    #[test]
+    fn lidar_stream_walks_the_trajectory() {
+        let mut stream = small_lidar();
+        assert_eq!(stream.size_hint(), (5, Some(5)));
+        assert_eq!(stream.frames_remaining(), 5);
+        let scans: Vec<_> = stream.by_ref().collect();
+        assert_eq!(scans.len(), 5);
+        assert_eq!(stream.frames_remaining(), 0);
+        // The sensor moves: later sweeps originate elsewhere.
+        assert_ne!(scans[0].sensor_origin, scans[4].sensor_origin);
+        assert!(scans.iter().all(|s| !s.cloud.is_empty()));
+    }
+
+    #[test]
+    fn lidar_stream_replays_identically() {
+        let a: Vec<_> = small_lidar().collect();
+        let b: Vec<_> = small_lidar().collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cloud, y.cloud);
+            assert_eq!(x.rings, y.rings);
+        }
+        // Frames differ from one another (distinct poses + noise seeds).
+        assert_ne!(a[0].cloud, a[1].cloud);
+    }
+
+    #[test]
+    fn modelnet_stream_cycles_labels() {
+        let cfg = ModelNetConfig {
+            classes: 10,
+            points: 32,
+            noise: 0.0,
+        };
+        let samples: Vec<_> = ModelNetStream::new(cfg, 12, 5).collect();
+        assert_eq!(samples.len(), 12);
+        let labels: Vec<u32> = samples.iter().map(|s| s.label).collect();
+        assert_eq!(&labels[..3], &[0, 1, 2]);
+        assert_eq!(&labels[10..], &[0, 1]);
+        assert!(samples.iter().all(|s| s.cloud.len() == 32));
+    }
+
+    #[test]
+    fn shapenet_stream_cycles_categories() {
+        let samples: Vec<_> = ShapeNetStream::new(64, 6, 9).collect();
+        assert_eq!(samples.len(), 6);
+        assert_eq!(samples[0].category, Category::Table);
+        assert_eq!(samples[4].category, Category::Table);
+        assert_eq!(samples[5].category, Category::Lamp);
+    }
+
+    #[test]
+    fn into_pointcloud_conversions_preserve_points() {
+        let scan = small_lidar().next().unwrap();
+        let n = scan.cloud.len();
+        let cloud: PointCloud = scan.into();
+        assert_eq!(cloud.len(), n);
+
+        let sample = ModelNetStream::new(
+            ModelNetConfig {
+                classes: 10,
+                points: 16,
+                noise: 0.0,
+            },
+            1,
+            1,
+        )
+        .next()
+        .unwrap();
+        let cloud: PointCloud = sample.into();
+        assert_eq!(cloud.len(), 16);
+
+        let seg = ShapeNetStream::new(24, 1, 1).next().unwrap();
+        let cloud: PointCloud = seg.into();
+        assert_eq!(cloud.len(), 24);
+    }
+}

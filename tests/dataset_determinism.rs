@@ -1,0 +1,131 @@
+//! Determinism pins for the dataset generators: streaming results can
+//! only be reproducible if the sources feeding the sessions are. Every
+//! generator must produce byte-identical output for the same seed
+//! (coordinates compared at the bit level, not via float tolerance)
+//! and different output for different seeds.
+
+use streamgrid_pointcloud::datasets::gaussians::{self, SceneKind};
+use streamgrid_pointcloud::datasets::lidar::{scan, trajectory, LidarConfig, Scene};
+use streamgrid_pointcloud::datasets::modelnet::{self, ModelNetConfig};
+use streamgrid_pointcloud::datasets::shapenet::{self, Category};
+use streamgrid_pointcloud::datasets::stream::LidarStream;
+use streamgrid_pointcloud::{Point3, PointCloud};
+
+/// Bit-exact comparison: `PartialEq` on f32 would already fail on any
+/// difference, but comparing bit patterns also distinguishes 0.0 from
+/// -0.0 and documents the strength of the guarantee.
+fn assert_bit_identical(a: &PointCloud, b: &PointCloud) {
+    assert_eq!(a.len(), b.len(), "point counts differ");
+    for (i, (p, q)) in a.points().iter().zip(b.points()).enumerate() {
+        for axis in 0..3 {
+            assert_eq!(
+                p.axis(axis).to_bits(),
+                q.axis(axis).to_bits(),
+                "point {i} axis {axis}: {p} vs {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lidar_scan_is_deterministic_per_seed() {
+    let scene = Scene::urban(7, 35.0, 12, 6);
+    let cfg = LidarConfig {
+        beams: 4,
+        azimuth_steps: 120,
+        ..LidarConfig::default()
+    };
+    let a = scan(&scene, &cfg, Point3::ZERO, 0.2, 42);
+    let b = scan(&scene, &cfg, Point3::ZERO, 0.2, 42);
+    assert_bit_identical(&a.cloud, &b.cloud);
+    assert_eq!(a.rings, b.rings);
+
+    let c = scan(&scene, &cfg, Point3::ZERO, 0.2, 43);
+    assert_ne!(
+        a.cloud, c.cloud,
+        "different seeds must differ (range noise)"
+    );
+}
+
+#[test]
+fn lidar_stream_replays_bit_identically() {
+    let make = || {
+        LidarStream::new(
+            Scene::urban(3, 30.0, 8, 4),
+            LidarConfig {
+                beams: 4,
+                azimuth_steps: 90,
+                ..LidarConfig::default()
+            },
+            trajectory(4, 0.4, 0.004),
+            11,
+        )
+    };
+    for (a, b) in make().zip(make()) {
+        assert_bit_identical(&a.cloud, &b.cloud);
+        assert_eq!(a.rings, b.rings);
+    }
+}
+
+#[test]
+fn trajectory_is_deterministic() {
+    // No RNG involved, but the pin documents the contract: a trajectory
+    // is a pure function of its arguments.
+    let a = trajectory(16, 0.5, 0.01);
+    let b = trajectory(16, 0.5, 0.01);
+    assert_eq!(a.len(), b.len());
+    for ((pa, ya), (pb, yb)) in a.iter().zip(&b) {
+        assert_eq!(pa, pb);
+        assert_eq!(ya.to_bits(), yb.to_bits());
+    }
+}
+
+#[test]
+fn modelnet_sample_is_deterministic_per_seed() {
+    let cfg = ModelNetConfig::default();
+    for label in [0u32, 4, 9] {
+        let a = modelnet::sample(&cfg, label, 7);
+        let b = modelnet::sample(&cfg, label, 7);
+        assert_eq!(a.label, b.label);
+        assert_bit_identical(&a.cloud, &b.cloud);
+        let c = modelnet::sample(&cfg, label, 8);
+        assert_ne!(a.cloud, c.cloud, "label {label}: seeds 7 and 8 collide");
+    }
+}
+
+#[test]
+fn shapenet_sample_is_deterministic_per_seed() {
+    for &cat in &Category::ALL {
+        let a = shapenet::sample(cat, 256, 5);
+        let b = shapenet::sample(cat, 256, 5);
+        assert_bit_identical(&a.cloud, &b.cloud);
+        assert_eq!(a.cloud.labels(), b.cloud.labels());
+        let c = shapenet::sample(cat, 256, 6);
+        assert_ne!(a.cloud, c.cloud, "{cat:?}: seeds 5 and 6 collide");
+    }
+}
+
+#[test]
+fn gaussian_scene_is_deterministic_per_seed() {
+    for kind in [SceneKind::TanksAndTemples, SceneKind::DeepBlending] {
+        let a = gaussians::generate(kind, 300, 9);
+        let b = gaussians::generate(kind, 300, 9);
+        assert_eq!(a.gaussians.len(), b.gaussians.len());
+        for (i, (x, y)) in a.gaussians.iter().zip(&b.gaussians).enumerate() {
+            assert_eq!(
+                x.center.x.to_bits(),
+                y.center.x.to_bits(),
+                "{kind:?} splat {i} center.x"
+            );
+            assert_eq!(x.scale, y.scale, "{kind:?} splat {i}");
+            assert_eq!(x.yaw.to_bits(), y.yaw.to_bits(), "{kind:?} splat {i}");
+            assert_eq!(
+                x.opacity.to_bits(),
+                y.opacity.to_bits(),
+                "{kind:?} splat {i}"
+            );
+        }
+        let c = gaussians::generate(kind, 300, 10);
+        assert_ne!(a.gaussians, c.gaussians, "{kind:?}: seeds 9 and 10 collide");
+    }
+}

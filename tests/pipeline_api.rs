@@ -160,8 +160,8 @@ fn session_batch_solves_once_per_distinct_key() {
         let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
         let mut session = fw.session(domain.spec());
         // Four cloud sizes, three distinct chunkings (1200 repeats and
-        // 1201 floors to the same 300-element chunks as 1200).
-        let sizes = [4 * 300, 4 * 450, 4 * 600, 4 * 300 + 1];
+        // 1199 rounds up to the same 300-element chunks as 1200).
+        let sizes = [4 * 300, 4 * 450, 4 * 600, 4 * 300 - 1];
         let batch = session.run_batch(&sizes).unwrap();
         assert_eq!(
             session.solver_invocations(),

@@ -1,0 +1,92 @@
+//! Property tests on cache-aware streaming: for any random frame-size
+//! sequence, `StreamReport.solver_invocations` equals the number of
+//! *distinct buckets* the bucketing policy produces, and policies only
+//! change scheduling granularity — never frame counts or cleanliness.
+//!
+//! The equality holds exactly when distinct buckets also map to
+//! distinct `(config, chunk_elements)` compile keys. The session keys
+//! on `chunk_elements = ceil(bucket / n_chunks)`, so two buckets that
+//! differ by less than `n_chunks` can share a key. The generator
+//! therefore emits sizes that are multiples of `n_chunks` (= 4, a
+//! power of two) and uses a `Quantize` step that is itself a multiple
+//! of `n_chunks`: distinct Exact sizes, distinct Pow2 buckets (all
+//! ≥ n_chunks), and distinct Quantize buckets then always differ by at
+//! least `n_chunks`, so bucket-distinctness and key-distinctness
+//! coincide.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use streamgrid_core::apps::AppDomain;
+use streamgrid_core::framework::StreamGrid;
+use streamgrid_core::source::{ReplaySource, SizeBucketing, StreamOptions, StreamReport};
+use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+
+const N_CHUNKS: u64 = 4;
+
+fn stream_sizes(sizes: &[u64], policy: SizeBucketing) -> StreamReport {
+    let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(
+        N_CHUNKS as u32,
+        2,
+    )));
+    let mut session = fw.session(AppDomain::Classification.spec());
+    session
+        .stream(ReplaySource::new(sizes), &StreamOptions::bucketed(policy))
+        .expect("CS+DT compiles and streams for any positive size")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn solver_invocations_equal_distinct_buckets(
+        raw in prop::collection::vec(1u64..41, 1..10)
+    ) {
+        // Multiples of N_CHUNKS in [120, 4800]: see the module docs for
+        // why this keeps buckets and compile keys in bijection.
+        let sizes: Vec<u64> = raw.iter().map(|s| s * N_CHUNKS * 30).collect();
+        for policy in [
+            SizeBucketing::Exact,
+            SizeBucketing::Pow2,
+            SizeBucketing::Quantize(8 * N_CHUNKS * 30),
+        ] {
+            let report = stream_sizes(&sizes, policy);
+            let distinct: HashSet<u64> = sizes.iter().map(|&e| policy.bucket(e)).collect();
+            prop_assert_eq!(
+                report.solver_invocations,
+                distinct.len() as u64,
+                "{:?} over {:?}", policy, sizes
+            );
+            prop_assert_eq!(report.frame_count(), sizes.len() as u64);
+            // Buckets only ever round up.
+            for frame in &report.frames {
+                prop_assert!(frame.scheduled_elements >= frame.frame.elements);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_quantize_agree_on_frames_and_cleanliness(
+        raw in prop::collection::vec(1u64..41, 1..8)
+    ) {
+        let sizes: Vec<u64> = raw.iter().map(|s| s * N_CHUNKS * 30).collect();
+        let exact = stream_sizes(&sizes, SizeBucketing::Exact);
+        let quantized = stream_sizes(&sizes, SizeBucketing::Quantize(1024));
+        prop_assert_eq!(exact.frame_count(), quantized.frame_count());
+        for (e, q) in exact.frames.iter().zip(&quantized.frames) {
+            prop_assert_eq!(e.frame, q.frame, "sources must agree on the frames themselves");
+            prop_assert_eq!(
+                e.report.is_clean(),
+                q.report.is_clean(),
+                "bucketing changed cleanliness on frame {}", e.frame.id
+            );
+        }
+        // Under CS+DT both must in fact be clean, and quantizing can
+        // only reduce the solve count.
+        prop_assert!(exact.all_clean() && quantized.all_clean());
+        prop_assert!(quantized.solver_invocations <= exact.solver_invocations);
+    }
+}

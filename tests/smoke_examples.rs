@@ -10,14 +10,16 @@ use streamgrid_core::apps::AppDomain;
 use streamgrid_core::framework::{ExecuteOptions, StreamGrid};
 use streamgrid_core::pipeline::PipelineSpec;
 use streamgrid_core::registry::PipelineRegistry;
+use streamgrid_core::source::{DatasetSource, SizeBucketing, StreamOptions};
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
 use streamgrid_dataflow::Shape;
 use streamgrid_nn::pointnet::ClsNet;
 use streamgrid_nn::sampling::SearchMode;
 use streamgrid_nn::train::{eval_classifier, train_classifier, ClsSample, TrainConfig};
 use streamgrid_pointcloud::datasets::gaussians::{generate, SceneKind};
-use streamgrid_pointcloud::datasets::lidar::{scan, trajectory, LidarConfig, Scene};
+use streamgrid_pointcloud::datasets::lidar::{trajectory, LidarConfig, Scene};
 use streamgrid_pointcloud::datasets::modelnet::{self, ModelNetConfig};
+use streamgrid_pointcloud::datasets::stream::LidarStream;
 use streamgrid_pointcloud::{GridDims, Point3};
 use streamgrid_registration::icp::{CorrespondenceMode, IcpConfig};
 use streamgrid_registration::odometry::{run_odometry, trajectory_error, OdometryConfig};
@@ -165,21 +167,19 @@ fn classification_path() {
     );
 }
 
-/// `examples/lidar_odometry.rs`: exact vs CS+DT correspondence search.
+/// `examples/lidar_odometry.rs`: exact vs CS+DT correspondence search,
+/// then the same sweeps streamed through `Session::stream` on the
+/// registration pipeline with quantized compile buckets.
 #[test]
 fn lidar_odometry_path() {
-    let scene = Scene::urban(11, 30.0, 10, 6);
     let lidar = LidarConfig {
         beams: 6,
         azimuth_steps: 240,
         ..LidarConfig::default()
     };
     let truth = trajectory(4, 0.4, 0.004);
-    let scans: Vec<_> = truth
-        .iter()
-        .enumerate()
-        .map(|(i, &(p, y))| scan(&scene, &lidar, p, y, 100 + i as u64))
-        .collect();
+    let scans: Vec<_> =
+        LidarStream::new(Scene::urban(11, 30.0, 10, 6), lidar, truth.clone(), 100).collect();
     for mode in [
         CorrespondenceMode::Exact,
         CorrespondenceMode::paper_registration(),
@@ -202,6 +202,26 @@ fn lidar_odometry_path() {
             err.endpoint_drift_pct
         );
     }
+
+    // The execution half of the example: the same sweeps through the
+    // registration pipeline via the streaming ingestion surface.
+    let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+    let mut session = fw.session(AppDomain::Registration.spec());
+    let report = session
+        .stream(
+            DatasetSource::new(scans.iter().map(|s| s.cloud.clone())),
+            &StreamOptions::bucketed(SizeBucketing::Quantize(1024)),
+        )
+        .expect("the registration pipeline streams CS+DT clean");
+    assert_eq!(report.frame_count(), scans.len() as u64);
+    assert!(report.all_clean(), "every streamed frame must run clean");
+    assert!(
+        report.solver_invocations <= report.frame_count(),
+        "bucketing can never pay more solves than frames"
+    );
+    assert!(report.solver_invocations >= 1);
+    assert!(report.total_cycles() > 0 && report.total_uj() > 0.0);
+    assert!(report.p50_frame_cycles() <= report.max_frame_cycles());
 }
 
 /// `examples/splat_render.rs`: global vs chunked depth sorting.

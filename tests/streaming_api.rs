@@ -1,0 +1,190 @@
+//! Contract tests for the streaming ingestion API: `FrameSource` →
+//! `Session::stream` → `StreamReport`, including the acceptance pin —
+//! a 64-frame LiDAR stream under quantized bucketing pays strictly
+//! fewer ILP solves than it executes frames, with every frame clean.
+
+use std::collections::HashSet;
+
+use streamgrid_core::apps::AppDomain;
+use streamgrid_core::framework::StreamGrid;
+use streamgrid_core::source::{
+    DatasetSource, FrameSource, ReplaySource, SizeBucketing, StreamOptions, SyntheticSource,
+};
+use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+use streamgrid_pointcloud::datasets::lidar::{trajectory, LidarConfig, Scene};
+use streamgrid_pointcloud::datasets::modelnet::ModelNetConfig;
+use streamgrid_pointcloud::datasets::stream::{LidarStream, ModelNetStream, ShapeNetStream};
+
+fn csdt4() -> StreamGrid {
+    StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)))
+}
+
+fn small_lidar(frames: usize) -> LidarStream {
+    LidarStream::new(
+        Scene::urban(11, 30.0, 10, 6),
+        LidarConfig {
+            beams: 4,
+            azimuth_steps: 90,
+            ..LidarConfig::default()
+        },
+        trajectory(frames, 0.4, 0.004),
+        100,
+    )
+}
+
+/// The acceptance pin: 64 LiDAR frames, quantized buckets, strictly
+/// fewer solves than frames, all frames clean.
+#[test]
+fn lidar_stream_64_frames_quantized_amortizes_solves() {
+    let mut session = csdt4().session(AppDomain::Registration.spec());
+    let source = DatasetSource::new(small_lidar(64));
+    let report = session
+        .stream(
+            source,
+            &StreamOptions::bucketed(SizeBucketing::Quantize(256)),
+        )
+        .expect("the registration pipeline streams CS+DT clean");
+
+    assert_eq!(report.frame_count(), 64);
+    assert!(
+        report.solver_invocations < 64,
+        "bucketing must amortize: {} solves for 64 frames",
+        report.solver_invocations
+    );
+    assert!(report.solver_invocations >= 1, "a fresh session must solve");
+    for frame in &report.frames {
+        assert!(
+            frame.report.is_clean(),
+            "frame {}: CS+DT must run overflow-, stall- and truncation-free",
+            frame.frame.id
+        );
+        assert!(frame.scheduled_elements >= frame.frame.elements);
+        assert_eq!(
+            frame.scheduled_elements,
+            SizeBucketing::Quantize(256).bucket(frame.frame.elements)
+        );
+    }
+    // Sweep sizes genuinely drift (otherwise the pin is vacuous) …
+    let distinct_sizes: HashSet<u64> = report.frames.iter().map(|f| f.frame.elements).collect();
+    assert!(distinct_sizes.len() > 1, "LiDAR sweeps should vary in size");
+    // … and the session cache, not per-frame luck, is what amortized.
+    assert_eq!(
+        session.solver_invocations(),
+        report.solver_invocations,
+        "a fresh session's stream pays exactly the session's solves"
+    );
+    assert!(report.frames_per_solve() > 1.0);
+}
+
+/// `run`/`run_batch` stay source-compatible wrappers: same signatures,
+/// same reports as the pre-streaming surface (fresh one-shot executes).
+#[test]
+fn scalar_surface_remains_source_compatible() {
+    let fw = csdt4();
+    let mut session = fw.session(AppDomain::Classification.spec());
+    let single = session.run(4 * 300).unwrap();
+    let fresh = fw.execute(AppDomain::Classification, 4 * 300).unwrap();
+    assert_eq!(single, fresh);
+
+    let sizes = [4 * 300u64, 4 * 450, 4 * 300];
+    let batch = session.run_batch(&sizes).unwrap();
+    assert_eq!(batch.len(), sizes.len());
+    for (&total, report) in sizes.iter().zip(&batch) {
+        let fresh = fw.execute(AppDomain::Classification, total).unwrap();
+        assert_eq!(report, &fresh, "run_batch diverged at {total} elements");
+    }
+    // The wrappers share the stream path's cache: 2 distinct sizes plus
+    // the earlier run() = 2 solves in total.
+    assert_eq!(session.solver_invocations(), 2);
+}
+
+/// A synthetic fixed-size stream is the degenerate case: one solve,
+/// identical frames, identical reports.
+#[test]
+fn synthetic_stream_solves_once() {
+    let mut session = csdt4().session(AppDomain::Classification.spec());
+    let report = session
+        .stream(SyntheticSource::new(4 * 300, 10), &StreamOptions::default())
+        .unwrap();
+    assert_eq!(report.frame_count(), 10);
+    assert_eq!(report.solver_invocations, 1);
+    assert!(report.all_clean());
+    let first = &report.frames[0].report;
+    assert!(report.frames.iter().all(|f| &f.report == first));
+    assert_eq!(report.p50_frame_cycles(), report.max_frame_cycles());
+}
+
+/// Every dataset stream drives the session through the DatasetSource
+/// bridge: ModelNet and ShapeNet streams execute clean end to end.
+#[test]
+fn dataset_streams_execute_through_sessions() {
+    let mut session = csdt4().session(AppDomain::Classification.spec());
+    let modelnet = ModelNetStream::new(
+        ModelNetConfig {
+            classes: 10,
+            points: 200,
+            noise: 0.01,
+        },
+        6,
+        3,
+    );
+    let report = session
+        .stream(
+            DatasetSource::new(modelnet),
+            &StreamOptions::bucketed(SizeBucketing::Pow2),
+        )
+        .unwrap();
+    assert_eq!(report.frame_count(), 6);
+    // Fixed 200-point clouds: one bucket, one solve.
+    assert_eq!(report.solver_invocations, 1);
+    assert!(report.all_clean());
+    assert_eq!(report.source_elements(), 6 * 200 * 3);
+
+    let mut session = csdt4().session(AppDomain::Segmentation.spec());
+    let report = session
+        .stream(
+            DatasetSource::new(ShapeNetStream::new(150, 4, 9)),
+            &StreamOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(report.frame_count(), 4);
+    assert!(report.all_clean());
+    for frame in &report.frames {
+        assert_eq!(frame.frame.stats.points, 150);
+        assert_eq!(frame.frame.elements, 450);
+    }
+}
+
+/// The source element accounting survives the bridge: frame stats carry
+/// the point counts the clouds actually had.
+#[test]
+fn dataset_source_frames_track_cloud_sizes() {
+    let scans: Vec<_> = small_lidar(5).collect();
+    let mut source = DatasetSource::new(scans.iter().map(|s| s.cloud.clone()));
+    for (i, scan) in scans.iter().enumerate() {
+        let frame = source.next_frame().unwrap();
+        assert_eq!(frame.id, i as u64);
+        assert_eq!(frame.stats.points, scan.cloud.len() as u64);
+        assert_eq!(frame.elements, scan.cloud.len() as u64 * 3);
+    }
+    assert!(source.next_frame().is_none());
+}
+
+/// Exact replay through `stream` equals the same sizes through the
+/// legacy batch surface, report for report.
+#[test]
+fn stream_and_run_batch_agree() {
+    let sizes: Vec<u64> = (0..6).map(|i| 1200 + 37 * i).collect();
+    let fw = csdt4();
+    let mut a = fw.session(AppDomain::NeuralRendering.spec());
+    let mut b = fw.session(AppDomain::NeuralRendering.spec());
+    let stream = a
+        .stream(ReplaySource::new(&sizes), &StreamOptions::default())
+        .unwrap();
+    let batch = b.run_batch(&sizes).unwrap();
+    assert_eq!(
+        stream.frames.iter().map(|f| &f.report).collect::<Vec<_>>(),
+        batch.iter().collect::<Vec<_>>()
+    );
+    assert_eq!(a.solver_invocations(), b.solver_invocations());
+}
