@@ -1,13 +1,23 @@
-//! Streaming-ingestion benchmark: exact vs bucketed compile reuse over
-//! dataset-backed frame streams.
+//! Streaming-runtime benchmark: compile reuse and overlapped execution
+//! over dataset-backed frame streams.
 //!
-//! For each workload (LiDAR sweeps → registration, ModelNet samples →
-//! classification) the harness streams the same frame sequence through
-//! a fresh `Session` under every `SizeBucketing` policy and reports the
-//! ILP solves paid, the scheduled-element overhead bucketing costs, the
-//! per-frame latency percentiles, and the wall time. Every sweep is
-//! serialized to `BENCH_streaming.json`
-//! ([`streamgrid_bench::report::StreamBenchReport`]).
+//! Three sweeps, all serialized to `BENCH_streaming.json`
+//! ([`streamgrid_bench::report::StreamBenchReport`]):
+//!
+//! 1. **Bucketing** — for each workload (LiDAR sweeps → registration,
+//!    ModelNet samples → classification) the same frame sequence runs
+//!    through a fresh `Session` under every `SizeBucketing` policy,
+//!    reporting the ILP solves paid and the scheduled-element overhead
+//!    bucketing costs.
+//! 2. **Workers** — the LiDAR stream re-runs with frame executions
+//!    fanned across `StreamOptions::workers` threads; the harness
+//!    asserts the parallel `StreamReport` is bit-identical to the
+//!    sequential one and records the wall-clock speedup.
+//! 3. **Schedule cache** — the same stream through a `FileCache`: a
+//!    cold directory pays the solves and persists them, a fresh session
+//!    over the warm directory pays **zero** (asserted), so solve reuse
+//!    across binaries is visible as `"file-cold"` vs `"file-warm"`
+//!    records.
 //!
 //! `--smoke` runs a short sweep (CI's bench-smoke job); the full sweep
 //! streams 64 LiDAR frames, where quantized bucketing should hold the
@@ -17,14 +27,17 @@ use std::time::Instant;
 
 use streamgrid_bench::report::{StreamBenchReport, StreamRecord};
 use streamgrid_core::apps::AppDomain;
-use streamgrid_core::source::{DatasetSource, SizeBucketing, StreamOptions};
+use streamgrid_core::cache::FileCache;
+use streamgrid_core::framework::{ExecMode, ExecuteOptions};
+use streamgrid_core::source::{DatasetSource, ReplaySource, SizeBucketing, StreamOptions};
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
 use streamgrid_core::StreamGrid;
 use streamgrid_pointcloud::datasets::lidar::{trajectory, LidarConfig, Scene};
 use streamgrid_pointcloud::datasets::modelnet::ModelNetConfig;
 use streamgrid_pointcloud::datasets::stream::{LidarStream, ModelNetStream};
 
-/// The policies the sweep compares, exact first as the baseline.
+/// The policies the bucketing sweep compares, exact first as the
+/// baseline.
 const POLICIES: [SizeBucketing; 3] = [
     SizeBucketing::Exact,
     SizeBucketing::Pow2,
@@ -74,29 +87,64 @@ fn modelnet_source(seed: u64, frames: usize) -> ModelNetStream {
     )
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let seed = 1;
-    let frames = if smoke { 8 } else { 64 };
-    streamgrid_bench::banner(
-        "bench_streaming — frame streams, exact vs bucketed compile reuse",
-        "size bucketing amortizes the ILP solve across frames of drifting sweep sizes",
-        seed,
-    );
-    let mut out = StreamBenchReport::new("bench_streaming", seed);
-
+fn header() {
     println!(
-        "{:<16} {:<10} {:<14} {:>7} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "{:<16} {:<10} {:<14} {:>7} {:>7} {:>7} {:<10} {:>10} {:>10} {:>10}",
         "pipeline",
         "source",
         "policy",
         "frames",
         "solves",
+        "workers",
+        "cache",
         "p50 cyc",
-        "p95 cyc",
         "overhead",
         "wall (ms)"
     );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row(
+    pipeline: &str,
+    source: &str,
+    policy: SizeBucketing,
+    frames: u64,
+    solves: u64,
+    workers: u64,
+    cache: &str,
+    p50: u64,
+    overhead: u64,
+    wall_ms: f64,
+) {
+    println!(
+        "{:<16} {:<10} {:<14} {:>7} {:>7} {:>7} {:<10} {:>10} {:>10} {:>10.2}",
+        pipeline,
+        source,
+        format!("{policy:?}"),
+        frames,
+        solves,
+        workers,
+        cache,
+        p50,
+        overhead,
+        wall_ms
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = 1;
+    let frames = if smoke { 8 } else { 64 };
+    streamgrid_bench::banner(
+        "bench_streaming — frame streams: bucketed compile reuse, workers, schedule cache",
+        "bucketing amortizes the ILP solve; workers overlap executions; FileCache reuses solves across processes",
+        seed,
+    );
+    let mut out = StreamBenchReport::new("bench_streaming", seed);
+    let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+
+    header();
+    // Sweep 1: bucketing policies over both workloads.
     for (domain, workload) in [
         (AppDomain::Registration, Workload::Lidar),
         (AppDomain::Classification, Workload::ModelNet),
@@ -104,7 +152,6 @@ fn main() {
         let source_name = workload.name();
         let mut exact_solves = None;
         for policy in POLICIES {
-            let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
             let mut session = fw.session(domain.spec());
             let options = StreamOptions::bucketed(policy);
             let t0 = Instant::now();
@@ -128,17 +175,17 @@ fn main() {
                 ),
             }
             let overhead = report.scheduled_elements() - report.source_elements();
-            println!(
-                "{:<16} {:<10} {:<14} {:>7} {:>7} {:>10} {:>10} {:>10} {:>10.2}",
+            row(
                 domain.spec().name(),
                 source_name,
-                format!("{policy:?}"),
+                policy,
                 report.frame_count(),
                 report.solver_invocations,
+                1,
+                "private",
                 report.p50_frame_cycles(),
-                report.p95_frame_cycles(),
                 overhead,
-                wall.as_secs_f64() * 1e3
+                wall.as_secs_f64() * 1e3,
             );
             out.push(StreamRecord::from_stream_report(
                 domain.spec().name(),
@@ -149,7 +196,163 @@ fn main() {
         }
     }
 
+    // Sweep 2: overlapped execution — same LiDAR stream, fanned across
+    // workers. Reports must be bit-identical; only wall time may move.
+    // The cycle-accurate oracle makes execution the dominant cost (the
+    // event-driven engine finishes a frame in microseconds, leaving
+    // nothing worth overlapping); under DT both engines are
+    // bit-identical anyway.
+    let dense_policy = SizeBucketing::Quantize(16 * 512);
+    let oracle = ExecuteOptions::for_spec(&AppDomain::Registration.spec())
+        .with_exec_mode(ExecMode::CycleAccurate);
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    // Pre-collect the sweep sizes so the timed region is compile +
+    // execute, not LiDAR synthesis (which is inherently sequential and
+    // identical across worker counts), and scale them 16× — a denser
+    // sensor — so per-frame execution, the cost workers overlap, is the
+    // dominant term rather than the (amortized-to-one) ILP solve.
+    let replay_sizes: Vec<u64> = {
+        let mut source = DatasetSource::new(lidar_source(seed, frames));
+        std::iter::from_fn(|| streamgrid_core::source::FrameSource::next_frame(&mut source))
+            .map(|f| f.elements * 16)
+            .collect()
+    };
+    let mut sequential = None;
+    let mut sequential_wall = 0.0f64;
+    for &workers in worker_counts {
+        let mut session = fw.session(AppDomain::Registration.spec());
+        // Warm the compile cache outside the timed region (as
+        // bench_engine does): the solve is identical across worker
+        // counts, so the timings isolate what workers actually overlap —
+        // the execute phase.
+        for &size in &replay_sizes {
+            session
+                .compiled(dense_policy.bucket(size))
+                .expect("CS+DT design compiles");
+        }
+        let options = StreamOptions::bucketed(dense_policy)
+            .with_exec(oracle)
+            .with_workers(workers);
+        let t0 = Instant::now();
+        let report = session
+            .stream(ReplaySource::new(&replay_sizes), &options)
+            .expect("lidar-sized replay compiles and runs");
+        let wall = t0.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        match &sequential {
+            None => {
+                sequential = Some(report.clone());
+                sequential_wall = wall_ms;
+            }
+            Some(seq) => assert_eq!(
+                &report, seq,
+                "{workers} workers changed the StreamReport — determinism is broken"
+            ),
+        }
+        row(
+            AppDomain::Registration.spec().name(),
+            "lidar-dense",
+            dense_policy,
+            report.frame_count(),
+            report.solver_invocations,
+            workers as u64,
+            "private",
+            report.p50_frame_cycles(),
+            report.scheduled_elements() - report.source_elements(),
+            wall_ms,
+        );
+        out.push(
+            StreamRecord::from_stream_report(
+                AppDomain::Registration.spec().name(),
+                "lidar-dense",
+                &report,
+                wall,
+            )
+            .with_workers(workers as u64),
+        );
+        if workers > 1 {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            println!(
+                "{:>16}   speedup over 1 worker: {:.2}x ({} host core{})",
+                "", // aligns under the table
+                sequential_wall / wall_ms.max(1e-9),
+                cores,
+                if cores == 1 { "" } else { "s" }
+            );
+        }
+    }
+
+    // Sweep 3: schedule-cache reuse — cold FileCache pays and persists
+    // the solves, a fresh session over the warm directory pays zero.
+    let cache_dir = std::env::temp_dir().join(format!(
+        "streamgrid-bench-schedule-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache_policy = SizeBucketing::Quantize(512);
+    let mut cold_report = None;
+    for label in ["file-cold", "file-warm"] {
+        let mut session = fw
+            .session_builder(AppDomain::Registration.spec())
+            .with_cache(FileCache::new(&cache_dir))
+            .build();
+        let t0 = Instant::now();
+        let report = session
+            .stream(
+                DatasetSource::new(lidar_source(seed, frames)),
+                &StreamOptions::bucketed(cache_policy),
+            )
+            .expect("lidar stream compiles and runs");
+        let wall = t0.elapsed();
+        match label {
+            "file-cold" => {
+                assert!(
+                    session.solver_invocations() > 0,
+                    "a cold cache directory must pay real solves"
+                );
+                cold_report = Some(report.clone());
+            }
+            _ => {
+                assert_eq!(
+                    session.solver_invocations(),
+                    0,
+                    "a warm FileCache must serve every schedule from disk"
+                );
+                assert_eq!(
+                    cold_report.as_ref().map(|r| &r.frames),
+                    Some(&report.frames),
+                    "warm-cache frames must be bit-identical to the cold run"
+                );
+            }
+        }
+        row(
+            AppDomain::Registration.spec().name(),
+            "lidar",
+            cache_policy,
+            report.frame_count(),
+            session.solver_invocations(),
+            1,
+            label,
+            report.p50_frame_cycles(),
+            report.scheduled_elements() - report.source_elements(),
+            wall.as_secs_f64() * 1e3,
+        );
+        out.push(
+            StreamRecord::from_stream_report(
+                AppDomain::Registration.spec().name(),
+                "lidar",
+                &report,
+                wall,
+            )
+            .with_cache(label),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     let path = out.write_default().expect("report file is writable");
     println!("\nwrote {} records to {}", out.len(), path.display());
     println!("overhead = scheduled - source elements: the work bucketing rounds up per sweep.");
+    println!("workers > 1 rows must match workers = 1 bit-for-bit; file-warm rows pay 0 solves.");
 }

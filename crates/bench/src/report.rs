@@ -190,12 +190,22 @@ pub struct StreamRecord {
     pub all_clean: bool,
     /// Host wall time of the whole sweep in milliseconds.
     pub wall_time_ms: f64,
+    /// Worker threads the frame executions fanned across (1 =
+    /// sequential).
+    pub workers: u64,
+    /// Schedule-cache tier behind the sweep's session (`"private"` for a
+    /// session-local in-memory cache, `"file-cold"` / `"file-warm"` for
+    /// a `FileCache` sweep before and after its directory is populated).
+    pub cache: String,
 }
 
 impl StreamRecord {
     /// Builds a record from a [`StreamReport`], the workload identity
     /// the report cannot recover on its own, and the measured wall
-    /// time.
+    /// time. Defaults to `workers = 1` and a `"private"` cache; override
+    /// with [`StreamRecord::with_workers`] / [`StreamRecord::with_cache`]
+    /// (the report itself is deliberately identical across worker counts
+    /// and cache tiers, so it cannot carry them).
     pub fn from_stream_report(
         pipeline: &str,
         source: &str,
@@ -217,7 +227,21 @@ impl StreamRecord {
             energy_uj: report.total_uj(),
             all_clean: report.all_clean(),
             wall_time_ms: wall.as_secs_f64() * 1e3,
+            workers: 1,
+            cache: "private".to_owned(),
         }
+    }
+
+    /// Returns the record with the executing worker count replaced.
+    pub fn with_workers(mut self, workers: u64) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns the record with the cache-tier label replaced.
+    pub fn with_cache(mut self, cache: &str) -> Self {
+        self.cache = cache.to_owned();
+        self
     }
 }
 
@@ -267,7 +291,7 @@ impl StreamBenchReport {
                      \"scheduled_elements\": {}, \"total_cycles\": {}, \
                      \"p50_frame_cycles\": {}, \"p95_frame_cycles\": {}, \
                      \"max_frame_cycles\": {}, \"energy_uj\": {}, \"all_clean\": {}, \
-                     \"wall_time_ms\": {}}}",
+                     \"wall_time_ms\": {}, \"workers\": {}, \"cache\": {}}}",
                     json_str(&r.pipeline),
                     json_str(&r.source),
                     json_str(&r.policy),
@@ -282,6 +306,8 @@ impl StreamBenchReport {
                     json_f64(r.energy_uj),
                     r.all_clean,
                     json_f64(r.wall_time_ms),
+                    r.workers,
+                    json_str(&r.cache),
                 )
             })
             .collect();
@@ -422,12 +448,16 @@ mod tests {
             energy_uj: 2.5,
             all_clean: true,
             wall_time_ms: 12.0,
+            workers: 4,
+            cache: "file-warm".to_owned(),
         });
         let json = r.to_json();
         assert!(json.contains("\"harness\": \"bench_streaming\""));
         assert!(json.contains("\"policy\": \"Quantize(512)\""));
         assert!(json.contains("\"solver_invocations\": 3"));
         assert!(json.contains("\"all_clean\": true"));
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"cache\": \"file-warm\""));
         assert!(json.trim_end().ends_with('}'));
     }
 
@@ -459,5 +489,9 @@ mod tests {
         assert!(record.scheduled_elements >= record.source_elements);
         assert!(record.all_clean);
         assert_eq!(record.policy, "Quantize(400)");
+        // Defaults, and the builder-style overrides bench sweeps use.
+        assert_eq!((record.workers, record.cache.as_str()), (1, "private"));
+        let tagged = record.clone().with_workers(8).with_cache("file-cold");
+        assert_eq!((tagged.workers, tagged.cache.as_str()), (8, "file-cold"));
     }
 }

@@ -264,6 +264,45 @@ impl StreamGrid {
         })
     }
 
+    /// Rebuilds the full compiled design around an already-solved
+    /// `schedule` — the zero-solve half of [`StreamGrid::compile_spec`],
+    /// used by persistent schedule caches
+    /// ([`crate::cache::FileCache`]) to reconstitute a design from disk.
+    ///
+    /// The schedule must be the *final* one a compile produced (for
+    /// non-DT configs that includes the latency over-provisioning
+    /// margin), so no margin is re-applied here. Returns `None` when the
+    /// schedule's dimensions do not match the transformed graph — the
+    /// caller treats that as a cache miss and falls back to a clean
+    /// solve.
+    pub(crate) fn rebuild_spec(
+        &self,
+        spec: &PipelineSpec,
+        total_elements: u64,
+        schedule: Schedule,
+    ) -> Option<CompiledPipeline> {
+        let mut graph = spec.graph().clone();
+        self.config.apply(&mut graph);
+        let n_chunks = self.config.chunk_count();
+        let chunk_elements = total_elements.div_ceil(n_chunks).max(1);
+        let edges = edge_infos(&graph, chunk_elements);
+        if schedule.start_cycles.len() != graph.node_count()
+            || schedule.buffer_sizes.len() != edges.len()
+        {
+            return None;
+        }
+        let plan = plan_multi_chunk(&graph, &edges);
+        Some(CompiledPipeline {
+            graph,
+            edges,
+            schedule,
+            plan,
+            chunk_elements,
+            n_chunks,
+            config: self.config,
+        })
+    }
+
     /// [`StreamGrid::compile_spec`] on a Tbl. 2 preset.
     ///
     /// # Errors
@@ -278,11 +317,20 @@ impl StreamGrid {
     }
 
     /// Opens a reusable [`Session`] over `spec` with this framework's
-    /// configuration. The session caches compiled designs keyed by
-    /// `(config, chunk_elements)`, so repeated executions amortize the
-    /// ILP solve; see [`Session`] for the cache semantics.
+    /// configuration and a private in-memory schedule cache. Repeated
+    /// executions amortize the ILP solve; see [`Session`] for the cache
+    /// semantics. To share or persist the cache, use
+    /// [`StreamGrid::session_builder`].
     pub fn session(&self, spec: PipelineSpec) -> Session {
         Session::new(spec, self.config)
+    }
+
+    /// A [`crate::session::SessionBuilder`] over `spec` with this
+    /// framework's configuration — the way to back a session with a
+    /// shared ([`crate::cache::SharedCache`]) or persistent
+    /// ([`crate::cache::FileCache`]) schedule cache.
+    pub fn session_builder(&self, spec: PipelineSpec) -> crate::session::SessionBuilder {
+        crate::session::SessionBuilder::new(spec, self.config)
     }
 
     /// Runs the whole Fig. 1 flow — compile, then execute on the

@@ -16,13 +16,17 @@
 //! 3. **Line-buffer optimization** — delegated to
 //!    `streamgrid-optimizer` (Sec. 5's ILP with constraint pruning and
 //!    multi-chunk bubbles);
-//! 4. **Execution** ([`framework`], [`session`], [`source`]) — the
-//!    compiled design runs on the cycle-level simulator of
-//!    `streamgrid-sim`; a [`session::Session`] caches compiled designs
-//!    so repeated executions amortize the ILP solve, and
+//! 4. **Execution** ([`framework`], [`session`], [`source`], [`cache`])
+//!    — the compiled design runs on the cycle-level simulator of
+//!    `streamgrid-sim`; a [`session::Session`] routes every compile
+//!    through a pluggable [`cache::ScheduleCache`] (private, shared
+//!    across sessions, or persisted across processes) so repeated
+//!    executions amortize the ILP solve, and
 //!    [`session::Session::stream`] pulls [`source::Frame`]s from a
 //!    [`source::FrameSource`] (synthetic, replayed, or dataset-backed)
-//!    with size-bucketed compile reuse ([`source::SizeBucketing`]).
+//!    with size-bucketed compile reuse ([`source::SizeBucketing`]) and
+//!    optional multi-worker overlapped execution
+//!    ([`source::StreamOptions::workers`]).
 //!
 //! The algorithmic counterparts (how CS/DT change *results*, not just
 //! buffers) live in the application substrates: `streamgrid-nn` for
@@ -49,6 +53,7 @@
 //! ```
 
 pub mod apps;
+pub mod cache;
 pub mod framework;
 pub mod pipeline;
 pub mod registry;
@@ -57,12 +62,13 @@ pub mod source;
 pub mod transform;
 
 pub use apps::{table2, AppDomain, AppSpec};
+pub use cache::{CacheKey, CompileRequest, FileCache, InMemoryCache, ScheduleCache, SharedCache};
 pub use framework::{
     CompileSummary, CompiledPipeline, ExecMode, ExecuteOptions, ExecutionReport, StreamGrid,
 };
 pub use pipeline::{CompileError, PipelineBuilder, PipelineSpec, StageId};
 pub use registry::PipelineRegistry;
-pub use session::Session;
+pub use session::{Session, SessionBuilder};
 pub use source::{
     DatasetSource, Frame, FrameReport, FrameSource, FrameStats, ReplaySource, SizeBucketing,
     StreamOptions, StreamReport, SyntheticSource,

@@ -1,56 +1,41 @@
-//! Reusable pipeline sessions: compile once, execute many clouds.
+//! Reusable pipeline sessions: compile once, execute many clouds —
+//! optionally in parallel, optionally over a shared or persistent
+//! schedule cache.
 //!
 //! Bench sweeps execute the same pipeline hundreds of times, and the ILP
-//! solve dominates their wall-time. A [`Session`] amortizes it: compiled
-//! designs are cached keyed by `(config, chunk_elements)`, so re-running
-//! the same pipeline at the same chunking — any number of clouds, any
-//! seed — costs zero additional solver work.
+//! solve dominates their wall-time. A [`Session`] amortizes it by
+//! routing every compile through a [`ScheduleCache`] keyed by
+//! `(spec, config, chunk_elements)`: the default [`InMemoryCache`] is
+//! the session's private map, a [`crate::cache::SharedCache`] pools
+//! solves across sessions, and a [`crate::cache::FileCache`] persists
+//! them across processes. Frame *executions* are independent once
+//! compiled, so [`Session::stream`] can fan them across worker threads
+//! ([`StreamOptions::workers`]) with reports bit-identical to the
+//! sequential path.
+//!
+//! [`InMemoryCache`]: crate::cache::InMemoryCache
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use crate::framework::{CompiledPipeline, ExecuteOptions, ExecutionReport, StreamGrid};
+use crate::cache::{spec_fingerprint, CompileRequest, InMemoryCache, ScheduleCache};
+use crate::framework::{CompiledPipeline, ExecuteOptions, ExecutionReport};
 use crate::pipeline::{CompileError, PipelineSpec};
 use crate::source::{FrameReport, FrameSource, ReplaySource, StreamOptions, StreamReport};
 use crate::transform::StreamGridConfig;
 
-/// A split configuration flattened to hashable integers: grid dims plus
-/// window kernel and stride.
-type SplitKey = (u32, u32, u32, (u32, u32, u32), (u32, u32, u32));
-
-/// Hashable fingerprint of a [`StreamGridConfig`] (the config carries an
-/// `f64` deadline, so it cannot derive `Eq`/`Hash` itself).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct ConfigKey {
-    splitting: Option<SplitKey>,
-    termination: Option<u64>,
-}
-
-impl ConfigKey {
-    fn of(config: &StreamGridConfig) -> Self {
-        ConfigKey {
-            splitting: config.splitting.map(|s| {
-                (
-                    s.dims.nx,
-                    s.dims.ny,
-                    s.dims.nz,
-                    s.window.kernel,
-                    s.window.stride,
-                )
-            }),
-            termination: config.termination.map(|t| t.deadline_fraction.to_bits()),
-        }
-    }
-}
-
 /// A reusable execution session over one [`PipelineSpec`].
 ///
-/// Created by [`StreamGrid::session`]. The session holds an active
-/// [`StreamGridConfig`] (switchable with [`Session::set_config`]) and a
-/// cache of [`CompiledPipeline`]s keyed by `(config, chunk_elements)`:
-/// the first run at a given key pays one ILP solve, every later run at
-/// the same key reuses the schedule. [`Session::solver_invocations`]
-/// counts the solves actually performed, so callers can assert the
-/// amortization they expect.
+/// Created by [`StreamGrid::session`](crate::framework::StreamGrid::session) (private in-memory cache) or
+/// [`StreamGrid::session_builder`](crate::framework::StreamGrid::session_builder) (any [`ScheduleCache`]). The session
+/// holds an active [`StreamGridConfig`] (switchable with
+/// [`Session::set_config`]); the first run at a given
+/// `(config, chunk_elements)` key pays one ILP solve — unless the cache
+/// already holds it — and every later run reuses the schedule.
+/// [`Session::solver_invocations`] reports the solves the session's
+/// cache actually performed, so callers can assert the amortization they
+/// expect; with a shared cache that count covers every session sharing
+/// it.
 ///
 /// # Examples
 ///
@@ -69,22 +54,85 @@ impl ConfigKey {
 /// assert_eq!(session.solver_invocations(), 1);
 /// assert!(reports.iter().all(|r| r.is_clean()));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Session {
     spec: PipelineSpec,
+    /// The spec's stable textual identity and its hash, computed once:
+    /// every compile request carries both, so caches can key on the
+    /// cheap fingerprint and verify hits against the full identity.
+    spec_repr: Box<str>,
+    spec_fp: u64,
     config: StreamGridConfig,
-    cache: HashMap<(ConfigKey, u64), CompiledPipeline>,
-    solver_invocations: u64,
+    cache: Box<dyn ScheduleCache>,
+}
+
+/// Configures a [`Session`] before opening it — most importantly which
+/// [`ScheduleCache`] backs it. Created by [`StreamGrid::session_builder`](crate::framework::StreamGrid::session_builder).
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_core::apps::AppDomain;
+/// use streamgrid_core::cache::SharedCache;
+/// use streamgrid_core::framework::StreamGrid;
+/// use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+///
+/// let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+/// let shared = SharedCache::new();
+/// let mut session = fw
+///     .session_builder(AppDomain::Classification.spec())
+///     .with_cache(shared.clone())
+///     .build();
+/// assert!(session.run(4 * 300).unwrap().is_clean());
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder {
+    spec: PipelineSpec,
+    config: StreamGridConfig,
+    cache: Box<dyn ScheduleCache>,
+}
+
+impl SessionBuilder {
+    pub(crate) fn new(spec: PipelineSpec, config: StreamGridConfig) -> Self {
+        SessionBuilder {
+            spec,
+            config,
+            cache: Box::new(InMemoryCache::new()),
+        }
+    }
+
+    /// Backs the session with `cache` instead of a fresh private
+    /// [`InMemoryCache`] — pass a [`crate::cache::SharedCache`] clone to
+    /// pool solves across sessions, or a [`crate::cache::FileCache`] to
+    /// persist them across processes.
+    pub fn with_cache(mut self, cache: impl ScheduleCache + 'static) -> Self {
+        self.cache = Box::new(cache);
+        self
+    }
+
+    /// Overrides the transform configuration the session starts with
+    /// (the framework's config by default).
+    pub fn with_config(mut self, config: StreamGridConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Opens the session.
+    pub fn build(self) -> Session {
+        let spec_repr: Box<str> = crate::cache::spec_repr(&self.spec).into();
+        Session {
+            spec_fp: spec_fingerprint(&spec_repr),
+            spec_repr,
+            spec: self.spec,
+            config: self.config,
+            cache: self.cache,
+        }
+    }
 }
 
 impl Session {
     pub(crate) fn new(spec: PipelineSpec, config: StreamGridConfig) -> Self {
-        Session {
-            spec,
-            config,
-            cache: HashMap::new(),
-            solver_invocations: 0,
-        }
+        SessionBuilder::new(spec, config).build()
     }
 
     /// The pipeline this session executes.
@@ -104,22 +152,19 @@ impl Session {
         self.config = config;
     }
 
-    /// ILP solves this session has performed (one per distinct
-    /// `(config, chunk_elements)` key it has compiled).
+    /// ILP solves the session's cache has performed. For the default
+    /// private cache this is exactly the session's own solves (one per
+    /// distinct `(config, chunk_elements)` key it compiled); for a
+    /// shared or file cache it is the cache's total, which is the point
+    /// — hits served by other sessions or a warm directory show up as
+    /// solves *not* taken.
     pub fn solver_invocations(&self) -> u64 {
-        self.solver_invocations
+        self.cache.solver_invocations()
     }
 
-    /// Number of distinct compiled designs in the cache.
+    /// Number of distinct compiled designs resident in the cache.
     pub fn compiled_count(&self) -> usize {
-        self.cache.len()
-    }
-
-    fn key_for(&self, total_elements: u64) -> (ConfigKey, u64) {
-        // Ceiling division, mirroring `StreamGrid::compile_spec`: the
-        // key must be the chunk size the compile actually provisions.
-        let chunk_elements = total_elements.div_ceil(self.config.chunk_count()).max(1);
-        (ConfigKey::of(&self.config), chunk_elements)
+        self.cache.compiled_count()
     }
 
     /// The compiled design for a cloud of `total_elements`, compiling
@@ -129,17 +174,15 @@ impl Session {
     /// # Errors
     ///
     /// Propagates [`CompileError`] from the compile path.
-    pub fn compiled(&mut self, total_elements: u64) -> Result<&CompiledPipeline, CompileError> {
-        let key = self.key_for(total_elements);
-        if !self.cache.contains_key(&key) {
-            let compiled = StreamGrid::new(self.config).compile_spec(&self.spec, total_elements)?;
-            // `compile_spec` performs exactly one `optimize` call, i.e.
-            // one ILP solve (`streamgrid_optimizer::solve_invocations`
-            // observes the same count process-wide).
-            self.solver_invocations += 1;
-            self.cache.insert(key, compiled);
-        }
-        Ok(&self.cache[&key])
+    pub fn compiled(&mut self, total_elements: u64) -> Result<Arc<CompiledPipeline>, CompileError> {
+        let req = CompileRequest::new(
+            &self.spec,
+            &self.spec_repr,
+            self.spec_fp,
+            &self.config,
+            total_elements,
+        );
+        self.cache.get_or_compile(&req)
     }
 
     /// Streams every frame of `source` through the compiled pipeline
@@ -152,7 +195,16 @@ impl Session {
     /// stream of near-identical sweep sizes hits the `(config,
     /// chunk_elements)` compile cache instead of paying one ILP solve
     /// per unique frame size; [`StreamReport::solver_invocations`]
-    /// records the solves this stream actually paid.
+    /// records the solves this stream actually paid (the cache-counter
+    /// delta — with a cache shared across concurrently-streaming
+    /// sessions the delta can include their solves too).
+    ///
+    /// With [`StreamOptions::workers`] > 1 the frame *executions* fan
+    /// out across that many scoped threads. Frames are pulled and
+    /// compiled on the calling thread in arrival order (so solver
+    /// accounting is unchanged), each execution writes an ordered result
+    /// slot, and execution is deterministic — the report is bit-identical
+    /// to the sequential one.
     ///
     /// # Errors
     ///
@@ -161,7 +213,8 @@ impl Session {
     /// # Examples
     ///
     /// A 16-frame stream of jittering sweep sizes costs one solve per
-    /// 1024-element bucket, not one per frame:
+    /// 1024-element bucket, not one per frame — and four workers return
+    /// the same report faster:
     ///
     /// ```
     /// use streamgrid_core::apps::AppDomain;
@@ -171,17 +224,19 @@ impl Session {
     ///
     /// let sizes: Vec<u64> = (0..16).map(|i| 3000 + 64 * i).collect();
     /// let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(4, 2)));
+    /// let options = StreamOptions::bucketed(SizeBucketing::Quantize(1024));
+    ///
     /// let mut session = fw.session(AppDomain::Registration.spec());
-    /// let report = session
-    ///     .stream(
-    ///         ReplaySource::new(&sizes),
-    ///         &StreamOptions::bucketed(SizeBucketing::Quantize(1024)),
-    ///     )
-    ///     .unwrap();
+    /// let report = session.stream(ReplaySource::new(&sizes), &options).unwrap();
     /// assert_eq!(report.frame_count(), 16);
     /// assert!(report.solver_invocations < 16);
     /// assert!(report.all_clean());
-    /// assert!(report.p95_frame_cycles() >= report.p50_frame_cycles());
+    ///
+    /// let mut parallel = fw.session(AppDomain::Registration.spec());
+    /// let overlapped = parallel
+    ///     .stream(ReplaySource::new(&sizes), &options.with_workers(4))
+    ///     .unwrap();
+    /// assert_eq!(overlapped, report, "workers never change results");
     /// ```
     pub fn stream<S: FrameSource>(
         &mut self,
@@ -191,9 +246,14 @@ impl Session {
         let exec = options
             .exec
             .unwrap_or_else(|| ExecuteOptions::for_spec(&self.spec));
-        let solves_before = self.solver_invocations;
+        let solves_before = self.cache.solver_invocations();
         let (lower, upper) = source.size_hint();
-        let mut frames = Vec::with_capacity(upper.unwrap_or(lower).min(1 << 16));
+        let capacity = upper.unwrap_or(lower).min(1 << 16);
+        // Phase 1: pull and compile in arrival order on this thread —
+        // cache behavior and solve counts are identical no matter how
+        // many workers execute later.
+        let mut frames: Vec<(crate::source::Frame, u64)> = Vec::with_capacity(capacity);
+        let mut compiled: Vec<Arc<CompiledPipeline>> = Vec::with_capacity(capacity);
         loop {
             if options
                 .max_frames
@@ -205,16 +265,24 @@ impl Session {
                 break;
             };
             let scheduled_elements = options.bucketing.bucket(frame.elements);
-            let report = self.compiled(scheduled_elements)?.execute(&exec);
-            frames.push(FrameReport {
+            compiled.push(self.compiled(scheduled_elements)?);
+            frames.push((frame, scheduled_elements));
+        }
+        // Phase 2: execute — inline, or overlapped across workers with
+        // one ordered result slot per frame.
+        let reports = execute_ordered(&compiled, &exec, options.workers);
+        let frames = frames
+            .into_iter()
+            .zip(reports)
+            .map(|((frame, scheduled_elements), report)| FrameReport {
                 frame,
                 scheduled_elements,
                 report,
-            });
-        }
+            })
+            .collect();
         Ok(StreamReport {
             frames,
-            solver_invocations: self.solver_invocations - solves_before,
+            solver_invocations: self.cache.solver_invocations() - solves_before,
             bucketing: options.bucketing,
         })
     }
@@ -256,7 +324,7 @@ impl Session {
 
     /// Executes many clouds sequentially, compiling each distinct
     /// `(config, chunk_elements)` key exactly once. Reports come back
-    /// in input order and equal fresh one-shot [`StreamGrid::execute`]
+    /// in input order and equal fresh one-shot [`StreamGrid::execute`](crate::framework::StreamGrid::execute)
     /// calls. A thin wrapper over [`Session::stream`] with a
     /// [`ReplaySource`] and exact bucketing.
     ///
@@ -269,12 +337,11 @@ impl Session {
     }
 
     /// [`Session::run_batch`] with the cycle-level executions fanned out
-    /// across `std::thread::scope` workers (at most
-    /// `available_parallelism`, draining a shared queue — a
-    /// thousand-cloud sweep never spawns a thousand threads). All
-    /// distinct keys compile up front (sequential ILP solves); execution
-    /// is deterministic, so reports are identical to the sequential
-    /// batch, in input order.
+    /// across all available cores — a thin wrapper over the same ordered
+    /// executor [`Session::stream`] uses for [`StreamOptions::workers`].
+    /// All distinct keys compile up front (sequential ILP solves);
+    /// execution is deterministic, so reports are identical to the
+    /// sequential batch, in input order.
     ///
     /// # Errors
     ///
@@ -283,48 +350,73 @@ impl Session {
         &mut self,
         sizes: &[u64],
     ) -> Result<Vec<ExecutionReport>, CompileError> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::Mutex;
-
         let options = ExecuteOptions::for_spec(&self.spec);
-        for &total in sizes {
-            self.compiled(total)?;
-        }
-        let compiled: Vec<&CompiledPipeline> = sizes
+        let compiled: Vec<Arc<CompiledPipeline>> = sizes
             .iter()
-            .map(|&total| &self.cache[&self.key_for(total)])
-            .collect();
+            .map(|&total| self.compiled(total))
+            .collect::<Result<_, _>>()?;
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
-            .min(sizes.len().max(1));
-        let next = AtomicUsize::new(0);
-        let reports: Mutex<Vec<Option<ExecutionReport>>> = Mutex::new(vec![None; sizes.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= compiled.len() {
-                        break;
-                    }
-                    let report = compiled[i].execute(&options);
-                    reports.lock().expect("no panics while holding the lock")[i] = Some(report);
-                });
-            }
-        });
-        Ok(reports
-            .into_inner()
-            .expect("all workers joined")
-            .into_iter()
-            .map(|r| r.expect("every index was drained from the queue"))
-            .collect())
+            .unwrap_or(1);
+        Ok(execute_ordered(&compiled, &options, workers))
     }
+}
+
+/// Executes `compiled[i]` for every `i` under shared `options`,
+/// returning reports in input order — the one executor behind
+/// [`Session::stream`] and [`Session::run_batch_parallel`].
+///
+/// `workers <= 1` runs inline. Otherwise at most
+/// `min(workers, jobs)` scoped threads drain a shared index counter
+/// (a thousand-frame stream never spawns a thousand threads); each
+/// worker returns its `(index, report)` pairs through its join handle
+/// and the results land in their ordered slots. Execution is
+/// deterministic, so the output is bit-identical for every worker
+/// count.
+fn execute_ordered(
+    compiled: &[Arc<CompiledPipeline>],
+    options: &ExecuteOptions,
+    workers: usize,
+) -> Vec<ExecutionReport> {
+    let workers = workers.min(compiled.len());
+    if workers <= 1 {
+        return compiled.iter().map(|c| c.execute(options)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut reports: Vec<Option<ExecutionReport>> = vec![None; compiled.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= compiled.len() {
+                            break;
+                        }
+                        done.push((i, compiled[i].execute(options)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, report) in handle.join().expect("executor workers do not panic") {
+                reports[i] = Some(report);
+            }
+        }
+    });
+    reports
+        .into_iter()
+        .map(|r| r.expect("every index was drained from the queue"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::apps::AppDomain;
+    use crate::framework::StreamGrid;
     use crate::transform::SplitConfig;
 
     fn csdt4() -> StreamGrid {
@@ -510,5 +602,32 @@ mod tests {
         let b = par.run_batch_parallel(&sizes).unwrap();
         assert_eq!(a, b);
         assert_eq!(seq.solver_invocations(), par.solver_invocations());
+    }
+
+    #[test]
+    fn stream_workers_match_sequential_bit_for_bit() {
+        use crate::source::{ReplaySource, SizeBucketing, StreamOptions};
+
+        let sizes: Vec<u64> = (0..10u64).map(|i| 1200 + 40 * i).collect();
+        let fw = csdt4();
+        let options = StreamOptions::bucketed(SizeBucketing::Quantize(400));
+        let mut seq = fw.session(AppDomain::Classification.spec());
+        let sequential = seq.stream(ReplaySource::new(&sizes), &options).unwrap();
+        for workers in [2usize, 8] {
+            let mut par = fw.session(AppDomain::Classification.spec());
+            let parallel = par
+                .stream(ReplaySource::new(&sizes), &options.with_workers(workers))
+                .unwrap();
+            assert_eq!(parallel, sequential, "{workers} workers changed the report");
+        }
+    }
+
+    #[test]
+    fn builder_defaults_match_plain_session() {
+        let fw = csdt4();
+        let mut plain = fw.session(AppDomain::Classification.spec());
+        let mut built = fw.session_builder(AppDomain::Classification.spec()).build();
+        assert_eq!(plain.run(4 * 300).unwrap(), built.run(4 * 300).unwrap());
+        assert_eq!(plain.solver_invocations(), built.solver_invocations());
     }
 }

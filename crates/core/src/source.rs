@@ -316,6 +316,12 @@ pub struct StreamOptions {
     /// Stop after this many frames even if the source has more — the
     /// way to stream a bounded prefix of an unbounded source.
     pub max_frames: Option<u64>,
+    /// Worker threads the frame *executions* fan out across. `0` and
+    /// `1` both execute inline; frames are always pulled and compiled
+    /// in arrival order on the calling thread, and executions are
+    /// deterministic, so every worker count produces a bit-identical
+    /// [`StreamReport`].
+    pub workers: usize,
 }
 
 impl StreamOptions {
@@ -323,6 +329,25 @@ impl StreamOptions {
     pub fn bucketed(bucketing: SizeBucketing) -> Self {
         StreamOptions {
             bucketing,
+            ..StreamOptions::default()
+        }
+    }
+
+    /// Defaults with frame executions overlapped across `workers`
+    /// threads (see [`StreamOptions::workers`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use streamgrid_core::source::StreamOptions;
+    ///
+    /// let options = StreamOptions::workers(4);
+    /// assert_eq!(options.workers, 4);
+    /// assert_eq!(options.bucketing, Default::default());
+    /// ```
+    pub fn workers(workers: usize) -> Self {
+        StreamOptions {
+            workers,
             ..StreamOptions::default()
         }
     }
@@ -336,6 +361,12 @@ impl StreamOptions {
     /// Returns the options with a frame cap.
     pub fn with_max_frames(mut self, max_frames: u64) -> Self {
         self.max_frames = Some(max_frames);
+        self
+    }
+
+    /// Returns the options with the execution worker count replaced.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 }

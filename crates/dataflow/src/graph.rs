@@ -30,6 +30,13 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Reconstructs a handle from a previously observed [`NodeId::index`]
+    /// — the deserialization counterpart. Only meaningful against the
+    /// graph the index was taken from.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
 }
 
 /// Handle to a producer→consumer edge (one line buffer).

@@ -32,7 +32,12 @@ pub enum FormulationKind {
 
 /// Derived per-edge constants the formulation and the schedule evaluator
 /// share.
-#[derive(Debug, Clone)]
+///
+/// Equality is exact (including the `f64` durations): two `EdgeInfo`s
+/// compare equal iff they were derived from identical graphs at the same
+/// chunk volume, which is what persistent schedule caches rely on when
+/// validating a deserialized entry against a fresh derivation.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeInfo {
     /// Producer stage.
     pub producer: NodeId,

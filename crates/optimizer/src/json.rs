@@ -1,0 +1,594 @@
+//! Hand-rolled JSON codec for the optimizer's outputs.
+//!
+//! The vendored serde stand-in is a marker trait with no format crate
+//! behind it, so anything that wants to *read* a persisted schedule —
+//! most importantly `streamgrid-core`'s `FileCache`, which reuses ILP
+//! solves across processes — needs an explicit codec. This module
+//! provides one: writers that render a [`Schedule`] or [`EdgeInfo`] as a
+//! JSON object, a minimal recursive-descent [`parse`] into [`JsonValue`],
+//! and the matching readers.
+//!
+//! Integer fields round-trip exactly: [`JsonValue::Num`] keeps the source
+//! token, so a `u64` above 2^53 is never squeezed through an `f64`.
+//! Float fields are written with Rust's shortest round-trip formatting
+//! (`{:?}`), so re-parsing reproduces the original bits; the codec only
+//! handles finite floats, which is all the optimizer produces (rates are
+//! asserted positive, durations are finite ratios).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use streamgrid_dataflow::{NodeId, Rate};
+
+use crate::formulation::EdgeInfo;
+use crate::schedule::Schedule;
+
+/// A parsed JSON document.
+///
+/// Objects preserve key order; numbers keep their raw token (see module
+/// docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source token.
+    Num(String),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, if this is an integer token in
+    /// range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `usize` ([`JsonValue::as_u64`] narrowed).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The number as an exact `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u32`.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|v| u32::try_from(v).ok())
+    }
+
+    /// The number as an `f64` (exact for tokens written via `{:?}`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: where and what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What the parser expected.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] locating the first malformed byte.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // BMP only — the writers never emit surrogate
+                            // pairs (only control characters use \u).
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                _ if b < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let raw =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number tokens are ASCII");
+        // Validate the token parses as a float at all; the raw text is
+        // what round-trips.
+        raw.parse::<f64>()
+            .map_err(|_| JsonError {
+                offset: start,
+                message: "malformed number",
+            })
+            .map(|_| JsonValue::Num(raw.to_owned()))
+    }
+}
+
+/// Finite float rendered with shortest round-trip formatting.
+fn fmt_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "the optimizer only produces finite floats");
+    format!("{v:?}")
+}
+
+fn fmt_u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+fn u64_array(value: &JsonValue) -> Option<Vec<u64>> {
+    value.as_array()?.iter().map(JsonValue::as_u64).collect()
+}
+
+/// Renders a [`Schedule`] as a self-contained JSON object.
+pub fn schedule_to_json(schedule: &Schedule) -> String {
+    format!(
+        "{{\"start_cycles\": {}, \"buffer_sizes\": {}, \"makespan\": {}, \
+         \"total_buffer_elements\": {}, \"constraint_count\": {}, \
+         \"lp_iterations\": {}, \"solver_nodes\": {}}}",
+        fmt_u64_array(&schedule.start_cycles),
+        fmt_u64_array(&schedule.buffer_sizes),
+        schedule.makespan,
+        schedule.total_buffer_elements,
+        schedule.constraint_count,
+        schedule.lp_iterations,
+        schedule.solver_nodes,
+    )
+}
+
+/// Reads a [`Schedule`] back from a parsed [`schedule_to_json`] object.
+/// `None` on any missing or mistyped field.
+pub fn schedule_from_json(value: &JsonValue) -> Option<Schedule> {
+    Some(Schedule {
+        start_cycles: u64_array(value.get("start_cycles")?)?,
+        buffer_sizes: u64_array(value.get("buffer_sizes")?)?,
+        makespan: value.get("makespan")?.as_u64()?,
+        total_buffer_elements: value.get("total_buffer_elements")?.as_u64()?,
+        constraint_count: value.get("constraint_count")?.as_usize()?,
+        lp_iterations: value.get("lp_iterations")?.as_u64()?,
+        solver_nodes: value.get("solver_nodes")?.as_u64()?,
+    })
+}
+
+/// Parses a [`Schedule`] straight from JSON text.
+///
+/// # Errors
+///
+/// Returns the underlying [`JsonError`] for malformed text; a
+/// well-formed document with the wrong shape yields
+/// `Ok(None)`-equivalent failure via [`schedule_from_json`], surfaced
+/// here as a synthetic error.
+pub fn schedule_from_str(text: &str) -> Result<Schedule, JsonError> {
+    let value = parse(text)?;
+    schedule_from_json(&value).ok_or(JsonError {
+        offset: 0,
+        message: "document is not a serialized Schedule",
+    })
+}
+
+/// Renders one [`EdgeInfo`] as a JSON object. Rates serialize as exact
+/// `num`/`den` pairs; node handles as their indices.
+pub fn edge_info_to_json(edge: &EdgeInfo) -> String {
+    format!(
+        "{{\"producer\": {}, \"consumer\": {}, \"tau_out\": {}, \"tau_in\": {}, \
+         \"tau_out_num\": {}, \"tau_out_den\": {}, \"tau_in_num\": {}, \"tau_in_den\": {}, \
+         \"volume\": {}, \"depth_p\": {}, \"write_dur\": {}, \"read_dur\": {}, \
+         \"global_consumer\": {}, \"window_chunks\": {}, \"min_size\": {}}}",
+        edge.producer.index(),
+        edge.consumer.index(),
+        fmt_f64(edge.tau_out),
+        fmt_f64(edge.tau_in),
+        edge.tau_out_rate.num(),
+        edge.tau_out_rate.den(),
+        edge.tau_in_rate.num(),
+        edge.tau_in_rate.den(),
+        edge.volume,
+        edge.depth_p,
+        fmt_f64(edge.write_dur),
+        fmt_f64(edge.read_dur),
+        edge.global_consumer,
+        edge.window_chunks,
+        edge.min_size,
+    )
+}
+
+/// Reads a rate from `num`/`den` fields, rejecting what [`Rate::new`]
+/// would panic on.
+fn rate_from(value: &JsonValue, num_key: &str, den_key: &str) -> Option<Rate> {
+    let num = value.get(num_key)?.as_i64()?;
+    let den = value.get(den_key)?.as_i64()?;
+    (num >= 0 && den > 0).then(|| Rate::new(num, den))
+}
+
+/// Reads one [`EdgeInfo`] back from a parsed [`edge_info_to_json`]
+/// object. `None` on any missing or mistyped field.
+pub fn edge_info_from_json(value: &JsonValue) -> Option<EdgeInfo> {
+    Some(EdgeInfo {
+        producer: NodeId::from_index(value.get("producer")?.as_usize()?),
+        consumer: NodeId::from_index(value.get("consumer")?.as_usize()?),
+        tau_out: value.get("tau_out")?.as_f64()?,
+        tau_in: value.get("tau_in")?.as_f64()?,
+        tau_out_rate: rate_from(value, "tau_out_num", "tau_out_den")?,
+        tau_in_rate: rate_from(value, "tau_in_num", "tau_in_den")?,
+        volume: value.get("volume")?.as_u64()?,
+        depth_p: value.get("depth_p")?.as_u64()?,
+        write_dur: value.get("write_dur")?.as_f64()?,
+        read_dur: value.get("read_dur")?.as_f64()?,
+        global_consumer: value.get("global_consumer")?.as_bool()?,
+        window_chunks: value.get("window_chunks")?.as_u32()?,
+        min_size: value.get("min_size")?.as_u64()?,
+    })
+}
+
+/// Renders a slice of [`EdgeInfo`]s as a JSON array.
+pub fn edge_infos_to_json(edges: &[EdgeInfo]) -> String {
+    let mut out = String::from("[");
+    for (i, edge) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&edge_info_to_json(edge));
+    }
+    out.push(']');
+    out
+}
+
+/// Reads a slice of [`EdgeInfo`]s back from a parsed array.
+pub fn edge_infos_from_json(value: &JsonValue) -> Option<Vec<EdgeInfo>> {
+    value.as_array()?.iter().map(edge_info_from_json).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> Schedule {
+        Schedule {
+            start_cycles: vec![0, 100, 108, 208],
+            buffer_sizes: vec![300, 12, 1],
+            makespan: 308,
+            total_buffer_elements: 313,
+            constraint_count: 9,
+            lp_iterations: 41,
+            solver_nodes: 3,
+        }
+    }
+
+    fn edge() -> EdgeInfo {
+        EdgeInfo {
+            producer: NodeId::from_index(0),
+            consumer: NodeId::from_index(1),
+            tau_out: 1.5,
+            tau_in: 1.0 / 3.0,
+            tau_out_rate: Rate::new(3, 2),
+            tau_in_rate: Rate::new(1, 3),
+            volume: 300,
+            depth_p: 8,
+            write_dur: 200.0,
+            read_dur: 900.0,
+            global_consumer: true,
+            window_chunks: 2,
+            min_size: 12,
+        }
+    }
+
+    #[test]
+    fn schedule_round_trips() {
+        let s = schedule();
+        let json = schedule_to_json(&s);
+        let back = schedule_from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn edge_info_round_trips() {
+        let e = edge();
+        let json = edge_info_to_json(&e);
+        let back = edge_info_from_json(&parse(&json).unwrap()).unwrap();
+        assert_eq!(e, back);
+        // The irrational-looking float comes back bit-identical.
+        assert_eq!(back.tau_in.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn edge_info_arrays_round_trip() {
+        let edges = vec![edge(), edge()];
+        let json = edge_infos_to_json(&edges);
+        let back = edge_infos_from_json(&parse(&json).unwrap()).unwrap();
+        assert_eq!(edges, back);
+    }
+
+    #[test]
+    fn large_integers_survive_exactly() {
+        let mut s = schedule();
+        s.makespan = (1u64 << 60) + 1; // would be corrupted through f64
+        let back = schedule_from_str(&schedule_to_json(&s)).unwrap();
+        assert_eq!(back.makespan, (1u64 << 60) + 1);
+    }
+
+    #[test]
+    fn parser_handles_nesting_strings_and_escapes() {
+        let doc = parse(r#"{"a": [1, -2.5e3, true, null], "s": "q\"\\\nA"}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(doc.get("s").unwrap().as_str().unwrap(), "q\"\\\nA");
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[0].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(-2500.0)
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\": }",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "nul",
+            "{\"a\" 1}",
+            "[1,, 2]",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_shape_is_a_soft_failure() {
+        let value = parse("{\"makespan\": 3}").unwrap();
+        assert_eq!(schedule_from_json(&value), None);
+        assert_eq!(edge_info_from_json(&value), None);
+        assert!(schedule_from_str("{\"makespan\": 3}").is_err());
+    }
+
+    #[test]
+    fn negative_rates_are_rejected_not_panicking() {
+        let json = edge_info_to_json(&edge()).replace("\"tau_out_den\": 2", "\"tau_out_den\": 0");
+        assert_eq!(edge_info_from_json(&parse(&json).unwrap()), None);
+    }
+}

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod formulation;
+pub mod json;
 pub mod multichunk;
 pub mod schedule;
 
