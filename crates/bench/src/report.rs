@@ -54,6 +54,11 @@ pub struct RunRecord {
     pub energy_uj: f64,
     /// Host wall time of the engine run in milliseconds.
     pub wall_time_ms: f64,
+    /// Hardware threads the host offered (`available_parallelism`);
+    /// wall times — especially for sharded or multi-worker runs — are
+    /// uninterpretable without it (a 1-core runner shows ~1× speedups
+    /// however many threads a sweep asks for).
+    pub host_threads: u64,
 }
 
 impl RunRecord {
@@ -80,8 +85,17 @@ impl RunRecord {
             dram_bytes: report.dram_bytes(),
             energy_uj: report.total_uj(),
             wall_time_ms: wall.as_secs_f64() * 1e3,
+            host_threads: host_threads(),
         }
     }
+}
+
+/// Hardware threads available to this process, as recorded in every
+/// bench record (1 when the host cannot say).
+pub fn host_threads() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
 }
 
 /// A harness's collected records, serializable as one JSON document.
@@ -127,7 +141,8 @@ impl BenchReport {
                     "{{\"pipeline\": {}, \"n_chunks\": {}, \"total_elements\": {}, \
                      \"exec_mode\": {}, \"cycles\": {}, \"stall_cycles\": {}, \
                      \"starved_cycles\": {}, \"truncated\": {}, \"onchip_bytes\": {}, \
-                     \"dram_bytes\": {}, \"energy_uj\": {}, \"wall_time_ms\": {}}}",
+                     \"dram_bytes\": {}, \"energy_uj\": {}, \"wall_time_ms\": {}, \
+                     \"host_threads\": {}}}",
                     json_str(&r.pipeline),
                     r.n_chunks,
                     r.total_elements,
@@ -140,6 +155,7 @@ impl BenchReport {
                     r.dram_bytes,
                     json_f64(r.energy_uj),
                     json_f64(r.wall_time_ms),
+                    r.host_threads,
                 )
             })
             .collect();
@@ -197,6 +213,13 @@ pub struct StreamRecord {
     /// session-local in-memory cache, `"file-cold"` / `"file-warm"` for
     /// a `FileCache` sweep before and after its directory is populated).
     pub cache: String,
+    /// Engine selection the sweep streamed under (`"Auto"` unless
+    /// overridden — e.g. `"Sharded(4)"` for intra-frame sharding).
+    pub exec: String,
+    /// Hardware threads the host offered (`available_parallelism`) —
+    /// without it, identical wall times across a worker or shard sweep
+    /// cannot be told apart from a genuinely absent speedup.
+    pub host_threads: u64,
 }
 
 impl StreamRecord {
@@ -229,6 +252,8 @@ impl StreamRecord {
             wall_time_ms: wall.as_secs_f64() * 1e3,
             workers: 1,
             cache: "private".to_owned(),
+            exec: "Auto".to_owned(),
+            host_threads: host_threads(),
         }
     }
 
@@ -241,6 +266,12 @@ impl StreamRecord {
     /// Returns the record with the cache-tier label replaced.
     pub fn with_cache(mut self, cache: &str) -> Self {
         self.cache = cache.to_owned();
+        self
+    }
+
+    /// Returns the record with the engine-selection label replaced.
+    pub fn with_exec(mut self, exec: &str) -> Self {
+        self.exec = exec.to_owned();
         self
     }
 }
@@ -291,7 +322,8 @@ impl StreamBenchReport {
                      \"scheduled_elements\": {}, \"total_cycles\": {}, \
                      \"p50_frame_cycles\": {}, \"p95_frame_cycles\": {}, \
                      \"max_frame_cycles\": {}, \"energy_uj\": {}, \"all_clean\": {}, \
-                     \"wall_time_ms\": {}, \"workers\": {}, \"cache\": {}}}",
+                     \"wall_time_ms\": {}, \"workers\": {}, \"cache\": {}, \
+                     \"exec\": {}, \"host_threads\": {}}}",
                     json_str(&r.pipeline),
                     json_str(&r.source),
                     json_str(&r.policy),
@@ -308,6 +340,8 @@ impl StreamBenchReport {
                     json_f64(r.wall_time_ms),
                     r.workers,
                     json_str(&r.cache),
+                    json_str(&r.exec),
+                    r.host_threads,
                 )
             })
             .collect();
@@ -399,6 +433,7 @@ mod tests {
             dram_bytes: 9600,
             energy_uj: 1.25,
             wall_time_ms: 0.5,
+            host_threads: 2,
         }
     }
 
@@ -412,6 +447,7 @@ mod tests {
         assert!(json.contains("\"harness\": \"bench_engine\""));
         assert!(json.contains("\"pipeline\": \"classification\""));
         assert!(json.contains("\"exec_mode\": \"EventDriven\""));
+        assert!(json.contains("\"host_threads\": 2"));
         assert!(json.trim_end().ends_with('}'));
         // Two records, exactly one separating comma between them.
         assert_eq!(json.matches("\"pipeline\"").count(), 2);
@@ -450,6 +486,8 @@ mod tests {
             wall_time_ms: 12.0,
             workers: 4,
             cache: "file-warm".to_owned(),
+            exec: "Sharded(4)".to_owned(),
+            host_threads: 8,
         });
         let json = r.to_json();
         assert!(json.contains("\"harness\": \"bench_streaming\""));
@@ -458,6 +496,8 @@ mod tests {
         assert!(json.contains("\"all_clean\": true"));
         assert!(json.contains("\"workers\": 4"));
         assert!(json.contains("\"cache\": \"file-warm\""));
+        assert!(json.contains("\"exec\": \"Sharded(4)\""));
+        assert!(json.contains("\"host_threads\": 8"));
         assert!(json.trim_end().ends_with('}'));
     }
 
@@ -491,7 +531,15 @@ mod tests {
         assert_eq!(record.policy, "Quantize(400)");
         // Defaults, and the builder-style overrides bench sweeps use.
         assert_eq!((record.workers, record.cache.as_str()), (1, "private"));
-        let tagged = record.clone().with_workers(8).with_cache("file-cold");
+        assert_eq!(record.exec, "Auto");
+        assert_eq!(record.host_threads, host_threads());
+        assert!(record.host_threads >= 1);
+        let tagged = record
+            .clone()
+            .with_workers(8)
+            .with_cache("file-cold")
+            .with_exec("Sharded(2)");
         assert_eq!((tagged.workers, tagged.cache.as_str()), (8, "file-cold"));
+        assert_eq!(tagged.exec, "Sharded(2)");
     }
 }

@@ -20,6 +20,12 @@
 //! shared-cache and warm-file-cache hits observable in tests and bench
 //! reports.
 //!
+//! The in-memory tiers are unbounded by default but accept a capacity
+//! ([`InMemoryCache::with_capacity`] / [`SharedCache::with_capacity`]):
+//! past it the least-recently-requested design is evicted, so a
+//! long-lived server streaming many specs × bucket sizes holds a bounded
+//! working set and re-solves only what it actually stopped using.
+//!
 //! # Examples
 //!
 //! Two sessions sharing one cache pay one solve between them:
@@ -277,15 +283,71 @@ impl CachedDesign {
 /// while requests for *distinct* keys solve concurrently.
 type Slot = Arc<Mutex<Option<CachedDesign>>>;
 
+/// One keyed slot plus its recency stamp (bumped on every hand-out, so
+/// hits and misses both count as "use" for LRU purposes).
+#[derive(Debug, Default)]
+struct SlotEntry {
+    slot: Slot,
+    last_used: AtomicU64,
+}
+
 #[derive(Debug, Default)]
 struct SlotMap {
-    slots: Mutex<HashMap<CacheKey, Slot>>,
+    slots: Mutex<HashMap<CacheKey, SlotEntry>>,
+    /// Monotone logical clock feeding the recency stamps.
+    tick: AtomicU64,
+    /// Resident-design bound; `None` grows without limit (the historic
+    /// behavior, and what [`FileCache`]'s memo layer keeps).
+    capacity: Option<usize>,
 }
 
 impl SlotMap {
+    fn bounded(capacity: usize) -> Self {
+        SlotMap {
+            capacity: Some(capacity.max(1)),
+            ..SlotMap::default()
+        }
+    }
+
     fn slot(&self, key: CacheKey) -> Slot {
         let mut slots = self.slots.lock().expect("slot map lock is panic-free");
-        Arc::clone(slots.entry(key).or_default())
+        let entry = slots.entry(key).or_default();
+        entry
+            .last_used
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        Arc::clone(&entry.slot)
+    }
+
+    /// Evicts least-recently-used designs until at most `capacity`
+    /// remain resident. Only considers slots whose lock is free — a
+    /// slot mid-compile is untouchable (evicting it would discard a
+    /// solve in flight), and `try_lock` keeps this from ever stalling
+    /// another key's compile.
+    fn enforce_capacity(&self) {
+        let Some(cap) = self.capacity else { return };
+        let mut slots = self.slots.lock().expect("slot map lock is panic-free");
+        loop {
+            let mut filled = 0usize;
+            let mut victim: Option<(CacheKey, u64)> = None;
+            for (key, entry) in slots.iter() {
+                let Ok(guard) = entry.slot.try_lock() else {
+                    continue;
+                };
+                if guard.is_none() {
+                    continue;
+                }
+                filled += 1;
+                let stamp = entry.last_used.load(Ordering::Relaxed);
+                if victim.is_none_or(|(_, s)| stamp < s) {
+                    victim = Some((*key, stamp));
+                }
+            }
+            if filled <= cap {
+                return;
+            }
+            let (key, _) = victim.expect("filled > cap implies a candidate");
+            slots.remove(&key);
+        }
     }
 
     /// Filled slots (a slot created by an in-flight or failed compile
@@ -296,7 +358,7 @@ impl SlotMap {
     fn filled(&self) -> usize {
         let handles: Vec<Slot> = {
             let slots = self.slots.lock().expect("slot map lock is panic-free");
-            slots.values().map(Arc::clone).collect()
+            slots.values().map(|e| Arc::clone(&e.slot)).collect()
         };
         handles
             .iter()
@@ -319,9 +381,21 @@ pub struct InMemoryCache {
 }
 
 impl InMemoryCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         InMemoryCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` resident designs
+    /// (clamped to ≥ 1). Beyond that, the least-recently-*requested*
+    /// design is evicted and a later request for its key re-solves —
+    /// the bound long-lived servers need so distinct specs × bucket
+    /// sizes cannot grow the cache without limit.
+    pub fn with_capacity(capacity: usize) -> Self {
+        InMemoryCache {
+            entries: SlotMap::bounded(capacity),
+            solves: AtomicU64::new(0),
+        }
     }
 }
 
@@ -344,6 +418,10 @@ impl ScheduleCache for InMemoryCache {
             spec_repr: req.spec_repr().into(),
             compiled: Arc::clone(&compiled),
         });
+        // Release the slot before enforcing the bound: the slot we just
+        // filled must be visible (and evictable) to the LRU sweep.
+        drop(entry);
+        self.entries.enforce_capacity();
         Ok(compiled)
     }
 
@@ -386,6 +464,15 @@ impl SharedCache {
     /// An empty shared cache; clones share its storage and accounting.
     pub fn new() -> Self {
         SharedCache::default()
+    }
+
+    /// A shared cache bounded to `capacity` resident designs, LRU
+    /// evicted (see [`InMemoryCache::with_capacity`]); clones share the
+    /// storage, the bound, and the accounting.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedCache {
+            inner: Arc::new(InMemoryCache::with_capacity(capacity)),
+        }
     }
 }
 
@@ -698,6 +785,64 @@ mod tests {
         assert_eq!(from_cls.summary(), cls_req.solve().unwrap().summary());
         assert_eq!(from_reg.summary(), reg_req.solve().unwrap().summary());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let spec = AppDomain::Classification.spec();
+        let repr = spec_repr(&spec);
+        let config = csdt4();
+        // Three distinct keys via three chunk sizes; capacity for two.
+        let (a, b, c) = (1200u64, 2400, 3600);
+        let cache = InMemoryCache::with_capacity(2);
+        cache
+            .get_or_compile(&request(&spec, &repr, &config, a))
+            .unwrap();
+        cache
+            .get_or_compile(&request(&spec, &repr, &config, b))
+            .unwrap();
+        assert_eq!(cache.solver_invocations(), 2);
+        assert_eq!(cache.compiled_count(), 2);
+        // Touch `a` so `b` becomes the LRU, then insert `c` → `b` must
+        // be the design evicted.
+        cache
+            .get_or_compile(&request(&spec, &repr, &config, a))
+            .unwrap();
+        cache
+            .get_or_compile(&request(&spec, &repr, &config, c))
+            .unwrap();
+        assert_eq!(cache.solver_invocations(), 3);
+        assert_eq!(cache.compiled_count(), 2, "capacity holds after insert");
+        // `a` survived (hit, no new solve)…
+        cache
+            .get_or_compile(&request(&spec, &repr, &config, a))
+            .unwrap();
+        assert_eq!(cache.solver_invocations(), 3, "`a` must still be resident");
+        // …and `b` was evicted (miss, one re-solve).
+        cache
+            .get_or_compile(&request(&spec, &repr, &config, b))
+            .unwrap();
+        assert_eq!(cache.solver_invocations(), 4, "`b` must have been evicted");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let spec = AppDomain::Classification.spec();
+        let repr = spec_repr(&spec);
+        let config = csdt4();
+        let cache = SharedCache::with_capacity(0);
+        cache
+            .get_or_compile(&request(&spec, &repr, &config, 1200))
+            .unwrap();
+        cache
+            .get_or_compile(&request(&spec, &repr, &config, 2400))
+            .unwrap();
+        assert_eq!(cache.compiled_count(), 1, "a zero capacity still holds one");
+        // The surviving design is the most recent one.
+        cache
+            .get_or_compile(&request(&spec, &repr, &config, 2400))
+            .unwrap();
+        assert_eq!(cache.solver_invocations(), 2);
     }
 
     #[test]

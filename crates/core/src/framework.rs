@@ -65,22 +65,70 @@ pub enum ExecMode {
     /// The event-driven fast path where it is exact (deterministic
     /// termination); otherwise the run silently uses the oracle.
     EventDriven,
+    /// The sharded per-cycle engine with this many threads (exact under
+    /// every latency model; ≤ 1 runs the plain oracle).
+    Sharded(u32),
     /// The fastest exact engine for the compiled design: event-driven
-    /// under DT, the oracle under variable latency. The default.
+    /// under DT; under variable latency the oracle, sharded across up
+    /// to [`ExecMode::AUTO_SHARDS`] threads when the run is long enough
+    /// ([`ExecMode::AUTO_SHARD_MIN_CHUNKS`]) and the host has cores to
+    /// spare. The default.
     #[default]
     Auto,
 }
 
 impl ExecMode {
+    /// Chunk count from which `Auto` considers the per-cycle sweep long
+    /// enough to amortize thread startup and cross-shard handshakes.
+    pub const AUTO_SHARD_MIN_CHUNKS: u64 = 1024;
+
+    /// Shard-count ceiling for `Auto` (diminishing returns beyond a few
+    /// shards: contiguous cuts of the stage order shrink, and the
+    /// wavefront handshakes grow with the cut count).
+    pub const AUTO_SHARDS: u32 = 4;
+
     /// The concrete engine this mode resolves to for a design with the
-    /// given latency model — what [`ExecutionReport::exec_mode`] records.
-    pub fn resolve(self, latency: GlobalLatencyModel) -> EngineMode {
+    /// given latency model and run length — what
+    /// [`ExecutionReport::exec_mode`] records. Reads the host's
+    /// available parallelism; see [`ExecMode::resolve_with`] for the
+    /// pure policy.
+    pub fn resolve(self, latency: GlobalLatencyModel, n_chunks: u64) -> EngineMode {
+        let host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.resolve_with(latency, n_chunks, host_threads)
+    }
+
+    /// [`ExecMode::resolve`] with the host thread count injected —
+    /// the policy itself, testable on any machine.
+    pub fn resolve_with(
+        self,
+        latency: GlobalLatencyModel,
+        n_chunks: u64,
+        host_threads: usize,
+    ) -> EngineMode {
         match self {
             ExecMode::CycleAccurate => EngineMode::CycleAccurate,
+            ExecMode::Sharded(n) => EngineMode::Sharded(n),
             // An explicit EventDriven request still falls back to the
             // oracle when the fast path would not be exact, exactly as
             // the sim layer does; the report records what actually ran.
-            ExecMode::EventDriven | ExecMode::Auto => EngineMode::fastest_exact(latency),
+            ExecMode::EventDriven => EngineMode::fastest_exact(latency),
+            ExecMode::Auto => match latency {
+                // Under DT the event engine skips provably-repeating
+                // spans in closed form — no thread count beats that.
+                GlobalLatencyModel::Deterministic => EngineMode::EventDriven,
+                // Variable latency forces a per-cycle sweep; shard it
+                // when the run is long and the host is actually
+                // multi-core (single-core sharding only adds context
+                // switches).
+                GlobalLatencyModel::Variable { .. }
+                    if n_chunks >= Self::AUTO_SHARD_MIN_CHUNKS && host_threads >= 2 =>
+                {
+                    EngineMode::Sharded(Self::AUTO_SHARDS.min(host_threads as u32))
+                }
+                GlobalLatencyModel::Variable { .. } => EngineMode::CycleAccurate,
+            },
         }
     }
 }
@@ -427,7 +475,7 @@ impl CompiledPipeline {
                 BufferPolicy::Elastic,
             )
         };
-        let engine = options.exec_mode.resolve(latency);
+        let engine = options.exec_mode.resolve(latency, self.n_chunks);
         let run_report = run_with(
             &self.graph,
             &self.edges,
@@ -625,6 +673,58 @@ mod tests {
         assert_eq!(oracle.run, fast.run, "engines must agree bit-for-bit");
         assert_eq!(oracle.compile, fast.compile);
         assert_ne!(oracle.exec_mode, fast.exec_mode);
+    }
+
+    #[test]
+    fn sharded_mode_is_bit_identical_on_both_latency_models() {
+        // Explicit sharding must reproduce the oracle exactly — on the
+        // deterministic CS+DT design and on the variable-latency Base
+        // design (where it is the only parallel exact engine).
+        for config in [
+            StreamGridConfig::cs_dt(SplitConfig::paper_cls()),
+            StreamGridConfig::base(),
+        ] {
+            let fw = StreamGrid::new(config);
+            let compiled = fw.compile(AppDomain::Classification, 9 * 300).unwrap();
+            let oracle = compiled
+                .execute(&ExecuteOptions::default().with_exec_mode(ExecMode::CycleAccurate));
+            for shards in [1u32, 2, 4, 8] {
+                let sharded = compiled
+                    .execute(&ExecuteOptions::default().with_exec_mode(ExecMode::Sharded(shards)));
+                assert_eq!(sharded.exec_mode, EngineMode::Sharded(shards));
+                assert_eq!(oracle.run, sharded.run, "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_shard_policy_is_gated_on_length_latency_and_cores() {
+        use ExecMode::Auto;
+        let var = GlobalLatencyModel::Variable { cv: 0.8, seed: 1 };
+        let long = ExecMode::AUTO_SHARD_MIN_CHUNKS;
+        // DT always takes the event fast path, however parallel the host.
+        assert_eq!(
+            Auto.resolve_with(GlobalLatencyModel::Deterministic, long, 64),
+            EngineMode::EventDriven
+        );
+        // Variable latency: sharded only when long AND multi-core…
+        assert_eq!(
+            Auto.resolve_with(var, long, 8),
+            EngineMode::Sharded(ExecMode::AUTO_SHARDS)
+        );
+        // …capped by the host's cores…
+        assert_eq!(Auto.resolve_with(var, long, 2), EngineMode::Sharded(2));
+        // …and the oracle on short runs or single-core hosts.
+        assert_eq!(
+            Auto.resolve_with(var, long - 1, 8),
+            EngineMode::CycleAccurate
+        );
+        assert_eq!(Auto.resolve_with(var, long, 1), EngineMode::CycleAccurate);
+        // Explicit requests are never second-guessed by the host check.
+        assert_eq!(
+            ExecMode::Sharded(6).resolve_with(var, 1, 1),
+            EngineMode::Sharded(6)
+        );
     }
 
     #[test]

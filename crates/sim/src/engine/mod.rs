@@ -10,7 +10,7 @@
 //! overflows** (asserted by the integration tests), while variable
 //! (non-DT) global-op latency provokes the stalls the paper describes.
 //!
-//! Two engines share one stepping core (`state.rs`):
+//! Three engines share one stepping core (`state.rs`):
 //!
 //! * [`EngineMode::CycleAccurate`] (`cycle.rs`) — the reference oracle,
 //!   stepping every stage on every cycle;
@@ -20,9 +20,17 @@
 //!   [`GlobalLatencyModel::Deterministic`] it returns **bit-identical**
 //!   [`RunReport`]s to the oracle; under variable latency [`run_with`]
 //!   falls back to the oracle.
+//! * [`EngineMode::Sharded`] (`shard.rs`) — steps every cycle like the
+//!   oracle but partitions the stage order across threads, coupling
+//!   shards through per-edge counter rings. Bit-identical to the oracle
+//!   under **every** latency model (variable-latency slow factors are
+//!   sampled at state construction, so threading never perturbs them);
+//!   a strict-mode overflow aborts the parallel run and re-runs the
+//!   oracle, which reproduces the overflow report exactly.
 
 mod cycle;
 mod event;
+mod shard;
 mod state;
 mod stats;
 
@@ -105,6 +113,11 @@ pub enum EngineMode {
     /// The event-to-event fast path (exact under deterministic latency;
     /// [`run_with`] falls back to the oracle otherwise).
     EventDriven,
+    /// The oracle's per-cycle sweep, partitioned into this many
+    /// contiguous shards of the stage order running on their own
+    /// threads (exact under every latency model; values ≤ 1 — or graphs
+    /// with fewer stages than shards — degrade to the oracle).
+    Sharded(u32),
 }
 
 impl EngineMode {
@@ -152,8 +165,10 @@ pub fn run(
 /// [`EngineMode::EventDriven`] is honored only under
 /// [`GlobalLatencyModel::Deterministic`]; variable latency always runs
 /// the oracle (the fast path's periodicity argument needs fixed stage
-/// rates). Reports from the two engines are bit-identical whenever both
-/// are exact, so the choice is purely a wall-time trade.
+/// rates). [`EngineMode::Sharded`] is honored under every latency model
+/// and falls back to the oracle only when a strict-mode overflow aborts
+/// the parallel run. Reports from all engines are bit-identical whenever
+/// each is exact, so the choice is purely a wall-time trade.
 ///
 /// # Panics
 ///
@@ -176,11 +191,22 @@ pub fn run_with(
     let mode = match mode {
         EngineMode::CycleAccurate => EngineMode::CycleAccurate,
         EngineMode::EventDriven => EngineMode::fastest_exact(config.global_latency),
+        EngineMode::Sharded(n) => EngineMode::Sharded(n),
     };
     let mut state = EngineState::new(graph, edges, schedule, plan, config);
     match mode {
         EngineMode::CycleAccurate => cycle::run_to_completion(&mut state, config),
         EngineMode::EventDriven => event::run_to_completion(&mut state, config),
+        EngineMode::Sharded(n) => {
+            if !shard::run_to_completion(&mut state, config, n as usize) {
+                // Strict overflow aborted the parallel run. Rebuild and
+                // replay on the oracle — `EngineState::new` re-samples
+                // any variable-latency factors from the same seed, so
+                // the rerun is the run the oracle would have produced.
+                state = EngineState::new(graph, edges, schedule, plan, config);
+                cycle::run_to_completion(&mut state, config);
+            }
+        }
     }
     state.finalize(energy_model, config)
 }
@@ -614,4 +640,184 @@ mod tests {
     /// Pinned distinct-starved-cycle count for the eager-start half-rate
     /// chain above.
     const STARVED_PIN: u64 = 202;
+
+    /// Shard counts every sharded test sweeps: degenerate (1), fewer
+    /// than the 5-stage pipeline (2, 4), and more shards than stages
+    /// (8, which clamps to one stage per shard).
+    const SHARD_SWEEP: [u32; 4] = [1, 2, 4, 8];
+
+    #[test]
+    fn sharded_engine_matches_oracle_bit_for_bit() {
+        let (g, edges, schedule, plan) = setup(300);
+        for n_chunks in [1u64, 2, 3, 4, 7, 16, 64] {
+            let config = EngineConfig {
+                n_chunks,
+                ..EngineConfig::default()
+            };
+            let oracle = run(
+                &g,
+                &edges,
+                &schedule,
+                &plan,
+                &EnergyModel::default(),
+                &config,
+            );
+            for shards in SHARD_SWEEP {
+                let sharded = run_with(
+                    &g,
+                    &edges,
+                    &schedule,
+                    &plan,
+                    &EnergyModel::default(),
+                    &config,
+                    EngineMode::Sharded(shards),
+                );
+                assert_eq!(
+                    oracle, sharded,
+                    "divergence at n_chunks = {n_chunks}, shards = {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_oracle_on_overflow() {
+        // Strict overflow aborts the parallel run and replays the
+        // oracle: the report (frozen `now`, overflow edge, flag
+        // handling) must come out identical.
+        let (g, edges, mut schedule, plan) = setup(300);
+        schedule.buffer_sizes[0] = schedule.buffer_sizes[0].saturating_sub(2).max(1);
+        let config = EngineConfig {
+            n_chunks: 4,
+            ..EngineConfig::default()
+        };
+        let oracle = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &config,
+        );
+        assert!(oracle.overflow_edge.is_some(), "sabotage must overflow");
+        for shards in SHARD_SWEEP {
+            let sharded = run_with(
+                &g,
+                &edges,
+                &schedule,
+                &plan,
+                &EnergyModel::default(),
+                &config,
+                EngineMode::Sharded(shards),
+            );
+            assert_eq!(oracle, sharded, "divergence at shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_oracle_under_variable_latency() {
+        // Slow factors are sampled at state construction from the
+        // config seed, so the sharded engine sees the exact same
+        // per-chunk durations the oracle does.
+        let (g, edges, schedule, plan) = setup(300);
+        let config = EngineConfig {
+            n_chunks: 4,
+            global_latency: GlobalLatencyModel::Variable { cv: 0.8, seed: 7 },
+            buffer_policy: BufferPolicy::Elastic,
+            ..EngineConfig::default()
+        };
+        let oracle = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &config,
+        );
+        for shards in SHARD_SWEEP {
+            let sharded = run_with(
+                &g,
+                &edges,
+                &schedule,
+                &plan,
+                &EnergyModel::default(),
+                &config,
+                EngineMode::Sharded(shards),
+            );
+            assert_eq!(oracle, sharded, "divergence at shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_truncated_reports_match_oracle() {
+        // Budget exhaustion is per-shard (each stops at `max_cycles`);
+        // the merged report must still match the oracle bit for bit,
+        // including budgets that land mid-warm-up.
+        let (g, edges, schedule, plan) = setup(300);
+        for budget in [1u64, 17, 40, 333, 1000] {
+            let config = EngineConfig {
+                n_chunks: 8,
+                max_cycles: budget,
+                ..EngineConfig::default()
+            };
+            let oracle = run(
+                &g,
+                &edges,
+                &schedule,
+                &plan,
+                &EnergyModel::default(),
+                &config,
+            );
+            for shards in SHARD_SWEEP {
+                let sharded = run_with(
+                    &g,
+                    &edges,
+                    &schedule,
+                    &plan,
+                    &EnergyModel::default(),
+                    &config,
+                    EngineMode::Sharded(shards),
+                );
+                assert_eq!(
+                    oracle, sharded,
+                    "divergence at max_cycles = {budget}, shards = {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_ii_plan_runs_identically_on_sharded_engine() {
+        let (g, edges, schedule, mut plan) = setup(60);
+        plan.initiation_interval = 0;
+        for b in plan.bubbles.iter_mut() {
+            *b = 0;
+        }
+        let config = EngineConfig {
+            n_chunks: 5,
+            buffer_policy: BufferPolicy::Elastic,
+            max_cycles: 20_000,
+            ..EngineConfig::default()
+        };
+        let oracle = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &config,
+        );
+        for shards in SHARD_SWEEP {
+            let sharded = run_with(
+                &g,
+                &edges,
+                &schedule,
+                &plan,
+                &EnergyModel::default(),
+                &config,
+                EngineMode::Sharded(shards),
+            );
+            assert_eq!(oracle, sharded, "divergence at shards = {shards}");
+        }
+    }
 }

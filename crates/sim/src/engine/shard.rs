@@ -1,0 +1,686 @@
+//! The sharded intra-frame engine: contiguous slices of the
+//! cycle-stepper's stage `order` run on their own threads, coupled only
+//! through the edges that cross a slice boundary.
+//!
+//! # How it stays bit-identical to the oracle
+//!
+//! The stage order is the reversed topological order, so for every edge
+//! the consumer is visited *before* the producer within a cycle — a
+//! same-cycle read frees the space a same-cycle write needs. Cutting
+//! that order into contiguous shards therefore puts every cross-shard
+//! edge's consumer in an **earlier** shard than its producer, and the
+//! per-cycle dependencies form a wavefront:
+//!
+//! * the consumer at cycle `t` needs the producer's cumulative writes
+//!   through cycle `t − 1` (to know the edge occupancy it may drain);
+//! * the producer at cycle `t` needs the consumer's cumulative reads
+//!   through cycle `t` (same-cycle reads free space, and peak-occupancy
+//!   accounting must see the exact post-read occupancy).
+//!
+//! Ordering shard cycles lexicographically by `(cycle, shard)` makes
+//! that dependency graph acyclic: downstream (early-order) shards lead,
+//! upstream shards trail by ≥ 0 cycles, and the pipeline never
+//! deadlocks. Each cross-shard edge carries two single-writer rings of
+//! *cumulative* counters (reads published by the consumer shard, writes
+//! by the producer shard), and each shard publishes a `done` cycle
+//! counter with release ordering once per cycle. A consumer only spins
+//! when its stale lower bound on the producer's writes cannot cover the
+//! cycle's demand — in a steady state with slack it sprints ahead
+//! without synchronizing, re-checking its neighbors once per
+//! `RING_LEN`-cycle epoch (the flow-control analogue of how `event.rs`
+//! amortizes quiescent gaps). The producer side owns the real
+//! [`LineBuffer`], applies the consumer's exact cycle-`t` reads before
+//! its own write phase, and thereby reproduces occupancy, peaks, and
+//! traffic byte-for-byte.
+//!
+//! Every stage still goes through [`super::state::step_stage`] — the
+//! same function the oracle drives — so shard semantics cannot drift.
+//!
+//! # The one sequential event: strict overflow
+//!
+//! A strict-policy overflow freezes `now` mid-sweep, which has no
+//! parallel analogue (it would require every later shard to un-run the
+//! current cycle). The sharded run simply aborts and the caller re-runs
+//! the sequential oracle — bit-identical by construction, and free on
+//! the workloads sharding targets (valid CS+DT schedules never
+//! overflow). This mirrors how the event engine defers to the oracle
+//! under variable latency.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::linebuffer::LineBuffer;
+
+use super::state::{step_stage, CycleAcct, EdgeIo, EngineState, StageState};
+use super::EngineConfig;
+
+/// Ring capacity in cycles: the maximum skew between two coupled shards
+/// and the epoch granularity of flow-control checks. Must be a power of
+/// two (slot index is `cycle % RING_LEN`).
+const RING_LEN: u64 = 1024;
+
+/// Spin iterations before a blocked wait starts yielding the core —
+/// short enough that single-core runs degrade to scheduler hand-offs,
+/// long enough that multi-core runs absorb one-cycle skews for free.
+const SPIN_LIMIT: u32 = 128;
+
+/// Per-shard progress, padded to its own cache line.
+#[repr(align(128))]
+struct Progress {
+    /// Cycles this shard has fully completed (published with release
+    /// ordering after the cycle's ring slots are written).
+    done: AtomicU64,
+    /// Set *after* the final `done` store: `done` is frozen and the
+    /// shard's ring slots will never change again.
+    finished: AtomicBool,
+}
+
+impl Progress {
+    fn new() -> Self {
+        Progress {
+            done: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+        }
+    }
+}
+
+/// SPSC counter rings for one cross-shard edge. Slot `t % RING_LEN`
+/// holds the *cumulative* count through cycle `t` — cumulative values
+/// make stale reads safe lower bounds instead of corruption.
+struct Channel {
+    /// Written by the consumer shard: reads `R_{≤t}` off this edge.
+    reads: Box<[AtomicU64]>,
+    /// Written by the producer shard: writes `W_{≤t}` onto this edge.
+    writes: Box<[AtomicU64]>,
+}
+
+impl Channel {
+    fn new() -> Self {
+        let ring = || {
+            (0..RING_LEN)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Box<[AtomicU64]>>()
+        };
+        Channel {
+            reads: ring(),
+            writes: ring(),
+        }
+    }
+}
+
+/// Blocks until `p.done >= target`, the shard exits, or the run aborts;
+/// returns the freshest `done` observed (the frozen final value when the
+/// shard has exited).
+fn wait_done(p: &Progress, target: u64, abort: &AtomicBool) -> u64 {
+    let mut spins = 0u32;
+    loop {
+        let d = p.done.load(Ordering::Acquire);
+        if d >= target {
+            return d;
+        }
+        if p.finished.load(Ordering::Acquire) {
+            // `finished` is stored after the last `done` store, so this
+            // re-load observes the frozen final count.
+            return p.done.load(Ordering::Acquire);
+        }
+        if abort.load(Ordering::Relaxed) {
+            return d;
+        }
+        if spins < SPIN_LIMIT {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Consumer endpoint of a cross-shard edge.
+struct XIn<'a> {
+    ch: &'a Channel,
+    prod: &'a Progress,
+    /// Cached (monotone) copy of the producer shard's `done`.
+    prod_done: u64,
+    /// Monotone lower bound on the producer's cumulative writes.
+    w_known: u64,
+    /// Cumulative elements this shard has read off the edge.
+    r_local: u64,
+}
+
+/// Producer endpoint of a cross-shard edge (owns the real line buffer).
+struct XOut<'a> {
+    e: usize,
+    ch: &'a Channel,
+    cons: &'a Progress,
+    /// Cached (monotone) copy of the consumer shard's `done`.
+    cons_done: u64,
+    /// Cumulative consumer reads already applied to the owned buffer.
+    r_applied: u64,
+}
+
+/// One shard's working set: its stages (in global order), the buffers it
+/// owns (intra-shard edges + cross-shard edges it produces), and its
+/// cross-shard endpoints.
+struct Shard<'a> {
+    idx: usize,
+    stages: Vec<(usize, StageState)>,
+    bufs: Vec<Option<LineBuffer>>,
+    xins: Vec<Option<XIn<'a>>>,
+    xin_edges: Vec<usize>,
+    xouts: Vec<XOut<'a>>,
+}
+
+/// [`EdgeIo`] for a shard: owned edges hit the local buffer, cross-in
+/// edges go through the channel protocol.
+struct ShardIo<'s, 'a> {
+    bufs: &'s mut [Option<LineBuffer>],
+    xins: &'s mut [Option<XIn<'a>>],
+    abort: &'s AtomicBool,
+}
+
+impl EdgeIo for ShardIo<'_, '_> {
+    fn read(&mut self, e: usize, need: u64, now: u64) -> u64 {
+        let Some(x) = self.xins[e].as_mut() else {
+            return self.bufs[e].as_mut().expect("local edge").read(need);
+        };
+        let mut avail = x.w_known - x.r_local;
+        if avail < need && now > 0 {
+            // The stale bound cannot cover the demand: synchronize once
+            // for the exact occupancy. `W_{≤ now-1}` is final as soon as
+            // the producer has completed cycle `now` (it cannot, by the
+            // wavefront order, have advanced past this shard's cycle).
+            if x.prod_done < now {
+                x.prod_done = wait_done(x.prod, now, self.abort);
+            }
+            let d = x.prod_done.min(now);
+            if d > 0 {
+                let w = x.ch.writes[((d - 1) % RING_LEN) as usize].load(Ordering::Acquire);
+                x.w_known = x.w_known.max(w);
+            }
+            avail = x.w_known - x.r_local;
+        }
+        // If the fast path held (`avail >= need`), the true occupancy is
+        // at least `avail`, so the oracle's `min(need, occupancy)` is
+        // `need` — exactness without synchronizing.
+        let got = need.min(avail);
+        x.r_local += got;
+        got
+    }
+
+    fn free(&mut self, e: usize, _now: u64) -> u64 {
+        // Cross-out edges had the consumer's same-cycle reads applied at
+        // the top of the cycle, so `free()` is already exact.
+        self.bufs[e].as_ref().expect("owned edge").free()
+    }
+
+    fn write(&mut self, e: usize, n: u64) {
+        self.bufs[e]
+            .as_mut()
+            .expect("owned edge")
+            .write(n)
+            .expect("space checked");
+    }
+}
+
+/// What one shard thread hands back.
+struct ShardResult {
+    stages: Vec<(usize, StageState)>,
+    bufs: Vec<(usize, LineBuffer)>,
+    /// Local cycles completed (`now` is the max across shards).
+    cycles: u64,
+    /// Distinct-cycle stall/starve bitmaps (bit `t` = flagged at `t`);
+    /// merged across shards by OR, matching the oracle's per-cycle
+    /// semantics.
+    stall_bits: Vec<u64>,
+    starve_bits: Vec<u64>,
+    sram_dynamic_bytes: u64,
+    compute_elements: u64,
+    dram_read_bytes: u64,
+}
+
+fn set_bit(bits: &mut Vec<u64>, t: u64) {
+    let word = (t / 64) as usize;
+    if word >= bits.len() {
+        bits.resize(word + 1, 0);
+    }
+    bits[word] |= 1 << (t % 64);
+}
+
+/// Cuts the stage order into `n` contiguous, weight-balanced,
+/// never-empty slices; returns the `n + 1` cut positions.
+fn cut_points(weights: &[u64], n: usize) -> Vec<usize> {
+    let len = weights.len();
+    let total: u64 = weights.iter().sum::<u64>().max(1);
+    let mut cuts = Vec::with_capacity(n + 1);
+    cuts.push(0usize);
+    let mut acc = 0u64;
+    for (k, &w) in weights.iter().enumerate() {
+        acc += w;
+        let j = cuts.len(); // next boundary index (1-based)
+        if j < n && k + 1 + (n - j) <= len {
+            let forced = k + 1 + (n - j) == len;
+            let due = acc * n as u64 >= total * j as u64;
+            if forced || due {
+                cuts.push(k + 1);
+            }
+        }
+    }
+    cuts.push(len);
+    debug_assert_eq!(cuts.len(), n + 1);
+    debug_assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+    cuts
+}
+
+/// Runs one shard to local completion (all owned stages streamed), the
+/// cycle budget, or an abort.
+fn run_shard(
+    mut task: Shard<'_>,
+    config: &EngineConfig,
+    n_chunks: u64,
+    ii: u64,
+    edge_volume: &[u64],
+    me: &Progress,
+    abort: &AtomicBool,
+) -> ShardResult {
+    let mut t = 0u64;
+    let mut stall_bits = Vec::new();
+    let mut starve_bits = Vec::new();
+    let mut sram = 0u64;
+    let mut compute = 0u64;
+    let mut dram_rd = 0u64;
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        if task.stages.iter().all(|(_, st)| st.chunk >= n_chunks) {
+            break;
+        }
+        if t >= config.max_cycles {
+            break;
+        }
+        // Epoch flow control: cycle `t` ends by overwriting ring slot
+        // `t % RING_LEN`, which held cycle `t - RING_LEN`; the producer
+        // behind each cross-in edge must have consumed that slot first.
+        if t >= RING_LEN {
+            let target = t - RING_LEN + 1;
+            for &e in &task.xin_edges {
+                let x = task.xins[e].as_mut().expect("xin listed");
+                if x.prod_done < target {
+                    x.prod_done = wait_done(x.prod, target, abort);
+                }
+            }
+        }
+        // Apply the consumer shards' exact cycle-`t` reads to owned
+        // cross-shard buffers before the producer stages step — the
+        // same-cycle read-then-write sequence the oracle's stage order
+        // encodes, and what keeps peak occupancy exact.
+        for xo in task.xouts.iter_mut() {
+            if xo.cons_done < t + 1 {
+                xo.cons_done = wait_done(xo.cons, t + 1, abort);
+            }
+            let cum = if xo.cons_done > t {
+                xo.ch.reads[(t % RING_LEN) as usize].load(Ordering::Acquire)
+            } else if xo.cons_done == 0 {
+                0 // consumer exited before completing any cycle
+            } else {
+                // Consumer exited: its counters are frozen at its final
+                // completed cycle.
+                xo.ch.reads[((xo.cons_done - 1) % RING_LEN) as usize].load(Ordering::Acquire)
+            };
+            let delta = cum.saturating_sub(xo.r_applied);
+            if delta > 0 {
+                task.bufs[xo.e].as_mut().expect("owned edge").read(delta);
+                xo.r_applied += delta;
+            }
+        }
+        // Step the local slice of the stage order through the shared
+        // stepper.
+        let mut acct = CycleAcct::default();
+        let mut overflow = false;
+        {
+            let Shard {
+                stages, bufs, xins, ..
+            } = &mut task;
+            let mut io = ShardIo { bufs, xins, abort };
+            for (_, stage) in stages.iter_mut() {
+                if !stage.active(t, n_chunks, ii) {
+                    continue;
+                }
+                if !stage.tick() {
+                    acct.starved = true;
+                    continue;
+                }
+                if step_stage(
+                    stage,
+                    &mut io,
+                    t,
+                    n_chunks,
+                    ii,
+                    edge_volume,
+                    config,
+                    &mut acct,
+                )
+                .is_some()
+                {
+                    overflow = true;
+                    break;
+                }
+            }
+        }
+        if overflow {
+            // Strict overflow freezes `now` mid-sweep — inherently
+            // sequential. Abort; the caller re-runs the oracle.
+            abort.store(true, Ordering::Release);
+            break;
+        }
+        sram += acct.sram_dynamic_bytes;
+        compute += acct.compute_elements;
+        dram_rd += acct.dram_read_bytes;
+        if acct.stalled {
+            set_bit(&mut stall_bits, t);
+        }
+        if acct.starved {
+            set_bit(&mut starve_bits, t);
+        }
+        // Publish cycle `t`: cumulative counters into the rings, then
+        // the release-store on `done` that makes them visible.
+        let slot = (t % RING_LEN) as usize;
+        for &e in &task.xin_edges {
+            let x = task.xins[e].as_ref().expect("xin listed");
+            x.ch.reads[slot].store(x.r_local, Ordering::Release);
+        }
+        for xo in task.xouts.iter() {
+            let w = task.bufs[xo.e].as_ref().expect("owned edge").total_writes();
+            xo.ch.writes[slot].store(w, Ordering::Release);
+        }
+        t += 1;
+        me.done.store(t, Ordering::Release);
+    }
+    me.done.store(t, Ordering::Release);
+    me.finished.store(true, Ordering::Release);
+    // Drain trailing consumer reads: a consumer shard may keep reading
+    // off a cross edge after this producer's stages completed, and the
+    // oracle applies every one of those reads to the buffer (sink-edge
+    // totals feed DRAM write accounting). `finished` is already
+    // published, so waiting on the consumers here cannot deadlock —
+    // every shard's main loop exits independently of this drain.
+    if !abort.load(Ordering::Relaxed) {
+        for xo in task.xouts.iter_mut() {
+            let mut spins = 0u32;
+            while !xo.cons.finished.load(Ordering::Acquire) {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                if spins < SPIN_LIMIT {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            let d = xo.cons.done.load(Ordering::Acquire);
+            let cum = if d == 0 {
+                0
+            } else {
+                xo.ch.reads[((d - 1) % RING_LEN) as usize].load(Ordering::Acquire)
+            };
+            let delta = cum.saturating_sub(xo.r_applied);
+            if delta > 0 {
+                task.bufs[xo.e].as_mut().expect("owned edge").read(delta);
+                xo.r_applied += delta;
+            }
+        }
+    }
+    let _ = task.idx;
+    ShardResult {
+        stages: task.stages,
+        bufs: task
+            .bufs
+            .into_iter()
+            .enumerate()
+            .filter_map(|(e, b)| b.map(|b| (e, b)))
+            .collect(),
+        cycles: t,
+        stall_bits,
+        starve_bits,
+        sram_dynamic_bytes: sram,
+        compute_elements: compute,
+        dram_read_bytes: dram_rd,
+    }
+}
+
+/// Runs the pipeline on `shards` threads. Returns `false` when a
+/// strict-mode overflow aborted the sharded run — the caller must
+/// discard `state` (it is left disassembled) and re-run the sequential
+/// oracle on a fresh state for the exact overflow report.
+///
+/// `shards <= 1` (after clamping to the stage count) runs the sequential
+/// oracle directly.
+pub(super) fn run_to_completion(
+    state: &mut EngineState,
+    config: &EngineConfig,
+    shards: usize,
+) -> bool {
+    let n_stages = state.order.len();
+    let n = shards.max(1).min(n_stages.max(1));
+    if n <= 1 {
+        super::cycle::run_to_completion(state, config);
+        return true;
+    }
+
+    // Partition the order, weighting stages by how much per-cycle work
+    // they do (one accumulator tick plus one unit per touched edge).
+    let weights: Vec<u64> = state
+        .order
+        .iter()
+        .map(|&si| {
+            let st = &state.stages[si];
+            1 + (st.in_edges.len() + st.out_edges.len()) as u64
+        })
+        .collect();
+    let cuts = cut_points(&weights, n);
+    let mut shard_of = vec![0usize; state.stages.len()];
+    for s in 0..n {
+        for k in cuts[s]..cuts[s + 1] {
+            shard_of[state.order[k]] = s;
+        }
+    }
+
+    // Edge endpoints (each edge has exactly one producer and consumer).
+    let n_edges = state.buffers.len();
+    let mut prod_of = vec![usize::MAX; n_edges];
+    let mut cons_of = vec![usize::MAX; n_edges];
+    for (si, st) in state.stages.iter().enumerate() {
+        for &e in &st.out_edges {
+            prod_of[e] = si;
+        }
+        for &e in &st.in_edges {
+            cons_of[e] = si;
+        }
+    }
+
+    // One channel per cross-shard edge.
+    let mut chan_of: Vec<Option<usize>> = vec![None; n_edges];
+    let mut channels: Vec<Channel> = Vec::new();
+    let mut cross_ends: Vec<(usize, usize)> = Vec::new(); // (cons_shard, prod_shard)
+    for e in 0..n_edges {
+        let (ps, cs) = (shard_of[prod_of[e]], shard_of[cons_of[e]]);
+        if ps != cs {
+            debug_assert!(
+                cs < ps,
+                "reversed-topo order puts consumers in earlier shards"
+            );
+            chan_of[e] = Some(channels.len());
+            channels.push(Channel::new());
+            cross_ends.push((cs, ps));
+        }
+    }
+
+    let progress: Vec<Progress> = (0..n).map(|_| Progress::new()).collect();
+    let abort = AtomicBool::new(false);
+
+    // Disassemble the engine state into per-shard working sets.
+    let mut stage_opts: Vec<Option<StageState>> = std::mem::take(&mut state.stages)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let mut buf_opts: Vec<Option<LineBuffer>> = std::mem::take(&mut state.buffers)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let mut tasks: Vec<Shard<'_>> = Vec::with_capacity(n);
+    for s in 0..n {
+        let stages: Vec<(usize, StageState)> = (cuts[s]..cuts[s + 1])
+            .map(|k| {
+                let si = state.order[k];
+                (si, stage_opts[si].take().expect("each stage in one shard"))
+            })
+            .collect();
+        let mut bufs: Vec<Option<LineBuffer>> = (0..n_edges).map(|_| None).collect();
+        let mut xins: Vec<Option<XIn<'_>>> = (0..n_edges).map(|_| None).collect();
+        let mut xin_edges = Vec::new();
+        let mut xouts = Vec::new();
+        for e in 0..n_edges {
+            match chan_of[e] {
+                None => {
+                    if shard_of[prod_of[e]] == s {
+                        bufs[e] = buf_opts[e].take();
+                    }
+                }
+                Some(ci) => {
+                    let (cs, ps) = cross_ends[ci];
+                    if ps == s {
+                        bufs[e] = buf_opts[e].take();
+                        xouts.push(XOut {
+                            e,
+                            ch: &channels[ci],
+                            cons: &progress[cs],
+                            cons_done: 0,
+                            r_applied: 0,
+                        });
+                    }
+                    if cs == s {
+                        xins[e] = Some(XIn {
+                            ch: &channels[ci],
+                            prod: &progress[ps],
+                            prod_done: 0,
+                            w_known: 0,
+                            r_local: 0,
+                        });
+                        xin_edges.push(e);
+                    }
+                }
+            }
+        }
+        tasks.push(Shard {
+            idx: s,
+            stages,
+            bufs,
+            xins,
+            xin_edges,
+            xouts,
+        });
+    }
+
+    let n_chunks = state.n_chunks;
+    let ii = state.ii;
+    let edge_volume = &state.edge_volume;
+    let results: Vec<ShardResult> = std::thread::scope(|scope| {
+        let abort = &abort;
+        let progress = &progress;
+        let mut iter = tasks.into_iter();
+        let first = iter.next().expect("n >= 2 shards");
+        let handles: Vec<_> = iter
+            .map(|task| {
+                scope.spawn(move || {
+                    let me = &progress[task.idx];
+                    run_shard(task, config, n_chunks, ii, edge_volume, me, abort)
+                })
+            })
+            .collect();
+        let mut results = vec![run_shard(
+            first,
+            config,
+            n_chunks,
+            ii,
+            edge_volume,
+            &progress[0],
+            abort,
+        )];
+        for h in handles {
+            results.push(h.join().expect("shard threads do not panic"));
+        }
+        results
+    });
+
+    if abort.load(Ordering::Relaxed) {
+        return false;
+    }
+
+    // Reassemble: every stage and buffer came from exactly one shard.
+    for res in &results {
+        state.now = state.now.max(res.cycles);
+        state.sram_dynamic_bytes += res.sram_dynamic_bytes;
+        state.compute_elements += res.compute_elements;
+        state.dram.read(res.dram_read_bytes);
+    }
+    let mut stall = Vec::new();
+    let mut starve = Vec::new();
+    for res in &results {
+        or_into(&mut stall, &res.stall_bits);
+        or_into(&mut starve, &res.starve_bits);
+    }
+    state.stall_cycles += stall.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+    state.starved_cycles += starve.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+    for res in results {
+        for (si, st) in res.stages {
+            stage_opts[si] = Some(st);
+        }
+        for (e, lb) in res.bufs {
+            buf_opts[e] = Some(lb);
+        }
+    }
+    state.stages = stage_opts
+        .into_iter()
+        .map(|o| o.expect("every stage merged back"))
+        .collect();
+    state.buffers = buf_opts
+        .into_iter()
+        .map(|o| o.expect("every buffer merged back"))
+        .collect();
+    true
+}
+
+fn or_into(acc: &mut Vec<u64>, bits: &[u64]) {
+    if acc.len() < bits.len() {
+        acc.resize(bits.len(), 0);
+    }
+    for (a, b) in acc.iter_mut().zip(bits) {
+        *a |= b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cut_points;
+
+    #[test]
+    fn cuts_are_contiguous_and_nonempty() {
+        for len in 1..20usize {
+            let weights: Vec<u64> = (0..len).map(|k| 1 + (k as u64 % 5)).collect();
+            for n in 1..=len {
+                let cuts = cut_points(&weights, n);
+                assert_eq!(cuts.len(), n + 1);
+                assert_eq!(cuts[0], 0);
+                assert_eq!(cuts[n], len);
+                assert!(cuts.windows(2).all(|w| w[0] < w[1]), "{cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_balance_uniform_weights() {
+        let weights = vec![1u64; 16];
+        let cuts = cut_points(&weights, 4);
+        assert_eq!(cuts, vec![0, 4, 8, 12, 16]);
+    }
+}

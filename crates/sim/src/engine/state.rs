@@ -1,12 +1,14 @@
 //! Shared mutable execution state: stage bookkeeping, integer-exact rate
-//! accumulators, and the single-cycle stepper that both engines drive.
+//! accumulators, and the single-cycle stepper that every engine drives.
 //!
-//! [`EngineState::step_cycle`] is the *only* place simulated work
-//! happens; the cycle-accurate oracle calls it for every cycle, the
-//! event-driven engine calls it for the cycles it cannot prove
-//! uneventful. Keeping one stepper is what makes the two engines
-//! bit-identical by construction: the fast path never re-implements
-//! semantics, it only skips provably-repeating or provably-idle spans.
+//! [`step_stage`] is the *only* place simulated work happens; the
+//! cycle-accurate oracle calls it for every stage on every cycle
+//! (through [`EngineState::step_cycle`]), the event-driven engine for
+//! the cycles it cannot prove uneventful, and the sharded engine for the
+//! stages each thread owns. Keeping one stepper is what makes the
+//! engines bit-identical by construction: the fast paths never
+//! re-implement semantics — they only skip provably-repeating spans
+//! (event) or swap how edge buffers are reached ([`EdgeIo`], shard).
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -57,12 +59,12 @@ pub(super) struct StageState {
     depth: u64,
     /// First-chunk issue cycle; chunk `c` issues at `start + c · II`.
     start: u64,
-    in_edges: Vec<usize>,
-    out_edges: Vec<usize>,
+    pub(super) in_edges: Vec<usize>,
+    pub(super) out_edges: Vec<usize>,
     read_acc: RateAcc,
     write_acc: RateAcc,
     /// Current chunk index (`n_chunks` = all chunks streamed).
-    chunk: u64,
+    pub(super) chunk: u64,
     /// Remaining elements to read (per in-edge) for the current chunk.
     read_remaining: Vec<u64>,
     /// Remaining elements to write (per out-edge).
@@ -82,7 +84,7 @@ impl StageState {
         self.start + chunk * ii
     }
 
-    fn active(&self, now: u64, n_chunks: u64, ii: u64) -> bool {
+    pub(super) fn active(&self, now: u64, n_chunks: u64, ii: u64) -> bool {
         self.chunk < n_chunks && now >= self.issue(self.chunk, ii)
     }
 
@@ -92,7 +94,7 @@ impl StageState {
 
     /// Advances the slowdown accumulator; `true` when the stage may work
     /// this cycle.
-    fn tick(&mut self) -> bool {
+    pub(super) fn tick(&mut self) -> bool {
         self.slow_acc += self.slow_num;
         if self.slow_acc >= self.slow_den {
             self.slow_acc -= self.slow_den;
@@ -111,6 +113,187 @@ pub(super) enum Step {
     /// A strict-mode overflow aborted the run mid-cycle (`now` frozen,
     /// matching the paper semantics of an unschedulable write).
     Overflow,
+}
+
+/// How [`step_stage`] reaches an edge's buffer. The oracle and event
+/// engine back every edge with the local [`LineBuffer`] ([`SeqIo`]); the
+/// sharded engine backs cross-shard edges with SPSC channels instead.
+/// Implementations must preserve the buffer contract exactly: `read`
+/// returns `min(need, occupancy)`, `free` the space left *after* the
+/// consumer's same-cycle read, `write` never exceeds `free`.
+pub(super) trait EdgeIo {
+    /// Consumer side: drain up to `need` elements from edge `e` at
+    /// cycle `now`; returns how many were actually available.
+    fn read(&mut self, e: usize, need: u64, now: u64) -> u64;
+    /// Producer side: space left on edge `e` at cycle `now`.
+    fn free(&mut self, e: usize, now: u64) -> u64;
+    /// Producer side: commit `n` elements to edge `e` (space checked).
+    fn write(&mut self, e: usize, n: u64);
+}
+
+/// [`EdgeIo`] over the in-place buffer vector — the sequential engines.
+pub(super) struct SeqIo<'a> {
+    pub(super) buffers: &'a mut [LineBuffer],
+}
+
+impl EdgeIo for SeqIo<'_> {
+    fn read(&mut self, e: usize, need: u64, _now: u64) -> u64 {
+        self.buffers[e].read(need)
+    }
+
+    fn free(&mut self, e: usize, _now: u64) -> u64 {
+        self.buffers[e].free()
+    }
+
+    fn write(&mut self, e: usize, n: u64) {
+        self.buffers[e].write(n).expect("space checked");
+    }
+}
+
+/// Per-cycle side effects a [`step_stage`] sweep accumulates. Flags are
+/// per *cycle* (distinct-cycle stall/starve semantics); byte/element
+/// tallies are deltas the caller folds into its monotone counters.
+#[derive(Debug, Default)]
+pub(super) struct CycleAcct {
+    pub(super) stalled: bool,
+    pub(super) starved: bool,
+    pub(super) sram_dynamic_bytes: u64,
+    pub(super) compute_elements: u64,
+    /// Source-stage DRAM reads (bytes) this cycle.
+    pub(super) dram_read_bytes: u64,
+}
+
+/// Steps one stage for cycle `now`: read phase, depth-gated write phase,
+/// and chunk-completion check. The caller has already verified the stage
+/// is [`StageState::active`] and [`StageState::tick`]ed. Returns the
+/// overflowing edge when a strict-mode write does not fit — the caller
+/// aborts the cycle mid-sweep with `now` frozen, dropping this stage's
+/// per-stage stall/starve flags exactly as the pre-extraction stepper
+/// did.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn step_stage<IO: EdgeIo>(
+    stage: &mut StageState,
+    io: &mut IO,
+    now: u64,
+    n_chunks: u64,
+    ii: u64,
+    edge_volume: &[u64],
+    config: &EngineConfig,
+    acct: &mut CycleAcct,
+) -> Option<usize> {
+    // Read phase.
+    let mut stalled = false;
+    let mut starved = false;
+    if !stage.in_edges.is_empty() {
+        let want = stage.read_acc.step();
+        let mut max_read = 0u64;
+        for slot in 0..stage.in_edges.len() {
+            let e = stage.in_edges[slot];
+            let need = want.min(stage.read_remaining[slot]);
+            if need == 0 {
+                continue;
+            }
+            let got = io.read(e, need, now);
+            acct.sram_dynamic_bytes += got * config.bytes_per_element;
+            stage.read_remaining[slot] -= got;
+            max_read = max_read.max(got);
+            // No data at all while work is pending: starvation (the
+            // producer is slower or not yet scheduled) — not an on-chip
+            // memory stall.
+            if got == 0 && need > 0 {
+                starved = true;
+            }
+        }
+        stage.read_done += max_read;
+    }
+    // Sources are driven purely by the write phase below; each accepted
+    // element is one DRAM read.
+    // Write phase: gated on pipeline depth and read progress.
+    if !stage.out_edges.is_empty() && now >= stage.issue(stage.chunk, ii) + stage.depth {
+        let allowance = stage.write_acc.step();
+        if allowance > 0 {
+            // A stage cannot emit results for data it has not read: cap
+            // cumulative output at the proportional share of input
+            // consumed (sources are uncapped). The share rounds *up*:
+            // the ILP's fluid occupancy model assumes writes track τ_out
+            // continuously once the stage depth has elapsed, and
+            // flooring here silently discards write allowance for
+            // fractional-rate stages (e.g. a ×5 reduction emitting 2
+            // elements per 5 cycles), delaying chunk completion past the
+            // fluid finish time and overflowing exact-sized upstream
+            // buffers in later chunks.
+            for slot in 0..stage.out_edges.len() {
+                let e = stage.out_edges[slot];
+                let remaining = stage.write_remaining[slot];
+                let want = allowance.min(remaining);
+                if want == 0 {
+                    continue;
+                }
+                let cap = if stage.read_total > 0 {
+                    let vol = edge_volume[e] as u128;
+                    let read_total = stage.read_total as u128;
+                    let done_share = (stage.read_done as u128 * vol).div_ceil(read_total) as u64;
+                    let written = edge_volume[e] - remaining;
+                    done_share.saturating_sub(written)
+                } else {
+                    want
+                };
+                let n = want.min(cap);
+                if n == 0 {
+                    continue;
+                }
+                let space = io.free(e, now);
+                let accepted = n.min(space);
+                if accepted < n {
+                    match config.buffer_policy {
+                        BufferPolicy::Strict => return Some(e),
+                        BufferPolicy::Elastic => {
+                            if accepted == 0 {
+                                stalled = true;
+                            }
+                        }
+                    }
+                }
+                if accepted > 0 {
+                    io.write(e, accepted);
+                    acct.sram_dynamic_bytes += accepted * config.bytes_per_element;
+                    acct.compute_elements += accepted;
+                    stage.write_remaining[slot] -= accepted;
+                    if matches!(stage.kind, OpKind::Source) {
+                        acct.dram_read_bytes += accepted * config.bytes_per_element;
+                    }
+                }
+            }
+        }
+    }
+    if stalled {
+        acct.stalled = true;
+    }
+    if starved {
+        acct.starved = true;
+    }
+    // Chunk completion.
+    if stage.chunk_done() && stage.active(now, n_chunks, ii) {
+        stage.chunk += 1;
+        if stage.chunk < n_chunks {
+            for slot in 0..stage.in_edges.len() {
+                stage.read_remaining[slot] = edge_volume[stage.in_edges[slot]];
+            }
+            let write_total = stage
+                .out_edges
+                .iter()
+                .map(|&e| edge_volume[e])
+                .max()
+                .unwrap_or(0);
+            for w in stage.write_remaining.iter_mut() {
+                *w = write_total;
+            }
+            stage.read_done = 0;
+            stage.read_acc.reset();
+            stage.write_acc.reset();
+        }
+    }
+    None
 }
 
 /// Snapshot of everything the stepper's future depends on, with stage
@@ -167,28 +350,29 @@ pub(super) struct Counters {
     buf_writes: Vec<u64>,
 }
 
-/// The full execution state shared by the cycle oracle and the
-/// event-driven engine.
+/// The full execution state shared by the cycle oracle, the
+/// event-driven engine, and (split apart, then merged back) the sharded
+/// engine.
 pub(super) struct EngineState {
-    stages: Vec<StageState>,
-    buffers: Vec<LineBuffer>,
-    dram: DramModel,
+    pub(super) stages: Vec<StageState>,
+    pub(super) buffers: Vec<LineBuffer>,
+    pub(super) dram: DramModel,
     /// Stage visit order within a cycle: consumers before producers, so
     /// a same-cycle read frees the space a same-cycle write needs —
     /// matching the fluid simultaneity the ILP occupancy model assumes.
-    order: Vec<usize>,
+    pub(super) order: Vec<usize>,
     /// Per-edge chunk volume (`W_P`), indexed like `buffers`.
-    edge_volume: Vec<u64>,
+    pub(super) edge_volume: Vec<u64>,
     /// Edges draining into sinks (everything they consume goes to DRAM).
     sink_edges: Vec<usize>,
-    ii: u64,
-    n_chunks: u64,
+    pub(super) ii: u64,
+    pub(super) n_chunks: u64,
     pub(super) now: u64,
-    stall_cycles: u64,
-    starved_cycles: u64,
+    pub(super) stall_cycles: u64,
+    pub(super) starved_cycles: u64,
     overflow_edge: Option<usize>,
-    sram_dynamic_bytes: u64,
-    compute_elements: u64,
+    pub(super) sram_dynamic_bytes: u64,
+    pub(super) compute_elements: u64,
 }
 
 impl EngineState {
@@ -341,155 +525,50 @@ impl EngineState {
         let now = self.now;
         let n_chunks = self.n_chunks;
         let ii = self.ii;
-        let mut cycle_stalled = false;
-        let mut cycle_starved = false;
+        let mut acct = CycleAcct::default();
         let mut overflow = false;
         let EngineState {
             stages,
             buffers,
-            dram,
             order,
             edge_volume,
-            sram_dynamic_bytes,
-            compute_elements,
             overflow_edge,
             ..
         } = self;
-        'stages: for &si in order.iter() {
+        let mut io = SeqIo { buffers };
+        for &si in order.iter() {
             let stage = &mut stages[si];
             if !stage.active(now, n_chunks, ii) {
                 continue;
             }
             if !stage.tick() {
-                cycle_starved = true;
+                acct.starved = true;
                 continue;
             }
-            // Read phase.
-            let mut stalled = false;
-            let mut starved = false;
-            if !stage.in_edges.is_empty() {
-                let want = stage.read_acc.step();
-                let mut max_read = 0u64;
-                for slot in 0..stage.in_edges.len() {
-                    let e = stage.in_edges[slot];
-                    let need = want.min(stage.read_remaining[slot]);
-                    if need == 0 {
-                        continue;
-                    }
-                    let got = buffers[e].read(need);
-                    *sram_dynamic_bytes += got * config.bytes_per_element;
-                    stage.read_remaining[slot] -= got;
-                    max_read = max_read.max(got);
-                    // No data at all while work is pending: starvation
-                    // (the producer is slower or not yet scheduled) —
-                    // not an on-chip memory stall.
-                    if got == 0 && need > 0 {
-                        starved = true;
-                    }
+            if let Some(e) = step_stage(
+                stage,
+                &mut io,
+                now,
+                n_chunks,
+                ii,
+                edge_volume,
+                config,
+                &mut acct,
+            ) {
+                if overflow_edge.is_none() {
+                    *overflow_edge = Some(e);
                 }
-                stage.read_done += max_read;
-            }
-            // Sources are driven purely by the write phase below; each
-            // accepted element is one DRAM read.
-            // Write phase: gated on pipeline depth and read progress.
-            if !stage.out_edges.is_empty() && now >= stage.issue(stage.chunk, ii) + stage.depth {
-                let allowance = stage.write_acc.step();
-                if allowance > 0 {
-                    // A stage cannot emit results for data it has not
-                    // read: cap cumulative output at the proportional
-                    // share of input consumed (sources are uncapped).
-                    // The share rounds *up*: the ILP's fluid occupancy
-                    // model assumes writes track τ_out continuously once
-                    // the stage depth has elapsed, and flooring here
-                    // silently discards write allowance for
-                    // fractional-rate stages (e.g. a ×5 reduction
-                    // emitting 2 elements per 5 cycles), delaying chunk
-                    // completion past the fluid finish time and
-                    // overflowing exact-sized upstream buffers in later
-                    // chunks.
-                    for slot in 0..stage.out_edges.len() {
-                        let e = stage.out_edges[slot];
-                        let remaining = stage.write_remaining[slot];
-                        let want = allowance.min(remaining);
-                        if want == 0 {
-                            continue;
-                        }
-                        let cap = if stage.read_total > 0 {
-                            let vol = edge_volume[e] as u128;
-                            let read_total = stage.read_total as u128;
-                            let done_share =
-                                (stage.read_done as u128 * vol).div_ceil(read_total) as u64;
-                            let written = edge_volume[e] - remaining;
-                            done_share.saturating_sub(written)
-                        } else {
-                            want
-                        };
-                        let n = want.min(cap);
-                        if n == 0 {
-                            continue;
-                        }
-                        let space = buffers[e].free();
-                        let accepted = n.min(space);
-                        if accepted < n {
-                            match config.buffer_policy {
-                                BufferPolicy::Strict => {
-                                    if overflow_edge.is_none() {
-                                        *overflow_edge = Some(e);
-                                    }
-                                    overflow = true;
-                                    break 'stages;
-                                }
-                                BufferPolicy::Elastic => {
-                                    if accepted == 0 {
-                                        stalled = true;
-                                    }
-                                }
-                            }
-                        }
-                        if accepted > 0 {
-                            buffers[e].write(accepted).expect("space checked");
-                            *sram_dynamic_bytes += accepted * config.bytes_per_element;
-                            *compute_elements += accepted;
-                            stage.write_remaining[slot] -= accepted;
-                            if matches!(stage.kind, OpKind::Source) {
-                                dram.read(accepted * config.bytes_per_element);
-                            }
-                        }
-                    }
-                }
-            }
-            if stalled {
-                cycle_stalled = true;
-            }
-            if starved {
-                cycle_starved = true;
-            }
-            // Chunk completion.
-            if stage.chunk_done() && stage.active(now, n_chunks, ii) {
-                stage.chunk += 1;
-                if stage.chunk < n_chunks {
-                    for slot in 0..stage.in_edges.len() {
-                        stage.read_remaining[slot] = edge_volume[stage.in_edges[slot]];
-                    }
-                    let write_total = stage
-                        .out_edges
-                        .iter()
-                        .map(|&e| edge_volume[e])
-                        .max()
-                        .unwrap_or(0);
-                    for w in stage.write_remaining.iter_mut() {
-                        *w = write_total;
-                    }
-                    stage.read_done = 0;
-                    stage.read_acc.reset();
-                    stage.write_acc.reset();
-                }
+                overflow = true;
+                break;
             }
         }
-        if cycle_stalled {
+        self.sram_dynamic_bytes += acct.sram_dynamic_bytes;
+        self.compute_elements += acct.compute_elements;
+        self.dram.read(acct.dram_read_bytes);
+        if acct.stalled {
             self.stall_cycles += 1;
         }
-        if cycle_starved {
+        if acct.starved {
             self.starved_cycles += 1;
         }
         if overflow {
