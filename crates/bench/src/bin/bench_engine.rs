@@ -63,7 +63,16 @@ fn main() {
             let elements = n * CHUNK_ELEMENTS;
             // Warm the compile cache so the timings isolate the engine
             // loop from the (already amortized) ILP solve.
-            session.compiled(elements).expect("CS+DT design compiles");
+            let compiled = session.compiled(elements).expect("CS+DT design compiles");
+            let t_cert = Instant::now();
+            let cert = compiled.certify();
+            let certify_ms = t_cert.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                cert.accepted(),
+                "{}/{n}: schedule certificate rejected:\n{}",
+                spec.name(),
+                cert.render()
+            );
 
             let (oracle, t_oracle) = timed_run(&mut session, elements, ExecMode::CycleAccurate);
             let (event, t_event) = timed_run(&mut session, elements, ExecMode::EventDriven);
@@ -88,20 +97,14 @@ fn main() {
                 t_event.as_secs_f64() * 1e3,
                 speedup
             );
-            report.push(RunRecord::from_report(
-                spec.name(),
-                n,
-                elements,
-                &oracle,
-                t_oracle,
-            ));
-            report.push(RunRecord::from_report(
-                spec.name(),
-                n,
-                elements,
-                &event,
-                t_event,
-            ));
+            report.push(
+                RunRecord::from_report(spec.name(), n, elements, &oracle, t_oracle)
+                    .with_certify_ms(certify_ms),
+            );
+            report.push(
+                RunRecord::from_report(spec.name(), n, elements, &event, t_event)
+                    .with_certify_ms(certify_ms),
+            );
         }
     }
 
@@ -121,15 +124,21 @@ fn main() {
         let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(n as u32, 2)));
         let mut session = fw.session(spec.clone());
         let elements = n * CHUNK_ELEMENTS;
-        session.compiled(elements).expect("CS+DT design compiles");
-        let (oracle, t_oracle) = timed_run(&mut session, elements, ExecMode::CycleAccurate);
-        report.push(RunRecord::from_report(
+        let compiled = session.compiled(elements).expect("CS+DT design compiles");
+        let t_cert = Instant::now();
+        let cert = compiled.certify();
+        let certify_ms = t_cert.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            cert.accepted(),
+            "{}/{n}: schedule certificate rejected:\n{}",
             spec.name(),
-            n,
-            elements,
-            &oracle,
-            t_oracle,
-        ));
+            cert.render()
+        );
+        let (oracle, t_oracle) = timed_run(&mut session, elements, ExecMode::CycleAccurate);
+        report.push(
+            RunRecord::from_report(spec.name(), n, elements, &oracle, t_oracle)
+                .with_certify_ms(certify_ms),
+        );
         for &shards in shard_counts {
             let (sharded, t_sharded) = timed_run(&mut session, elements, ExecMode::Sharded(shards));
             assert_eq!(
@@ -149,13 +158,10 @@ fn main() {
                 t_sharded.as_secs_f64() * 1e3,
                 t_oracle.as_secs_f64() / t_sharded.as_secs_f64().max(1e-9)
             );
-            report.push(RunRecord::from_report(
-                spec.name(),
-                n,
-                elements,
-                &sharded,
-                t_sharded,
-            ));
+            report.push(
+                RunRecord::from_report(spec.name(), n, elements, &sharded, t_sharded)
+                    .with_certify_ms(certify_ms),
+            );
         }
     }
     println!(

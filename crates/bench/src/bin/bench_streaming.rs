@@ -32,7 +32,10 @@ use streamgrid_bench::report::{StreamBenchReport, StreamRecord};
 use streamgrid_core::apps::AppDomain;
 use streamgrid_core::cache::FileCache;
 use streamgrid_core::framework::{ExecMode, ExecuteOptions};
-use streamgrid_core::source::{DatasetSource, ReplaySource, SizeBucketing, StreamOptions};
+use streamgrid_core::session::Session;
+use streamgrid_core::source::{
+    DatasetSource, ReplaySource, SizeBucketing, StreamOptions, StreamReport,
+};
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
 use streamgrid_core::StreamGrid;
 use streamgrid_pointcloud::datasets::lidar::{trajectory, LidarConfig, Scene};
@@ -88,6 +91,30 @@ fn modelnet_source(seed: u64, frames: usize) -> ModelNetStream {
         frames,
         seed,
     )
+}
+
+/// Certifies every distinct compiled schedule a stream executed (one
+/// per scheduled bucket — all cache hits by now) and returns the total
+/// certification wall time in milliseconds. Panics if any certificate
+/// rejects: the compile path bumps buffers to their certified peaks, so
+/// a rejection here is a verifier/compiler disagreement.
+fn certify_stream(session: &mut Session, report: &StreamReport) -> f64 {
+    let mut buckets: Vec<u64> = report.frames.iter().map(|f| f.scheduled_elements).collect();
+    buckets.sort_unstable();
+    buckets.dedup();
+    let t0 = Instant::now();
+    for &bucket in &buckets {
+        let cert = session
+            .compiled(bucket)
+            .expect("streamed design is cached")
+            .certify();
+        assert!(
+            cert.accepted(),
+            "bucket {bucket}: schedule certificate rejected:\n{}",
+            cert.render()
+        );
+    }
+    t0.elapsed().as_secs_f64() * 1e3
 }
 
 fn header() {
@@ -190,12 +217,11 @@ fn main() {
                 overhead,
                 wall.as_secs_f64() * 1e3,
             );
-            out.push(StreamRecord::from_stream_report(
-                domain.spec().name(),
-                source_name,
-                &report,
-                wall,
-            ));
+            let certify_ms = certify_stream(&mut session, &report);
+            out.push(
+                StreamRecord::from_stream_report(domain.spec().name(), source_name, &report, wall)
+                    .with_certify_ms(certify_ms),
+            );
         }
     }
 
@@ -264,6 +290,7 @@ fn main() {
             report.scheduled_elements() - report.source_elements(),
             wall_ms,
         );
+        let certify_ms = certify_stream(&mut session, &report);
         out.push(
             StreamRecord::from_stream_report(
                 AppDomain::Registration.spec().name(),
@@ -272,7 +299,8 @@ fn main() {
                 wall,
             )
             .with_workers(workers as u64)
-            .with_exec("CycleAccurate"),
+            .with_exec("CycleAccurate")
+            .with_certify_ms(certify_ms),
         );
         if workers > 1 {
             let cores = std::thread::available_parallelism()
@@ -354,6 +382,7 @@ fn main() {
             "",
             sequential_wall / wall_ms.max(1e-9)
         );
+        let certify_ms = certify_stream(&mut session, &report);
         out.push(
             StreamRecord::from_stream_report(
                 AppDomain::Registration.spec().name(),
@@ -362,7 +391,8 @@ fn main() {
                 wall,
             )
             .with_workers(workers as u64)
-            .with_exec(&exec_label),
+            .with_exec(&exec_label)
+            .with_certify_ms(certify_ms),
         );
     }
 
@@ -421,6 +451,7 @@ fn main() {
             report.scheduled_elements() - report.source_elements(),
             wall.as_secs_f64() * 1e3,
         );
+        let certify_ms = certify_stream(&mut session, &report);
         out.push(
             StreamRecord::from_stream_report(
                 AppDomain::Registration.spec().name(),
@@ -428,7 +459,8 @@ fn main() {
                 &report,
                 wall,
             )
-            .with_cache(label),
+            .with_cache(label)
+            .with_certify_ms(certify_ms),
         );
     }
     let _ = std::fs::remove_dir_all(&cache_dir);

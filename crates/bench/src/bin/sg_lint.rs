@@ -1,0 +1,181 @@
+//! `sg_lint` — the static-verification gate, as a CLI.
+//!
+//! Default mode lints and certifies every registry preset under each
+//! transform variant (Base, CS, CS+DT): the pipeline linter's findings
+//! are printed rustc-style, and every compiled schedule's occupancy
+//! certificate must accept (the compile path bumps buffers to their
+//! certified peaks, so a rejection is a verifier/compiler
+//! disagreement). Exits nonzero when any Error-severity lint fires or
+//! any certificate rejects — warnings are reported but do not gate.
+//!
+//! `--spsc` instead runs the shard-ring interleaving checker: the
+//! correct protocol model must pass exhaustively at every bounded
+//! configuration, and the two seeded-bug variants (publish-before-done,
+//! off-by-one flow control) must each be *caught* — a bug variant
+//! passing means the checker lost its teeth, and also exits nonzero.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use streamgrid_core::registry::PipelineRegistry;
+use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+use streamgrid_core::StreamGrid;
+use streamgrid_verify::spsc::{check_spsc, check_spsc_variant, SpscConfig, Variant};
+use streamgrid_verify::Severity;
+
+/// Elements each chunk streams from the source (paper-scale points×3).
+const CHUNK_ELEMENTS: u64 = 300;
+
+/// Chunks the CS/CS+DT variants split each cloud into.
+const N_CHUNKS: u32 = 4;
+
+fn lint_presets() -> ExitCode {
+    let variants: [(&str, StreamGridConfig); 3] = [
+        ("base", StreamGridConfig::base()),
+        ("cs", StreamGridConfig::cs(SplitConfig::linear(N_CHUNKS, 2))),
+        (
+            "cs_dt",
+            StreamGridConfig::cs_dt(SplitConfig::linear(N_CHUNKS, 2)),
+        ),
+    ];
+    let registry = PipelineRegistry::with_paper_apps();
+    let elements = u64::from(N_CHUNKS) * CHUNK_ELEMENTS;
+
+    println!(
+        "{:<16} {:<8} {:>6} {:>6} {:<10} {:>12}",
+        "pipeline", "config", "warn", "error", "cert", "certify (ms)"
+    );
+    let mut errors = 0u64;
+    let mut warnings = 0u64;
+    let mut rejected = 0u64;
+    let mut findings: Vec<String> = Vec::new();
+    for spec in registry.specs() {
+        for (label, config) in &variants {
+            let mut session = StreamGrid::new(*config).session(spec.clone());
+            let compiled = match session.compiled(elements) {
+                Ok(c) => c,
+                Err(e) => {
+                    println!("{:<16} {:<8} compile failed: {e}", spec.name(), label);
+                    errors += 1;
+                    continue;
+                }
+            };
+            let t0 = Instant::now();
+            let cert = compiled.certify();
+            let certify_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let warn = compiled
+                .lints
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .count() as u64;
+            let err = compiled.lints.len() as u64 - warn;
+            warnings += warn;
+            errors += err;
+            if !cert.accepted() {
+                rejected += 1;
+            }
+            println!(
+                "{:<16} {:<8} {:>6} {:>6} {:<10} {:>12.3}",
+                spec.name(),
+                label,
+                warn,
+                err,
+                if cert.accepted() {
+                    "ACCEPTED"
+                } else {
+                    "REJECTED"
+                },
+                certify_ms
+            );
+            findings.extend(
+                compiled
+                    .lints
+                    .iter()
+                    .map(|d| format!("{}/{label}: {}", spec.name(), d.render())),
+            );
+            if !cert.accepted() {
+                findings.push(format!("{}/{label}: {}", spec.name(), cert.render()));
+            }
+        }
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("\n{warnings} warning(s), {errors} error(s), {rejected} rejected certificate(s)");
+    if errors > 0 || rejected > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn check_spsc_matrix() -> ExitCode {
+    let mut failed = false;
+
+    println!(
+        "{:<22} {:>6} {:>6} {:>10} {:<8}",
+        "model", "ring", "items", "states", "verdict"
+    );
+    // The correct protocol must pass exhaustively at every bounded
+    // configuration (ring length × items spanning the flow-control and
+    // finish interleavings).
+    for (ring_len, iterations) in [(1, 4), (2, 4), (2, 6), (3, 6), (4, 5)] {
+        let report = check_spsc(&SpscConfig {
+            ring_len,
+            iterations,
+        });
+        let ok = report.passed();
+        failed |= !ok;
+        println!(
+            "{:<22} {:>6} {:>6} {:>10} {:<8}",
+            "correct",
+            ring_len,
+            iterations,
+            report.states_explored,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if let Some(v) = &report.violation {
+            println!("  violation: {v}");
+        }
+    }
+    // The seeded-bug variants must each be caught: a passing bug model
+    // means the checker can no longer distinguish broken protocols.
+    for (label, variant) in [
+        ("publish-before-done", Variant::PublishBeforeDone),
+        ("flow-ctl-off-by-one", Variant::FlowControlOffByOne),
+    ] {
+        let report = check_spsc_variant(
+            &SpscConfig {
+                ring_len: 2,
+                iterations: 4,
+            },
+            variant,
+        );
+        let caught = !report.passed();
+        failed |= !caught;
+        println!(
+            "{:<22} {:>6} {:>6} {:>10} {:<8}",
+            label,
+            2,
+            4,
+            report.states_explored,
+            if caught { "CAUGHT" } else { "MISSED" }
+        );
+        if let Some(v) = &report.violation {
+            println!("  violation: {v}");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--spsc") {
+        check_spsc_matrix()
+    } else {
+        lint_presets()
+    }
+}

@@ -59,6 +59,11 @@ pub struct RunRecord {
     /// uninterpretable without it (a 1-core runner shows ~1× speedups
     /// however many threads a sweep asks for).
     pub host_threads: u64,
+    /// Wall time of the full-lattice schedule certification
+    /// (`CompiledPipeline::certify`) in milliseconds — the static
+    /// verifier's cost next to the run it certifies (0 when the harness
+    /// did not certify).
+    pub certify_ms: f64,
 }
 
 impl RunRecord {
@@ -86,7 +91,14 @@ impl RunRecord {
             energy_uj: report.total_uj(),
             wall_time_ms: wall.as_secs_f64() * 1e3,
             host_threads: host_threads(),
+            certify_ms: 0.0,
         }
+    }
+
+    /// Returns the record with the certification wall time attached.
+    pub fn with_certify_ms(mut self, certify_ms: f64) -> Self {
+        self.certify_ms = certify_ms;
+        self
     }
 }
 
@@ -142,7 +154,7 @@ impl BenchReport {
                      \"exec_mode\": {}, \"cycles\": {}, \"stall_cycles\": {}, \
                      \"starved_cycles\": {}, \"truncated\": {}, \"onchip_bytes\": {}, \
                      \"dram_bytes\": {}, \"energy_uj\": {}, \"wall_time_ms\": {}, \
-                     \"host_threads\": {}}}",
+                     \"host_threads\": {}, \"certify_ms\": {}}}",
                     json_str(&r.pipeline),
                     r.n_chunks,
                     r.total_elements,
@@ -156,6 +168,7 @@ impl BenchReport {
                     json_f64(r.energy_uj),
                     json_f64(r.wall_time_ms),
                     r.host_threads,
+                    json_f64(r.certify_ms),
                 )
             })
             .collect();
@@ -220,6 +233,10 @@ pub struct StreamRecord {
     /// without it, identical wall times across a worker or shard sweep
     /// cannot be told apart from a genuinely absent speedup.
     pub host_threads: u64,
+    /// Wall time spent certifying the sweep's compiled schedules
+    /// (`CompiledPipeline::certify`) in milliseconds (0 when the
+    /// harness did not certify).
+    pub certify_ms: f64,
 }
 
 impl StreamRecord {
@@ -254,7 +271,14 @@ impl StreamRecord {
             cache: "private".to_owned(),
             exec: "Auto".to_owned(),
             host_threads: host_threads(),
+            certify_ms: 0.0,
         }
+    }
+
+    /// Returns the record with the certification wall time attached.
+    pub fn with_certify_ms(mut self, certify_ms: f64) -> Self {
+        self.certify_ms = certify_ms;
+        self
     }
 
     /// Returns the record with the executing worker count replaced.
@@ -323,7 +347,7 @@ impl StreamBenchReport {
                      \"p50_frame_cycles\": {}, \"p95_frame_cycles\": {}, \
                      \"max_frame_cycles\": {}, \"energy_uj\": {}, \"all_clean\": {}, \
                      \"wall_time_ms\": {}, \"workers\": {}, \"cache\": {}, \
-                     \"exec\": {}, \"host_threads\": {}}}",
+                     \"exec\": {}, \"host_threads\": {}, \"certify_ms\": {}}}",
                     json_str(&r.pipeline),
                     json_str(&r.source),
                     json_str(&r.policy),
@@ -342,6 +366,7 @@ impl StreamBenchReport {
                     json_str(&r.cache),
                     json_str(&r.exec),
                     r.host_threads,
+                    json_f64(r.certify_ms),
                 )
             })
             .collect();
@@ -434,6 +459,7 @@ mod tests {
             energy_uj: 1.25,
             wall_time_ms: 0.5,
             host_threads: 2,
+            certify_ms: 0.125,
         }
     }
 
@@ -448,6 +474,7 @@ mod tests {
         assert!(json.contains("\"pipeline\": \"classification\""));
         assert!(json.contains("\"exec_mode\": \"EventDriven\""));
         assert!(json.contains("\"host_threads\": 2"));
+        assert!(json.contains("\"certify_ms\": 0.125000"));
         assert!(json.trim_end().ends_with('}'));
         // Two records, exactly one separating comma between them.
         assert_eq!(json.matches("\"pipeline\"").count(), 2);
@@ -488,6 +515,7 @@ mod tests {
             cache: "file-warm".to_owned(),
             exec: "Sharded(4)".to_owned(),
             host_threads: 8,
+            certify_ms: 0.25,
         });
         let json = r.to_json();
         assert!(json.contains("\"harness\": \"bench_streaming\""));
@@ -498,6 +526,7 @@ mod tests {
         assert!(json.contains("\"cache\": \"file-warm\""));
         assert!(json.contains("\"exec\": \"Sharded(4)\""));
         assert!(json.contains("\"host_threads\": 8"));
+        assert!(json.contains("\"certify_ms\": 0.250000"));
         assert!(json.trim_end().ends_with('}'));
     }
 
@@ -534,12 +563,15 @@ mod tests {
         assert_eq!(record.exec, "Auto");
         assert_eq!(record.host_threads, host_threads());
         assert!(record.host_threads >= 1);
+        assert_eq!(record.certify_ms, 0.0);
         let tagged = record
             .clone()
             .with_workers(8)
             .with_cache("file-cold")
-            .with_exec("Sharded(2)");
+            .with_exec("Sharded(2)")
+            .with_certify_ms(1.5);
         assert_eq!((tagged.workers, tagged.cache.as_str()), (8, "file-cold"));
         assert_eq!(tagged.exec, "Sharded(2)");
+        assert_eq!(tagged.certify_ms, 1.5);
     }
 }

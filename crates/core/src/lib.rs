@@ -64,7 +64,8 @@ pub mod transform;
 pub use apps::{table2, AppDomain, AppSpec};
 pub use cache::{CacheKey, CompileRequest, FileCache, InMemoryCache, ScheduleCache, SharedCache};
 pub use framework::{
-    CompileSummary, CompiledPipeline, ExecMode, ExecuteOptions, ExecutionReport, StreamGrid,
+    CompileSummary, CompiledPipeline, ExecMode, ExecuteOptions, ExecutionReport, LintSummary,
+    StreamGrid,
 };
 pub use pipeline::{CompileError, PipelineBuilder, PipelineSpec, StageId};
 pub use registry::PipelineRegistry;

@@ -47,6 +47,10 @@ pub enum CompileError {
     DuplicateName(String),
     /// No registered pipeline has this name.
     UnknownPipeline(String),
+    /// The session promotes lint findings to compile failures
+    /// (`SessionBuilder::deny_lints`) and the linter found something;
+    /// the payload is the rendered diagnostics, one per line.
+    LintDenied(String),
 }
 
 impl fmt::Display for CompileError {
@@ -67,6 +71,9 @@ impl fmt::Display for CompileError {
                 write!(f, "a pipeline named {n} is already registered")
             }
             CompileError::UnknownPipeline(n) => write!(f, "no pipeline named {n} is registered"),
+            CompileError::LintDenied(msgs) => {
+                write!(f, "lints denied by the session:\n{msgs}")
+            }
         }
     }
 }

@@ -64,6 +64,7 @@ pub struct Session {
     spec_fp: u64,
     config: StreamGridConfig,
     cache: Box<dyn ScheduleCache>,
+    deny_lints: bool,
 }
 
 /// Configures a [`Session`] before opening it — most importantly which
@@ -90,6 +91,7 @@ pub struct SessionBuilder {
     spec: PipelineSpec,
     config: StreamGridConfig,
     cache: Box<dyn ScheduleCache>,
+    deny_lints: bool,
 }
 
 impl SessionBuilder {
@@ -98,6 +100,7 @@ impl SessionBuilder {
             spec,
             config,
             cache: Box::new(InMemoryCache::new()),
+            deny_lints: false,
         }
     }
 
@@ -117,6 +120,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Promotes linter findings (warnings included) to
+    /// [`CompileError::LintDenied`]: every compile this session serves —
+    /// [`Session::run`], [`Session::stream`], batches — fails instead of
+    /// executing a design the linter flagged. Without this, findings
+    /// still surface on [`ExecutionReport::lints`](crate::framework::ExecutionReport::lints).
+    pub fn deny_lints(mut self) -> Self {
+        self.deny_lints = true;
+        self
+    }
+
     /// Opens the session.
     pub fn build(self) -> Session {
         let spec_repr: Box<str> = crate::cache::spec_repr(&self.spec).into();
@@ -126,6 +139,7 @@ impl SessionBuilder {
             spec: self.spec,
             config: self.config,
             cache: self.cache,
+            deny_lints: self.deny_lints,
         }
     }
 }
@@ -182,7 +196,16 @@ impl Session {
             &self.config,
             total_elements,
         );
-        self.cache.get_or_compile(&req)
+        let compiled = self.cache.get_or_compile(&req)?;
+        // The one choke point every session compile flows through —
+        // run/run_batch/stream all land here, so denying lints in one
+        // place covers them all (cache hits included: lints are part of
+        // the compiled design).
+        if self.deny_lints && !compiled.lints.is_empty() {
+            let rendered: Vec<String> = compiled.lints.iter().map(|d| d.render()).collect();
+            return Err(CompileError::LintDenied(rendered.join("\n")));
+        }
+        Ok(compiled)
     }
 
     /// Streams every frame of `source` through the compiled pipeline
@@ -629,5 +652,45 @@ mod tests {
         let mut built = fw.session_builder(AppDomain::Classification.spec()).build();
         assert_eq!(plain.run(4 * 300).unwrap(), built.run(4 * 300).unwrap());
         assert_eq!(plain.solver_invocations(), built.solver_invocations());
+    }
+
+    #[test]
+    fn deny_lints_promotes_findings_to_compile_errors() {
+        use crate::transform::TerminationConfig;
+
+        // DT without CS is the SG004 lint: deadlines without bounded
+        // chunks cannot keep results deterministic.
+        let dt_only = StreamGridConfig {
+            splitting: None,
+            termination: Some(TerminationConfig::default()),
+        };
+        let fw = StreamGrid::new(dt_only);
+
+        // A permissive session still runs and surfaces the finding on
+        // the report.
+        let mut lax = fw.session(AppDomain::Classification.spec());
+        let report = lax.run(1200).unwrap();
+        assert!(report.lints.warnings >= 1);
+        assert!(report.lints.messages.iter().any(|m| m.contains("SG004")));
+
+        // A denying session refuses to execute the same design.
+        let mut strict = fw
+            .session_builder(AppDomain::Classification.spec())
+            .deny_lints()
+            .build();
+        match strict.run(1200) {
+            Err(CompileError::LintDenied(msg)) => assert!(msg.contains("SG004")),
+            other => panic!("expected LintDenied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deny_lints_passes_clean_pipelines() {
+        let mut s = csdt4()
+            .session_builder(AppDomain::Classification.spec())
+            .deny_lints()
+            .build();
+        let report = s.run(4 * 300).unwrap();
+        assert!(report.lints.is_clean());
     }
 }

@@ -20,6 +20,7 @@
 
 use serde::{Deserialize, Serialize};
 use streamgrid_pointcloud::PointCloud;
+use streamgrid_verify::bucketing_blowup;
 
 use crate::framework::{ExecuteOptions, ExecutionReport};
 
@@ -456,6 +457,45 @@ impl StreamReport {
     /// no overflow, no stall, no truncation, stream-wide.
     pub fn all_clean(&self) -> bool {
         self.frames.iter().all(|f| f.report.is_clean())
+    }
+
+    /// Lint warnings across the stream: every frame's compile-time
+    /// diagnostics, plus a per-frame bucketing-blowup check (SG003) of
+    /// the frame's *actual* size against its scheduled bucket — a
+    /// finding only the stream can make, since the compiler sees only
+    /// the bucket.
+    pub fn lint_warning_count(&self) -> u64 {
+        self.frames
+            .iter()
+            .map(|f| {
+                f.report.lints.warnings
+                    + u64::from(bucketing_blowup(f.frame.elements, f.scheduled_elements).is_some())
+            })
+            .sum()
+    }
+
+    /// Distinct rendered lint messages across the stream, in first-seen
+    /// order. Compile lints repeat on every frame sharing a bucket;
+    /// deduplication keeps the stream-level view readable.
+    pub fn lint_messages(&self) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for f in &self.frames {
+            let blowup = bucketing_blowup(f.frame.elements, f.scheduled_elements);
+            for m in f
+                .report
+                .lints
+                .messages
+                .iter()
+                .cloned()
+                .chain(blowup.map(|d| d.render()))
+            {
+                if seen.insert(m.clone()) {
+                    out.push(m);
+                }
+            }
+        }
+        out
     }
 
     /// Nearest-rank percentile of per-frame cycles, `q` in `[0, 1]`.

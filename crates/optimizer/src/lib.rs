@@ -9,8 +9,9 @@
 //!    monotonicity-based *constraint pruning* or the naive per-timestep
 //!    constraints (for the ablation);
 //! 2. `streamgrid-ilp` solves it exactly;
-//! 3. [`schedule`] validates the result against an analytic occupancy
-//!    model;
+//! 3. [`schedule`] certifies the result against the exact *discrete*
+//!    occupancy model (`streamgrid-verify`), bumping any buffer the
+//!    fluid ILP under-sized by a discretization transient;
 //! 4. [`multichunk`] extends the single-chunk result to streamed chunks
 //!    by bubble insertion (Fig. 11).
 //!
@@ -41,7 +42,9 @@ pub mod schedule;
 
 pub use formulation::{build, edge_infos, EdgeInfo, Formulation, FormulationKind};
 pub use multichunk::{multi_chunk_peaks, plan_multi_chunk, MultiChunkPlan};
-pub use schedule::{asap_schedule, peak_occupancy, validate_schedule, Schedule};
+pub use schedule::{
+    asap_schedule, cert_edges, certify_schedule, peak_occupancy, validate_schedule, Schedule,
+};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -119,14 +122,21 @@ impl From<SolveError> for OptimizeError {
     }
 }
 
-/// Runs the full optimization: formulate → solve → validate.
+/// Runs the full optimization: formulate → solve → certify.
+///
+/// The ILP sizes buffers against the fluid occupancy envelope; the
+/// discrete stepper can transiently exceed it by an O(τ) visit-order
+/// term the continuous model cannot see. After solving, the schedule is
+/// certified against the exact discrete model and any marginally
+/// over-bound buffer is bumped to its certified peak, so the returned
+/// schedule always carries an accepting certificate.
 ///
 /// # Errors
 ///
 /// Returns [`OptimizeError::Infeasible`] when no schedule meets the
 /// performance target, [`OptimizeError::Solver`] on solver failure, and
-/// [`OptimizeError::ValidationFailed`] if the analytic occupancy check
-/// rejects the solution (formulation bug guard).
+/// [`OptimizeError::ValidationFailed`] if the exact occupancy check
+/// still rejects the certified solution (formulation bug guard).
 pub fn optimize(graph: &DataflowGraph, config: &OptimizeConfig) -> Result<Schedule, OptimizeError> {
     SOLVE_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
     let edges = edge_infos(graph, config.source_elements);
@@ -163,7 +173,7 @@ pub fn optimize(graph: &DataflowGraph, config: &OptimizeConfig) -> Result<Schedu
             .max(read_end.ceil() as u64)
             .max(write_end.ceil() as u64);
     }
-    let schedule = Schedule {
+    let mut schedule = Schedule {
         start_cycles,
         buffer_sizes,
         makespan,
@@ -172,7 +182,16 @@ pub fn optimize(graph: &DataflowGraph, config: &OptimizeConfig) -> Result<Schedu
         lp_iterations: sol.lp_iterations,
         solver_nodes: sol.nodes,
     };
-    if let Err(edge) = validate_schedule(&edges, &schedule, 1.0) {
+    // Certify the single-chunk discrete envelope and absorb any
+    // discretization transient the fluid formulation under-sized.
+    let cert = schedule::certify_schedule(&edges, &schedule, 1, 1);
+    for ec in &cert.edges {
+        if !ec.accepted {
+            schedule.buffer_sizes[ec.edge] = ec.certified_peak;
+        }
+    }
+    schedule.total_buffer_elements = schedule.buffer_sizes.iter().sum();
+    if let Err(edge) = validate_schedule(&edges, &schedule) {
         return Err(OptimizeError::ValidationFailed { edge });
     }
     Ok(schedule)

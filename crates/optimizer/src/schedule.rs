@@ -1,8 +1,10 @@
-//! Schedules: the optimizer's output, the ASAP reference schedule, and
-//! an analytic occupancy evaluator used to validate buffer sizes.
+//! Schedules: the optimizer's output, the ASAP reference schedule, a
+//! fluid occupancy evaluator (multi-chunk planning), and the exact
+//! discrete validation entry points backed by `streamgrid-verify`.
 
 use serde::{Deserialize, Serialize};
 use streamgrid_dataflow::{DataflowGraph, OpKind};
+use streamgrid_verify::{certify, CertEdge, Certificate};
 
 use crate::formulation::EdgeInfo;
 
@@ -107,23 +109,56 @@ pub fn peak_occupancy(edge: &EdgeInfo, chunk_starts: &[(f64, f64)]) -> f64 {
     events.into_iter().map(occupancy_at).fold(0.0f64, f64::max)
 }
 
-/// Validates that `schedule`'s buffer sizes cover the analytic peak
-/// occupancy of every edge (single chunk). Returns the first violating
-/// edge index.
-pub fn validate_schedule(
+/// Projects [`EdgeInfo`]s onto the certifier's rational-rate view —
+/// exactly the fields the discrete occupancy analysis needs, floats
+/// dropped.
+pub fn cert_edges(edges: &[EdgeInfo]) -> Vec<CertEdge> {
+    edges
+        .iter()
+        .map(|e| CertEdge {
+            producer: e.producer.index(),
+            consumer: e.consumer.index(),
+            tau_out: e.tau_out_rate,
+            tau_in: e.tau_in_rate,
+            volume: e.volume,
+            depth: e.depth_p,
+            global_consumer: e.global_consumer,
+            window_chunks: e.window_chunks,
+        })
+        .collect()
+}
+
+/// Certifies `schedule`'s buffer sizes against the worst-case *discrete*
+/// occupancy of every edge over the chunk lattice `start + c·period` —
+/// pure integer arithmetic, no floats, no tolerance. See
+/// `streamgrid_verify::certify` for the algorithm and the guarantee.
+pub fn certify_schedule(
     edges: &[EdgeInfo],
     schedule: &Schedule,
-    tolerance: f64,
-) -> Result<(), usize> {
-    for (i, e) in edges.iter().enumerate() {
-        let tp = schedule.start_cycles[e.producer.index()] as f64;
-        let tc = schedule.start_cycles[e.consumer.index()] as f64;
-        let peak = peak_occupancy(e, &[(tp, tc)]);
-        if peak > schedule.buffer_sizes[i] as f64 + tolerance {
-            return Err(i);
-        }
+    period: u64,
+    n_chunks: u64,
+) -> Certificate {
+    certify(
+        &cert_edges(edges),
+        &schedule.start_cycles,
+        &schedule.buffer_sizes,
+        period,
+        n_chunks,
+    )
+}
+
+/// Validates that `schedule`'s buffer sizes cover the exact discrete
+/// peak occupancy of every edge (single chunk). Returns the first
+/// violating edge index.
+///
+/// Until the verify crate existed this compared against the fluid
+/// [`peak_occupancy`] model with a float tolerance; it now delegates to
+/// the certifier, so acceptance is exact.
+pub fn validate_schedule(edges: &[EdgeInfo], schedule: &Schedule) -> Result<(), usize> {
+    match certify_schedule(edges, schedule, 1, 1).first_violation() {
+        None => Ok(()),
+        Some(v) => Err(v.edge),
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -210,5 +245,33 @@ mod tests {
         // Overlapping chunks accumulate.
         let overlapped = peak_occupancy(&edges[0], &[(0.0, 10.0), (20.0, 120.0)]);
         assert!(overlapped > spaced);
+    }
+
+    #[test]
+    fn validate_certifies_exactly_and_rejects_undersizing() {
+        let mut g = DataflowGraph::new();
+        let src = g.source("src", Shape::new(1, 1), 1);
+        let m = g.map("m", Shape::new(1, 1), Shape::new(1, 1), 0);
+        let sink = g.sink("sink", Shape::new(1, 1), 1);
+        g.connect(src, m);
+        g.connect(m, sink);
+        let edges = edge_infos(&g, 100);
+        // Consumer 10 cycles late at matched unit rates: discrete peak is
+        // exactly 10 on the first edge, 1 on the matched second edge.
+        let mut schedule = Schedule {
+            start_cycles: vec![0, 10, 10],
+            buffer_sizes: vec![10, 1],
+            makespan: 110,
+            total_buffer_elements: 11,
+            constraint_count: 0,
+            lp_iterations: 0,
+            solver_nodes: 0,
+        };
+        assert_eq!(validate_schedule(&edges, &schedule), Ok(()));
+        let cert = certify_schedule(&edges, &schedule, 1, 1);
+        assert_eq!(cert.edges[0].certified_peak, 10);
+        // One element short is a rejection — no float tolerance absorbs it.
+        schedule.buffer_sizes[0] = 9;
+        assert_eq!(validate_schedule(&edges, &schedule), Err(0));
     }
 }

@@ -1,0 +1,41 @@
+//! Static verification for StreamGrid designs: analyses that run at
+//! compile time (or in CI) and certify properties the execution engines
+//! otherwise only exhibit dynamically.
+//!
+//! Three passes, one per module:
+//!
+//! 1. [`cert`] — the **schedule certifier**: given a solved schedule
+//!    (start cycles + line-buffer bounds) and the exact rational rates
+//!    of every edge, it computes each buffer's worst-case *discrete*
+//!    occupancy over the multi-chunk issue lattice in pure integer
+//!    arithmetic and emits a machine-checkable [`Certificate`] that
+//!    occupancy never exceeds the ILP bound. All three execution
+//!    engines share one stepper, so one certificate covers
+//!    cycle-accurate, event-driven, and sharded execution.
+//! 2. [`lint`] — the **pipeline linter**: structural and
+//!    configuration diagnostics ([`Diagnostic`], codes `SG001`–`SG005`)
+//!    over a dataflow graph plus its transform context — rate
+//!    inconsistency at reconvergent stages, dead or unreachable stages,
+//!    bucketing blow-up, deterministic-termination preconditions, and
+//!    oversized global windows.
+//! 3. [`spsc`] — the **SPSC interleaving checker**: a hand-rolled
+//!    bounded exhaustive-interleaving model checker (loom-style, zero
+//!    dependencies) over a small model of the sharded engine's
+//!    single-producer/single-consumer counter ring, verifying counter
+//!    monotonicity, stale-read-is-lower-bound, the publish order that
+//!    makes `finished` trustworthy, and the `t − RING_LEN + 1` flow
+//!    -control invariant.
+//!
+//! The crate depends only on `streamgrid-dataflow` (for [`Rate`]) so
+//! the optimizer, the core framework, and the bench harnesses can all
+//! call into it without cycles.
+//!
+//! [`Rate`]: streamgrid_dataflow::Rate
+
+pub mod cert;
+pub mod lint;
+pub mod spsc;
+
+pub use cert::{certify, CertEdge, Certificate, EdgeCert};
+pub use lint::{bucketing_blowup, lint_graph, Diagnostic, LintContext, Severity};
+pub use spsc::{check_spsc, SpscConfig, SpscReport};

@@ -1,0 +1,356 @@
+//! The pipeline linter: structural and configuration diagnostics.
+//!
+//! Lints fire on designs the compiler would otherwise accept (or reject
+//! with a less actionable error) but that usually indicate a modelling
+//! mistake. Catalog:
+//!
+//! | code    | severity | finding |
+//! |---------|----------|---------|
+//! | `SG001` | error    | reconvergent consumer whose producers deliver different per-chunk volumes (the max wins silently) |
+//! | `SG002` | error    | dead stage (non-sink with no consumers) or stage unreachable from any source |
+//! | `SG003` | warning  | size bucketing inflated the scheduled chunk well beyond the source volume (buffer blow-up) |
+//! | `SG004` | warning  | deterministic-termination preconditions unmet (DT without compulsory splitting, or a deadline fraction outside `(0, 1]`) |
+//! | `SG005` | warning  | a global op's chunk window exceeds the number of chunks the stream issues |
+//!
+//! [`lint_graph`] covers the structural codes; [`bucketing_blowup`] is a
+//! standalone helper for `SG003` because bucketing happens per frame at
+//! stream time, not at compile time.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::Serialize;
+use streamgrid_dataflow::{DataflowGraph, OpKind};
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Severity {
+    /// Suspicious but possibly intended; surfaced in reports.
+    Warning,
+    /// Almost certainly a modelling mistake; fails `sg_lint` and, under
+    /// `deny_lints`, compilation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Diagnostic {
+    /// Catalog code (`SG001`…`SG005`).
+    pub code: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// The stage the finding is anchored to, when there is one.
+    pub stage: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `rustc`-style one-line rendering: `severity[code] stage: message`.
+    pub fn render(&self) -> String {
+        match &self.stage {
+            Some(s) => format!("{}[{}] {}: {}", self.severity, self.code, s, self.message),
+            None => format!("{}[{}] {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// Transform/schedule context the structural lints need in addition to
+/// the graph itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LintContext {
+    /// Elements each source emits per chunk.
+    pub chunk_elements: u64,
+    /// Chunks the stream issues.
+    pub n_chunks: u64,
+    /// Compulsory splitting enabled.
+    pub splitting: bool,
+    /// Deterministic termination enabled.
+    pub termination: bool,
+    /// DT deadline fraction, when termination is enabled.
+    pub deadline_fraction: Option<f64>,
+}
+
+/// Runs the structural lints (`SG001`, `SG002`, `SG004`, `SG005`) over
+/// a graph. Returns findings in stage order; an empty vector means a
+/// clean bill.
+///
+/// The graph need not pass [`DataflowGraph::validate`] — volume-based
+/// lints are skipped for invalid graphs (the compiler reports those
+/// errors itself) while the reachability lints still run.
+pub fn lint_graph(graph: &DataflowGraph, ctx: &LintContext) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // SG001 — reconvergent consumers must agree on incoming volume;
+    // `volumes()` takes the max, silently starving the smaller branch.
+    if graph.validate().is_ok() {
+        let w = graph.volumes(ctx.chunk_elements);
+        for (id, node) in graph.nodes() {
+            let producers = graph.producers(id);
+            if producers.len() < 2 {
+                continue;
+            }
+            let vols: Vec<u64> = producers.iter().map(|p| w[p.index()]).collect();
+            let max = *vols.iter().max().expect("non-empty");
+            let min = *vols.iter().min().expect("non-empty");
+            if max != min {
+                out.push(Diagnostic {
+                    code: "SG001",
+                    severity: Severity::Error,
+                    stage: Some(node.name.clone()),
+                    message: format!(
+                        "reconvergent producers deliver mismatched per-chunk volumes \
+                         ({min} vs {max} elements); the smaller branch under-fills every chunk"
+                    ),
+                });
+            }
+        }
+    }
+
+    // SG002 — dead stages (non-sink, no consumers) and stages
+    // unreachable from any source do no useful work but still get
+    // buffers and schedule slots.
+    let mut reached = vec![false; graph.node_count()];
+    let mut queue: VecDeque<_> = graph
+        .nodes()
+        .filter(|(_, n)| matches!(n.kind, OpKind::Source))
+        .map(|(id, _)| id)
+        .collect();
+    for id in &queue {
+        reached[id.index()] = true;
+    }
+    while let Some(id) = queue.pop_front() {
+        for c in graph.consumers(id) {
+            if !reached[c.index()] {
+                reached[c.index()] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    for (id, node) in graph.nodes() {
+        if !matches!(node.kind, OpKind::Sink) && graph.consumers(id).is_empty() {
+            out.push(Diagnostic {
+                code: "SG002",
+                severity: Severity::Error,
+                stage: Some(node.name.clone()),
+                message: "dead stage: no consumer reads its output".to_owned(),
+            });
+        } else if !reached[id.index()] {
+            out.push(Diagnostic {
+                code: "SG002",
+                severity: Severity::Error,
+                stage: Some(node.name.clone()),
+                message: "unreachable stage: no source feeds it".to_owned(),
+            });
+        }
+    }
+
+    // SG004 — deterministic termination presumes compulsory splitting
+    // (the deadline is measured against the split schedule's makespan)
+    // and a deadline fraction in (0, 1].
+    if ctx.termination {
+        if !ctx.splitting {
+            out.push(Diagnostic {
+                code: "SG004",
+                severity: Severity::Warning,
+                stage: None,
+                message: "deterministic termination without compulsory splitting: the \
+                          deadline bounds a monolithic chunk, so truncation loses whole frames"
+                    .to_owned(),
+            });
+        }
+        if let Some(f) = ctx.deadline_fraction {
+            if !(f > 0.0 && f <= 1.0) {
+                out.push(Diagnostic {
+                    code: "SG004",
+                    severity: Severity::Warning,
+                    stage: None,
+                    message: format!(
+                        "deadline fraction {f} is outside (0, 1]; the deadline never \
+                         or always truncates"
+                    ),
+                });
+            }
+        }
+    }
+
+    // SG005 — a global op window spanning more chunks than the stream
+    // issues retains buffer capacity that can never fill.
+    if ctx.splitting {
+        for (_, node) in graph.nodes() {
+            if node.kind.is_global() && u64::from(node.window_chunks) > ctx.n_chunks {
+                out.push(Diagnostic {
+                    code: "SG005",
+                    severity: Severity::Warning,
+                    stage: Some(node.name.clone()),
+                    message: format!(
+                        "chunk window {} exceeds the stream's {} chunks; the retention \
+                         buffer is over-provisioned",
+                        node.window_chunks, ctx.n_chunks
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// `SG003` — size bucketing rounded a frame up far enough that the
+/// scheduled chunk dwarfs the real data (threshold: scheduled more than
+/// 1.5× the source elements). Returns `None` when the inflation is
+/// acceptable.
+pub fn bucketing_blowup(source_elements: u64, scheduled_elements: u64) -> Option<Diagnostic> {
+    if scheduled_elements > source_elements.saturating_mul(3) / 2 {
+        Some(Diagnostic {
+            code: "SG003",
+            severity: Severity::Warning,
+            stage: None,
+            message: format!(
+                "size bucketing scheduled {scheduled_elements} elements for a \
+                 {source_elements}-element frame; line buffers are sized for the \
+                 bucket, not the data"
+            ),
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamgrid_dataflow::Shape;
+
+    fn ctx() -> LintContext {
+        LintContext {
+            chunk_elements: 300,
+            n_chunks: 4,
+            splitting: true,
+            termination: true,
+            deadline_fraction: Some(0.25),
+        }
+    }
+
+    fn clean_chain() -> DataflowGraph {
+        let mut g = DataflowGraph::new();
+        let s = g.source("src", Shape::new(1, 3), 1);
+        let m = g.map("scale", Shape::new(1, 3), Shape::new(1, 3), 1);
+        let k = g.sink("sink", Shape::new(1, 3), 1);
+        g.connect(s, m);
+        g.connect(m, k);
+        g
+    }
+
+    #[test]
+    fn clean_pipeline_lints_clean() {
+        assert!(lint_graph(&clean_chain(), &ctx()).is_empty());
+    }
+
+    #[test]
+    fn sg001_reconvergent_volume_mismatch() {
+        let mut g = DataflowGraph::new();
+        let s = g.source("src", Shape::new(1, 1), 1);
+        let fast = g.map("fast", Shape::new(1, 1), Shape::new(1, 1), 1);
+        // 4:1 reduction — delivers a quarter of the volume.
+        let slow = g.reduction("slow", Shape::new(1, 1), Shape::new(1, 1), 1, 4);
+        let join = g.map("join", Shape::new(1, 1), Shape::new(1, 1), 1);
+        let k = g.sink("sink", Shape::new(1, 1), 1);
+        g.connect(s, fast);
+        g.connect(s, slow);
+        g.connect(fast, join);
+        g.connect(slow, join);
+        g.connect(join, k);
+        let diags = lint_graph(&g, &ctx());
+        let d = diags.iter().find(|d| d.code == "SG001").expect("SG001");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.stage.as_deref(), Some("join"));
+        assert!(
+            d.render().starts_with("error[SG001] join:"),
+            "{}",
+            d.render()
+        );
+    }
+
+    #[test]
+    fn sg002_dead_and_unreachable_stages() {
+        let mut g = DataflowGraph::new();
+        let s = g.source("src", Shape::new(1, 1), 1);
+        let dead = g.map("dead", Shape::new(1, 1), Shape::new(1, 1), 1);
+        let k = g.sink("sink", Shape::new(1, 1), 1);
+        g.connect(s, dead);
+        g.connect(s, k);
+        let diags = lint_graph(&g, &ctx());
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "SG002" && d.stage.as_deref() == Some("dead")));
+        assert_eq!(g.node(dead).name, "dead");
+    }
+
+    #[test]
+    fn sg004_termination_preconditions() {
+        let g = clean_chain();
+        let no_split = LintContext {
+            splitting: false,
+            ..ctx()
+        };
+        let diags = lint_graph(&g, &no_split);
+        assert!(diags.iter().any(|d| d.code == "SG004"));
+
+        let bad_deadline = LintContext {
+            deadline_fraction: Some(1.5),
+            ..ctx()
+        };
+        let diags = lint_graph(&g, &bad_deadline);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "SG004" && d.message.contains("1.5")));
+
+        // A sane DT config is clean.
+        assert!(lint_graph(&g, &ctx()).is_empty());
+    }
+
+    #[test]
+    fn sg005_oversized_global_window() {
+        let mut g = DataflowGraph::new();
+        let s = g.source("src", Shape::new(1, 3), 1);
+        let knn = g.global_op("knn", Shape::new(1, 3), 1, Shape::new(1, 3), 1, (1, 1), 4);
+        let k = g.sink("sink", Shape::new(1, 3), 1);
+        g.connect(s, knn);
+        g.connect(knn, k);
+        g.set_window_chunks(knn, 8);
+        let few_chunks = LintContext {
+            n_chunks: 4,
+            ..ctx()
+        };
+        let diags = lint_graph(&g, &few_chunks);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "SG005" && d.severity == Severity::Warning));
+        let many_chunks = LintContext {
+            n_chunks: 16,
+            ..ctx()
+        };
+        assert!(lint_graph(&g, &many_chunks).is_empty());
+    }
+
+    #[test]
+    fn sg003_bucketing_threshold() {
+        assert!(bucketing_blowup(100, 150).is_none());
+        let d = bucketing_blowup(100, 151).expect("blow-up");
+        assert_eq!(d.code, "SG003");
+        assert!(d.message.contains("151"));
+        // Exact fit and zero-size frames never warn spuriously.
+        assert!(bucketing_blowup(100, 100).is_none());
+        assert!(bucketing_blowup(0, 0).is_none());
+    }
+}

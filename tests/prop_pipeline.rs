@@ -106,7 +106,7 @@ proptest! {
             Ok(s) => s,
             Err(e) => return Err(TestCaseError::fail(format!("optimize failed: {e}"))),
         };
-        prop_assert!(validate_schedule(&edges, &schedule, 1.0).is_ok());
+        prop_assert!(validate_schedule(&edges, &schedule).is_ok());
         let plan = plan_multi_chunk(&g, &edges);
         let report = run(
             &g,
