@@ -24,7 +24,10 @@
 //!
 //! `--smoke` runs a short sweep (CI's bench-smoke job); the full sweep
 //! streams 64 LiDAR frames, where quantized bucketing should hold the
-//! solve count to a small handful.
+//! solve count to a small handful. `--only <substring>` keeps only the
+//! sweeps whose recorded source label contains the substring
+//! (`"lidar"`, `"modelnet"`, `"lidar-dense"`); it composes with
+//! `--smoke`, whose sweep sizes it leaves untouched.
 
 use std::time::Instant;
 
@@ -162,7 +165,14 @@ fn row(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let selected = |source: &str| only.as_deref().is_none_or(|s| source.contains(s));
     let seed = 1;
     let frames = if smoke { 8 } else { 64 };
     streamgrid_bench::banner(
@@ -180,6 +190,9 @@ fn main() {
         (AppDomain::Classification, Workload::ModelNet),
     ] {
         let source_name = workload.name();
+        if !selected(source_name) {
+            continue;
+        }
         let mut exact_solves = None;
         for policy in POLICIES {
             let mut session = fw.session(domain.spec());
@@ -234,17 +247,29 @@ fn main() {
     let dense_policy = SizeBucketing::Quantize(16 * 512);
     let oracle = ExecuteOptions::for_spec(&AppDomain::Registration.spec())
         .with_exec_mode(ExecMode::CycleAccurate);
-    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    // Sweeps 2 and 2b both record under the "lidar-dense" source label,
+    // so one `--only lidar-dense` (or just `dense`) selects the pair —
+    // 2b's bit-identity baseline comes out of sweep 2.
+    let dense_selected = selected("lidar-dense");
+    let worker_counts: &[usize] = if !dense_selected {
+        &[]
+    } else if smoke {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8]
+    };
     // Pre-collect the sweep sizes so the timed region is compile +
     // execute, not LiDAR synthesis (which is inherently sequential and
     // identical across worker counts), and scale them 16× — a denser
     // sensor — so per-frame execution, the cost workers overlap, is the
     // dominant term rather than the (amortized-to-one) ILP solve.
-    let replay_sizes: Vec<u64> = {
+    let replay_sizes: Vec<u64> = if dense_selected {
         let mut source = DatasetSource::new(lidar_source(seed, frames));
         std::iter::from_fn(|| streamgrid_core::source::FrameSource::next_frame(&mut source))
             .map(|f| f.elements * 16)
             .collect()
+    } else {
+        Vec::new()
     };
     let mut sequential = None;
     let mut sequential_wall = 0.0f64;
@@ -322,19 +347,33 @@ fn main() {
     // single frame's latency). Reports must stay bit-identical to the
     // sequential oracle baseline; in the full sweep one extra row
     // composes shards with workers to show the two axes multiply.
-    let shard_counts: &[u32] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
-    let baseline = sequential.clone().expect("sweep 2 recorded a baseline");
+    let shard_counts: &[u32] = if !dense_selected {
+        &[]
+    } else if smoke {
+        &[1, 2, 8]
+    } else {
+        &[1, 2, 4, 8]
+    };
     let mut shard_runs: Vec<(u32, usize)> = shard_counts.iter().map(|&s| (s, 1)).collect();
-    if !smoke {
+    if !smoke && dense_selected {
         shard_runs.push((2, 2)); // Sharded(2) × 2 workers
     }
     for (shards, workers) in shard_runs {
+        let baseline = sequential.as_ref().expect("sweep 2 recorded a baseline");
         let mut session = fw.session(AppDomain::Registration.spec());
         for &size in &replay_sizes {
             session
                 .compiled(dense_policy.bucket(size))
                 .expect("CS+DT design compiles");
         }
+        // Default clamp ON: the sweep records what a *user* asking for
+        // `Sharded(s)` actually gets — the progress-aware policy folds a
+        // request that oversubscribes the host down to the core count
+        // (`exec` keeps the requested label, `exec_effective` the engine
+        // that ran), which is what keeps Sharded(8) rows within ~2× of
+        // Sharded(1) on a 1-core runner. The raw oversubscribed engine
+        // is exercised clamp-off by `bench_engine`'s sharded sweep and
+        // the shard_backoff stress tests.
         let exec = ExecuteOptions::for_spec(&AppDomain::Registration.spec())
             .with_exec_mode(ExecMode::Sharded(shards));
         let options = StreamOptions::bucketed(dense_policy)
@@ -404,8 +443,13 @@ fn main() {
     ));
     let _ = std::fs::remove_dir_all(&cache_dir);
     let cache_policy = SizeBucketing::Quantize(512);
+    let cache_labels: &[&str] = if selected("lidar") {
+        &["file-cold", "file-warm"]
+    } else {
+        &[]
+    };
     let mut cold_report = None;
-    for label in ["file-cold", "file-warm"] {
+    for &label in cache_labels {
         let mut session = fw
             .session_builder(AppDomain::Registration.spec())
             .with_cache(FileCache::new(&cache_dir))

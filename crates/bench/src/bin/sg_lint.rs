@@ -8,11 +8,13 @@
 //! disagreement). Exits nonzero when any Error-severity lint fires or
 //! any certificate rejects — warnings are reported but do not gate.
 //!
-//! `--spsc` instead runs the shard-ring interleaving checker: the
-//! correct protocol model must pass exhaustively at every bounded
-//! configuration, and the two seeded-bug variants (publish-before-done,
-//! off-by-one flow control) must each be *caught* — a bug variant
-//! passing means the checker lost its teeth, and also exits nonzero.
+//! `--spsc` instead runs the shard-ring interleaving checkers: the
+//! correct counter-ring model must pass exhaustively at every bounded
+//! configuration, the park/wake backoff handshake must pass likewise,
+//! and the seeded-bug variants (publish-before-done, off-by-one flow
+//! control, wake-before-flag-recheck) must each be *caught* — a bug
+//! variant passing means a checker lost its teeth, and also exits
+//! nonzero.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -20,7 +22,10 @@ use std::time::Instant;
 use streamgrid_core::registry::PipelineRegistry;
 use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
 use streamgrid_core::StreamGrid;
-use streamgrid_verify::spsc::{check_spsc, check_spsc_variant, SpscConfig, Variant};
+use streamgrid_verify::spsc::{
+    check_park, check_park_variant, check_spsc, check_spsc_variant, ParkConfig, ParkVariant,
+    SpscConfig, Variant,
+};
 use streamgrid_verify::Severity;
 
 /// Elements each chunk streams from the source (paper-scale points×3).
@@ -157,6 +162,44 @@ fn check_spsc_matrix() -> ExitCode {
             "{:<22} {:>6} {:>6} {:>10} {:<8}",
             label,
             2,
+            4,
+            report.states_explored,
+            if caught { "CAUGHT" } else { "MISSED" }
+        );
+        if let Some(v) = &report.violation {
+            println!("  violation: {v}");
+        }
+    }
+    // The park/wake backoff handshake: the shipped flag-then-recheck
+    // protocol must pass exhaustively, and the classic lost-wakeup
+    // sabotage (sleep without the recheck) must be caught as a deadlock.
+    for iterations in [1u64, 2, 4, 6, 8] {
+        let report = check_park(&ParkConfig { iterations });
+        let ok = report.passed();
+        failed |= !ok;
+        println!(
+            "{:<22} {:>6} {:>6} {:>10} {:<8}",
+            "park-wake",
+            "-",
+            iterations,
+            report.states_explored,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if let Some(v) = &report.violation {
+            println!("  violation: {v}");
+        }
+    }
+    {
+        let report = check_park_variant(
+            &ParkConfig { iterations: 4 },
+            ParkVariant::WakeBeforeFlagRecheck,
+        );
+        let caught = !report.passed();
+        failed |= !caught;
+        println!(
+            "{:<22} {:>6} {:>6} {:>10} {:<8}",
+            "wake-before-recheck",
+            "-",
             4,
             report.states_explored,
             if caught { "CAUGHT" } else { "MISSED" }

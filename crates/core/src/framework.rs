@@ -10,7 +10,7 @@ use streamgrid_optimizer::{
 };
 use streamgrid_sim::{
     run_with, BufferPolicy, EnergyBreakdown, EnergyModel, EngineConfig, EngineMode,
-    GlobalLatencyModel, RunReport,
+    GlobalLatencyModel, RingParams, RunReport,
 };
 use streamgrid_verify::{lint_graph, Certificate, Diagnostic, LintContext, Severity};
 
@@ -162,6 +162,17 @@ impl ExecMode {
 
     /// [`ExecMode::resolve`] with the host thread count injected —
     /// the policy itself, testable on any machine.
+    ///
+    /// An explicit `Sharded(n)` is **clamped to the host's cores**:
+    /// cutting the stage order into `min(n, host_threads)` contiguous
+    /// shards is exactly the contiguous-merge of the over-requested
+    /// partition, and results are shard-count-invariant, so the degrade
+    /// changes wall time only. On one core `Sharded(8)` executes as
+    /// `Sharded(1)` (the plain oracle) instead of thrashing eight
+    /// threads. The requested mode is recorded on
+    /// [`ExecutionReport::exec_requested`]; harnesses that *want* true
+    /// oversubscription (bench sweeps, stress tests) opt out via
+    /// [`ExecuteOptions::clamp_shards`] / [`ExecMode::resolve_uncapped`].
     pub fn resolve_with(
         self,
         latency: GlobalLatencyModel,
@@ -169,8 +180,35 @@ impl ExecMode {
         host_threads: usize,
     ) -> EngineMode {
         match self {
+            ExecMode::Sharded(n) => {
+                EngineMode::Sharded(n.clamp(1, host_threads.max(1).min(u32::MAX as usize) as u32))
+            }
+            other => other.resolve_uncapped_with(latency, n_chunks, host_threads),
+        }
+    }
+
+    /// [`ExecMode::resolve`] without the shard clamp: an explicit
+    /// `Sharded(n)` runs `n` threads even past the host's cores. The
+    /// tiered spin→yield→park backoff makes that safe (oversubscribed
+    /// shards sleep instead of burning cores), but it is still slower
+    /// than the clamped run — this path exists for harnesses measuring
+    /// exactly that.
+    pub fn resolve_uncapped(self, latency: GlobalLatencyModel, n_chunks: u64) -> EngineMode {
+        let host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.resolve_uncapped_with(latency, n_chunks, host_threads)
+    }
+
+    fn resolve_uncapped_with(
+        self,
+        latency: GlobalLatencyModel,
+        n_chunks: u64,
+        host_threads: usize,
+    ) -> EngineMode {
+        match self {
             ExecMode::CycleAccurate => EngineMode::CycleAccurate,
-            ExecMode::Sharded(n) => EngineMode::Sharded(n),
+            ExecMode::Sharded(n) => EngineMode::Sharded(n.max(1)),
             // An explicit EventDriven request still falls back to the
             // oracle when the fast path would not be exact, exactly as
             // the sim layer does; the report records what actually ran.
@@ -209,6 +247,13 @@ pub struct ExecuteOptions {
     pub macs_per_element: f64,
     /// Engine selection ([`ExecMode::Auto`] by default).
     pub exec_mode: ExecMode,
+    /// When `true` (the default) an explicit [`ExecMode::Sharded`]
+    /// request is clamped to the host's cores — see
+    /// [`ExecMode::resolve_with`]. Set `false` to deliberately
+    /// oversubscribe (bench sweeps, backoff stress tests).
+    pub clamp_shards: bool,
+    /// Sharded-engine ring length and backoff tier budgets.
+    pub ring: RingParams,
 }
 
 impl Default for ExecuteOptions {
@@ -220,6 +265,8 @@ impl Default for ExecuteOptions {
             bytes_per_element: engine.bytes_per_element,
             macs_per_element: engine.macs_per_element,
             exec_mode: ExecMode::Auto,
+            clamp_shards: true,
+            ring: engine.ring,
         }
     }
 }
@@ -247,6 +294,21 @@ impl ExecuteOptions {
         self.exec_mode = mode;
         self
     }
+
+    /// Returns the options with the host-core shard clamp switched on
+    /// or off (`false` = honor `Sharded(n)` verbatim, oversubscribing
+    /// the host when `n` exceeds its cores).
+    pub fn with_shard_clamp(mut self, clamp: bool) -> Self {
+        self.clamp_shards = clamp;
+        self
+    }
+
+    /// Returns the options with the sharded-engine ring/backoff tuning
+    /// replaced.
+    pub fn with_ring(mut self, ring: RingParams) -> Self {
+        self.ring = ring;
+        self
+    }
 }
 
 /// The unified result of the whole Fig. 1 flow: what the compiler
@@ -265,6 +327,12 @@ pub struct ExecutionReport {
     /// not change results: both engines are bit-identical wherever both
     /// are exact.
     pub exec_mode: EngineMode,
+    /// The engine selection as *requested* ([`ExecuteOptions::
+    /// exec_mode`] verbatim). Differs from [`ExecutionReport::exec_mode`]
+    /// when `Auto` resolved, an `EventDriven` request fell back to the
+    /// oracle, or a `Sharded(n)` request was clamped to the host's
+    /// cores — the explicit record of every degrade.
+    pub exec_requested: ExecMode,
     /// Compile-time linter findings for the executed design.
     pub lints: LintSummary,
 }
@@ -569,7 +637,11 @@ impl CompiledPipeline {
                 BufferPolicy::Elastic,
             )
         };
-        let engine = options.exec_mode.resolve(latency, self.n_chunks);
+        let engine = if options.clamp_shards {
+            options.exec_mode.resolve(latency, self.n_chunks)
+        } else {
+            options.exec_mode.resolve_uncapped(latency, self.n_chunks)
+        };
         let run_report = run_with(
             &self.graph,
             &self.edges,
@@ -582,6 +654,7 @@ impl CompiledPipeline {
                 global_latency: latency,
                 buffer_policy: policy,
                 macs_per_element: options.macs_per_element,
+                ring: options.ring,
                 ..EngineConfig::default()
             },
             engine,
@@ -591,6 +664,7 @@ impl CompiledPipeline {
             energy: run_report.energy,
             run: run_report,
             exec_mode: engine,
+            exec_requested: options.exec_mode,
             lints: LintSummary::from_diagnostics(&self.lints),
         }
     }
@@ -784,9 +858,16 @@ mod tests {
             let oracle = compiled
                 .execute(&ExecuteOptions::default().with_exec_mode(ExecMode::CycleAccurate));
             for shards in [1u32, 2, 4, 8] {
-                let sharded = compiled
-                    .execute(&ExecuteOptions::default().with_exec_mode(ExecMode::Sharded(shards)));
+                // Unclamped, so shard counts past the host's cores still
+                // exercise real multi-thread runs (the parking backoff
+                // makes that safe); the requested mode is recorded.
+                let sharded = compiled.execute(
+                    &ExecuteOptions::default()
+                        .with_exec_mode(ExecMode::Sharded(shards))
+                        .with_shard_clamp(false),
+                );
                 assert_eq!(sharded.exec_mode, EngineMode::Sharded(shards));
+                assert_eq!(sharded.exec_requested, ExecMode::Sharded(shards));
                 assert_eq!(oracle.run, sharded.run, "shards = {shards}");
             }
         }
@@ -815,9 +896,26 @@ mod tests {
             EngineMode::CycleAccurate
         );
         assert_eq!(Auto.resolve_with(var, long, 1), EngineMode::CycleAccurate);
-        // Explicit requests are never second-guessed by the host check.
+        // Explicit shard requests are clamped to the host's cores: on a
+        // single-core host Sharded(6) degrades to the plain oracle
+        // (Sharded(1)) instead of thrashing six threads…
         assert_eq!(
             ExecMode::Sharded(6).resolve_with(var, 1, 1),
+            EngineMode::Sharded(1)
+        );
+        assert_eq!(
+            ExecMode::Sharded(6).resolve_with(var, 1, 4),
+            EngineMode::Sharded(4)
+        );
+        // …requests within the host's budget run verbatim…
+        assert_eq!(
+            ExecMode::Sharded(3).resolve_with(var, 1, 8),
+            EngineMode::Sharded(3)
+        );
+        // …and the uncapped path honors the request for harnesses that
+        // deliberately oversubscribe.
+        assert_eq!(
+            ExecMode::Sharded(6).resolve_uncapped_with(var, 1, 1),
             EngineMode::Sharded(6)
         );
     }
@@ -852,6 +950,7 @@ mod tests {
             energy: tiny.energy,
             run: tiny,
             exec_mode: EngineMode::EventDriven,
+            exec_requested: ExecMode::EventDriven,
             lints: full.lints.clone(),
         };
         assert!(!report.is_clean());

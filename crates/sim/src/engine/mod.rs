@@ -41,7 +41,7 @@ use streamgrid_optimizer::{EdgeInfo, MultiChunkPlan, Schedule};
 use crate::energy::EnergyModel;
 use state::EngineState;
 
-pub use stats::RunReport;
+pub use stats::{BackoffStats, RunReport};
 
 /// Latency behavior of global-dependent stages.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,6 +70,49 @@ pub enum BufferPolicy {
     Elastic,
 }
 
+/// Tuning knobs for the sharded engine's cross-shard counter rings and
+/// tiered backoff. The defaults favor graceful degradation when threads
+/// outnumber cores: a blocked shard spins briefly, yields in growing
+/// batches, then parks on a condvar until its peer publishes progress —
+/// so an oversubscribed run costs scheduler hand-offs, not burnt cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingParams {
+    /// Ring capacity in cycles: the maximum skew between two coupled
+    /// shards and the epoch granularity of flow-control checks. Rounded
+    /// up to a power of two (minimum 2) by [`RingParams::normalized`];
+    /// larger rings synchronize less often but bound skew more loosely.
+    pub ring_len: u64,
+    /// Tier 1: `spin_loop` iterations before a blocked wait starts
+    /// yielding. Cheap skew absorption when a peer runs on another core.
+    pub spin_limit: u32,
+    /// Tier 2: rounds of exponentially-batched `yield_now` before the
+    /// wait parks. Bridges the gap where the peer holds this core but a
+    /// hand-off is imminent.
+    pub yield_limit: u32,
+}
+
+impl Default for RingParams {
+    fn default() -> Self {
+        RingParams {
+            ring_len: 1024,
+            spin_limit: 64,
+            yield_limit: 16,
+        }
+    }
+}
+
+impl RingParams {
+    /// Clamps `ring_len` to a power of two ≥ 2 (slot indexing is
+    /// modulo the ring length). The sharded engine normalizes its
+    /// config on entry, so any `RingParams` is safe to run.
+    pub fn normalized(self) -> Self {
+        RingParams {
+            ring_len: self.ring_len.max(2).next_power_of_two(),
+            ..self
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -90,6 +133,9 @@ pub struct EngineConfig {
     /// element), and each MAC fetches ~2 bytes from on-chip SRAM — this
     /// is what makes SRAM sizing matter for energy (Fig. 17b).
     pub macs_per_element: f64,
+    /// Sharded-engine ring and backoff tuning (ignored by the
+    /// sequential engines).
+    pub ring: RingParams,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +147,7 @@ impl Default for EngineConfig {
             buffer_policy: BufferPolicy::Strict,
             max_cycles: 50_000_000,
             macs_per_element: 16.0,
+            ring: RingParams::default(),
         }
     }
 }
@@ -819,5 +866,73 @@ mod tests {
             );
             assert_eq!(oracle, sharded, "divergence at shards = {shards}");
         }
+    }
+
+    #[test]
+    fn ring_params_normalize_to_power_of_two() {
+        let p = RingParams {
+            ring_len: 0,
+            ..RingParams::default()
+        };
+        assert_eq!(p.normalized().ring_len, 2);
+        let p = RingParams {
+            ring_len: 3,
+            ..RingParams::default()
+        };
+        assert_eq!(p.normalized().ring_len, 4);
+        let p = RingParams {
+            ring_len: 1024,
+            ..RingParams::default()
+        };
+        assert_eq!(p.normalized().ring_len, 1024);
+    }
+
+    #[test]
+    fn forced_park_ring_params_stay_bit_identical() {
+        // Zero spin and yield budgets plus a tiny ring drive every wait
+        // straight to the condvar park: the hostile tuning for the
+        // park/wake protocol. Results must not move.
+        let (g, edges, schedule, plan) = setup(300);
+        let config = EngineConfig {
+            n_chunks: 8,
+            ring: RingParams {
+                ring_len: 2,
+                spin_limit: 0,
+                yield_limit: 0,
+            },
+            ..EngineConfig::default()
+        };
+        let oracle = run(
+            &g,
+            &edges,
+            &schedule,
+            &plan,
+            &EnergyModel::default(),
+            &config,
+        );
+        for shards in SHARD_SWEEP {
+            let sharded = run_with(
+                &g,
+                &edges,
+                &schedule,
+                &plan,
+                &EnergyModel::default(),
+                &config,
+                EngineMode::Sharded(shards),
+            );
+            assert_eq!(oracle, sharded, "divergence at shards = {shards}");
+            if shards > 1 {
+                // With no spin/yield budget every blocked wait parks, so
+                // a multi-shard run must record parks — and the oracle
+                // side of the comparison proves `backoff` stays out of
+                // equality.
+                assert!(
+                    sharded.backoff.parks > 0,
+                    "forced-park run recorded no parks: {:?}",
+                    sharded.backoff
+                );
+            }
+        }
+        assert_eq!(oracle.backoff, BackoffStats::default());
     }
 }

@@ -45,33 +45,83 @@
 //! the workloads sharding targets (valid CS+DT schedules never
 //! overflow). This mirrors how the event engine defers to the oracle
 //! under variable latency.
+//!
+//! # Tiered backoff: spin → yield → park
+//!
+//! A blocked wait escalates through three tiers, tuned by
+//! [`RingParams`]: a bounded `spin_loop` (absorbs one-cycle skews when
+//! the peer runs on another core), exponentially-batched `yield_now`
+//! rounds (cheap hand-offs when the peer holds this core), and finally a
+//! **park** on the watched shard's `Mutex`/`Condvar`. Parking is what
+//! makes oversubscription degrade gracefully: threads beyond the core
+//! count sleep instead of round-robining the scheduler, so `Sharded(8)`
+//! on one core costs hand-offs, not a ~345× thrash.
+//!
+//! Lost wakeups are ruled out by a Dekker-style flag-then-recheck
+//! handshake, machine-checked by `streamgrid-verify`'s park/wake model:
+//! the waiter raises the watched shard's `parked` flag and registers
+//! the `done` value it needs in `want` (both `SeqCst` RMWs, under the
+//! mutex) and *then* rechecks the condition before sleeping; the
+//! publisher stores `done` (`SeqCst`) and *then* loads flag and target,
+//! notifying under the same mutex when a parked peer's target is
+//! crossed. In the `SeqCst` total order one side always observes the
+//! other, and the mutex keeps the notify from landing between the
+//! waiter's recheck and its sleep. The `want` gate is what keeps a
+//! parked waiter from being woken once per published cycle: it sleeps
+//! through the cycles below its target and is notified exactly when the
+//! target lands. Exits wake unconditionally (`finished` store then
+//! notify, no target check), so abort and completion unwind any parked
+//! chain; a defensive park timeout bounds the cost of anything the
+//! model missed.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use crate::linebuffer::LineBuffer;
 
 use super::state::{step_stage, CycleAcct, EdgeIo, EngineState, StageState};
-use super::EngineConfig;
+use super::stats::BackoffStats;
+use super::{EngineConfig, RingParams};
 
-/// Ring capacity in cycles: the maximum skew between two coupled shards
-/// and the epoch granularity of flow-control checks. Must be a power of
-/// two (slot index is `cycle % RING_LEN`).
-const RING_LEN: u64 = 1024;
+/// Cap on the tier-2 yield batch growth: round `r` yields
+/// `2^min(r, CAP)` times, so late rounds hand the core off in bounded
+/// bursts instead of doubling forever.
+const YIELD_BATCH_CAP: u32 = 4;
 
-/// Spin iterations before a blocked wait starts yielding the core —
-/// short enough that single-core runs degrade to scheduler hand-offs,
-/// long enough that multi-core runs absorb one-cycle skews for free.
-const SPIN_LIMIT: u32 = 128;
+/// Defensive upper bound on one park. The flag-then-recheck handshake
+/// is verified lost-wakeup-free, but a bounded sleep keeps an abort (or
+/// a protocol regression) from hanging a shard indefinitely.
+const PARK_TIMEOUT: Duration = Duration::from_millis(20);
 
 /// Per-shard progress, padded to its own cache line.
 #[repr(align(128))]
 struct Progress {
-    /// Cycles this shard has fully completed (published with release
+    /// Cycles this shard has fully completed (published with `SeqCst`
     /// ordering after the cycle's ring slots are written).
     done: AtomicU64,
     /// Set *after* the final `done` store: `done` is frozen and the
     /// shard's ring slots will never change again.
     finished: AtomicBool,
+    /// Number of peers parked on this shard's condvar. Raised
+    /// (`SeqCst`, under `lock`) before the waiter's final recheck;
+    /// publishers load it after their `done`/`finished` store and
+    /// notify only when it is nonzero.
+    parked: AtomicU32,
+    /// Smallest `done` value any parked peer is waiting for
+    /// (`u64::MAX` when none registered a target). Lowered with
+    /// `fetch_min` (`SeqCst`, under `lock`) before the waiter's final
+    /// recheck; per-cycle publishers skip the notify while
+    /// `done < want`, so a waiter whose target is many cycles away is
+    /// woken once at its target instead of once per published cycle.
+    /// Reset to `u64::MAX` under the lock whenever a notify fires —
+    /// still-unsatisfied waiters re-register on their way back to
+    /// sleep. Exit wakes ignore it.
+    want: AtomicU64,
+    /// Guards the park/notify handshake.
+    lock: Mutex<()>,
+    /// Where peers blocked on this shard's progress sleep.
+    cv: Condvar,
 }
 
 impl Progress {
@@ -79,11 +129,15 @@ impl Progress {
         Progress {
             done: AtomicU64::new(0),
             finished: AtomicBool::new(false),
+            parked: AtomicU32::new(0),
+            want: AtomicU64::new(u64::MAX),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
         }
     }
 }
 
-/// SPSC counter rings for one cross-shard edge. Slot `t % RING_LEN`
+/// SPSC counter rings for one cross-shard edge. Slot `t % ring_len`
 /// holds the *cumulative* count through cycle `t` — cumulative values
 /// make stale reads safe lower bounds instead of corruption.
 struct Channel {
@@ -94,9 +148,9 @@ struct Channel {
 }
 
 impl Channel {
-    fn new() -> Self {
+    fn new(ring_len: u64) -> Self {
         let ring = || {
-            (0..RING_LEN)
+            (0..ring_len)
                 .map(|_| AtomicU64::new(0))
                 .collect::<Box<[AtomicU64]>>()
         };
@@ -107,31 +161,112 @@ impl Channel {
     }
 }
 
+/// Tiered wait on `p`'s progress: spins, then exponentially-batched
+/// yields, then parks on `p`'s condvar, until `satisfied()` holds.
+/// `satisfied` must read its inputs with `SeqCst` (the flag-then-recheck
+/// argument needs the waiter's loads and the publisher's stores in one
+/// total order). `want` is the `done` value the waiter needs —
+/// registered before parking so per-cycle publishers can skip notifies
+/// until they cross it (`u64::MAX` for waits satisfied only by
+/// `finished`/abort, which the unconditional exit wake covers).
+fn wait_until<F: FnMut() -> bool>(
+    p: &Progress,
+    want: u64,
+    params: &RingParams,
+    bk: &mut BackoffStats,
+    mut satisfied: F,
+) {
+    let mut spins = 0u32;
+    let mut rounds = 0u32;
+    loop {
+        if satisfied() {
+            return;
+        }
+        if spins < params.spin_limit {
+            spins += 1;
+            bk.spins += 1;
+            std::hint::spin_loop();
+            continue;
+        }
+        if rounds < params.yield_limit {
+            let batch = 1u64 << rounds.min(YIELD_BATCH_CAP);
+            for _ in 0..batch {
+                std::thread::yield_now();
+            }
+            bk.yields += batch;
+            rounds += 1;
+            continue;
+        }
+        // Tier 3: park. Raise the flag and register the target under
+        // the mutex, recheck, and only then sleep — the publisher's
+        // store-then-load on the flag (and on `want`) plus the
+        // notify-under-lock makes a lost wakeup impossible: a publisher
+        // that misses either register in the `SeqCst` order stored
+        // `done` before this recheck, which then bails out.
+        let guard = p.lock.lock().expect("progress lock never poisoned");
+        p.parked.fetch_add(1, Ordering::SeqCst);
+        p.want.fetch_min(want, Ordering::SeqCst);
+        if satisfied() {
+            p.parked.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        bk.parks += 1;
+        let (guard, _timed_out) =
+            p.cv.wait_timeout(guard, PARK_TIMEOUT)
+                .expect("progress lock never poisoned");
+        drop(guard);
+        p.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Publisher half of the handshake for per-cycle `done` publishes:
+/// notifies under the mutex only when a peer is flagged as parked *and*
+/// the published value crosses the smallest registered target, so the
+/// uncontended fast path is one atomic load per published cycle and a
+/// parked waiter is woken once at its target, not once per cycle.
+fn wake_if_waited(p: &Progress, done_now: u64, bk: &mut BackoffStats) {
+    if p.parked.load(Ordering::SeqCst) > 0 && p.want.load(Ordering::SeqCst) <= done_now {
+        let _guard = p.lock.lock().expect("progress lock never poisoned");
+        // Reset under the lock: a waiter this notify does not satisfy
+        // re-registers its target (also under the lock) before it can
+        // sleep again, so no target is ever forgotten.
+        p.want.store(u64::MAX, Ordering::SeqCst);
+        p.cv.notify_all();
+        bk.wakes += 1;
+    }
+}
+
+/// Publisher half of the handshake for exit paths (`finished` store,
+/// abort): notifies whenever a peer is flagged as parked, regardless of
+/// registered targets — this is what unwinds parked chains at the end.
+fn wake_if_parked(p: &Progress, bk: &mut BackoffStats) {
+    if p.parked.load(Ordering::SeqCst) > 0 {
+        let _guard = p.lock.lock().expect("progress lock never poisoned");
+        p.want.store(u64::MAX, Ordering::SeqCst);
+        p.cv.notify_all();
+        bk.wakes += 1;
+    }
+}
+
 /// Blocks until `p.done >= target`, the shard exits, or the run aborts;
 /// returns the freshest `done` observed (the frozen final value when the
 /// shard has exited).
-fn wait_done(p: &Progress, target: u64, abort: &AtomicBool) -> u64 {
-    let mut spins = 0u32;
-    loop {
-        let d = p.done.load(Ordering::Acquire);
-        if d >= target {
-            return d;
-        }
-        if p.finished.load(Ordering::Acquire) {
-            // `finished` is stored after the last `done` store, so this
-            // re-load observes the frozen final count.
-            return p.done.load(Ordering::Acquire);
-        }
-        if abort.load(Ordering::Relaxed) {
-            return d;
-        }
-        if spins < SPIN_LIMIT {
-            spins += 1;
-            std::hint::spin_loop();
-        } else {
-            std::thread::yield_now();
-        }
-    }
+fn wait_done(
+    p: &Progress,
+    target: u64,
+    abort: &AtomicBool,
+    params: &RingParams,
+    bk: &mut BackoffStats,
+) -> u64 {
+    wait_until(p, target, params, bk, || {
+        p.done.load(Ordering::SeqCst) >= target
+            || p.finished.load(Ordering::SeqCst)
+            || abort.load(Ordering::Relaxed)
+    });
+    // On a normal wakeup this re-load sees `done >= target`; after an
+    // exit it sees the frozen final count (`finished` is stored after
+    // the last `done` store); on abort it is a safe monotone bound.
+    p.done.load(Ordering::SeqCst)
 }
 
 /// Consumer endpoint of a cross-shard edge.
@@ -175,6 +310,8 @@ struct ShardIo<'s, 'a> {
     bufs: &'s mut [Option<LineBuffer>],
     xins: &'s mut [Option<XIn<'a>>],
     abort: &'s AtomicBool,
+    ring: RingParams,
+    bk: &'s mut BackoffStats,
 }
 
 impl EdgeIo for ShardIo<'_, '_> {
@@ -189,11 +326,12 @@ impl EdgeIo for ShardIo<'_, '_> {
             // the producer has completed cycle `now` (it cannot, by the
             // wavefront order, have advanced past this shard's cycle).
             if x.prod_done < now {
-                x.prod_done = wait_done(x.prod, now, self.abort);
+                x.prod_done = wait_done(x.prod, now, self.abort, &self.ring, self.bk);
             }
             let d = x.prod_done.min(now);
             if d > 0 {
-                let w = x.ch.writes[((d - 1) % RING_LEN) as usize].load(Ordering::Acquire);
+                let w =
+                    x.ch.writes[((d - 1) % self.ring.ring_len) as usize].load(Ordering::Acquire);
                 x.w_known = x.w_known.max(w);
             }
             avail = x.w_known - x.r_local;
@@ -235,6 +373,8 @@ struct ShardResult {
     sram_dynamic_bytes: u64,
     compute_elements: u64,
     dram_read_bytes: u64,
+    /// Spin/yield/park/wake counts from this shard's waits.
+    backoff: BackoffStats,
 }
 
 fn set_bit(bits: &mut Vec<u64>, t: u64) {
@@ -272,21 +412,25 @@ fn cut_points(weights: &[u64], n: usize) -> Vec<usize> {
 
 /// Runs one shard to local completion (all owned stages streamed), the
 /// cycle budget, or an abort.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     mut task: Shard<'_>,
     config: &EngineConfig,
     n_chunks: u64,
     ii: u64,
     edge_volume: &[u64],
+    ring: RingParams,
     me: &Progress,
     abort: &AtomicBool,
 ) -> ShardResult {
+    let ring_len = ring.ring_len;
     let mut t = 0u64;
     let mut stall_bits = Vec::new();
     let mut starve_bits = Vec::new();
     let mut sram = 0u64;
     let mut compute = 0u64;
     let mut dram_rd = 0u64;
+    let mut bk = BackoffStats::default();
     loop {
         if abort.load(Ordering::Relaxed) {
             break;
@@ -298,14 +442,14 @@ fn run_shard(
             break;
         }
         // Epoch flow control: cycle `t` ends by overwriting ring slot
-        // `t % RING_LEN`, which held cycle `t - RING_LEN`; the producer
+        // `t % ring_len`, which held cycle `t - ring_len`; the producer
         // behind each cross-in edge must have consumed that slot first.
-        if t >= RING_LEN {
-            let target = t - RING_LEN + 1;
+        if t >= ring_len {
+            let target = t - ring_len + 1;
             for &e in &task.xin_edges {
                 let x = task.xins[e].as_mut().expect("xin listed");
                 if x.prod_done < target {
-                    x.prod_done = wait_done(x.prod, target, abort);
+                    x.prod_done = wait_done(x.prod, target, abort, &ring, &mut bk);
                 }
             }
         }
@@ -315,16 +459,16 @@ fn run_shard(
         // encodes, and what keeps peak occupancy exact.
         for xo in task.xouts.iter_mut() {
             if xo.cons_done < t + 1 {
-                xo.cons_done = wait_done(xo.cons, t + 1, abort);
+                xo.cons_done = wait_done(xo.cons, t + 1, abort, &ring, &mut bk);
             }
             let cum = if xo.cons_done > t {
-                xo.ch.reads[(t % RING_LEN) as usize].load(Ordering::Acquire)
+                xo.ch.reads[(t % ring_len) as usize].load(Ordering::Acquire)
             } else if xo.cons_done == 0 {
                 0 // consumer exited before completing any cycle
             } else {
                 // Consumer exited: its counters are frozen at its final
                 // completed cycle.
-                xo.ch.reads[((xo.cons_done - 1) % RING_LEN) as usize].load(Ordering::Acquire)
+                xo.ch.reads[((xo.cons_done - 1) % ring_len) as usize].load(Ordering::Acquire)
             };
             let delta = cum.saturating_sub(xo.r_applied);
             if delta > 0 {
@@ -340,7 +484,13 @@ fn run_shard(
             let Shard {
                 stages, bufs, xins, ..
             } = &mut task;
-            let mut io = ShardIo { bufs, xins, abort };
+            let mut io = ShardIo {
+                bufs,
+                xins,
+                abort,
+                ring,
+                bk: &mut bk,
+            };
             for (_, stage) in stages.iter_mut() {
                 if !stage.active(t, n_chunks, ii) {
                     continue;
@@ -382,8 +532,11 @@ fn run_shard(
             set_bit(&mut starve_bits, t);
         }
         // Publish cycle `t`: cumulative counters into the rings, then
-        // the release-store on `done` that makes them visible.
-        let slot = (t % RING_LEN) as usize;
+        // the `SeqCst` store on `done` that makes them visible (SeqCst
+        // so the store orders before the parked-flag and `want` loads in
+        // `wake_if_waited` — the publisher half of the lost-wakeup
+        // handshake).
+        let slot = (t % ring_len) as usize;
         for &e in &task.xin_edges {
             let x = task.xins[e].as_ref().expect("xin listed");
             x.ch.reads[slot].store(x.r_local, Ordering::Release);
@@ -393,10 +546,15 @@ fn run_shard(
             xo.ch.writes[slot].store(w, Ordering::Release);
         }
         t += 1;
-        me.done.store(t, Ordering::Release);
+        me.done.store(t, Ordering::SeqCst);
+        wake_if_waited(me, t, &mut bk);
     }
-    me.done.store(t, Ordering::Release);
-    me.finished.store(true, Ordering::Release);
+    me.done.store(t, Ordering::SeqCst);
+    me.finished.store(true, Ordering::SeqCst);
+    // Exit wake: peers parked on this shard's progress must observe the
+    // frozen `done`/`finished` — this is what unwinds parked chains on
+    // abort and at completion.
+    wake_if_parked(me, &mut bk);
     // Drain trailing consumer reads: a consumer shard may keep reading
     // off a cross edge after this producer's stages completed, and the
     // oracle applies every one of those reads to the buffer (sink-edge
@@ -405,23 +563,14 @@ fn run_shard(
     // every shard's main loop exits independently of this drain.
     if !abort.load(Ordering::Relaxed) {
         for xo in task.xouts.iter_mut() {
-            let mut spins = 0u32;
-            while !xo.cons.finished.load(Ordering::Acquire) {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                if spins < SPIN_LIMIT {
-                    spins += 1;
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
-            let d = xo.cons.done.load(Ordering::Acquire);
+            wait_until(xo.cons, u64::MAX, &ring, &mut bk, || {
+                xo.cons.finished.load(Ordering::SeqCst) || abort.load(Ordering::Relaxed)
+            });
+            let d = xo.cons.done.load(Ordering::SeqCst);
             let cum = if d == 0 {
                 0
             } else {
-                xo.ch.reads[((d - 1) % RING_LEN) as usize].load(Ordering::Acquire)
+                xo.ch.reads[((d - 1) % ring_len) as usize].load(Ordering::Acquire)
             };
             let delta = cum.saturating_sub(xo.r_applied);
             if delta > 0 {
@@ -445,6 +594,7 @@ fn run_shard(
         sram_dynamic_bytes: sram,
         compute_elements: compute,
         dram_read_bytes: dram_rd,
+        backoff: bk,
     }
 }
 
@@ -498,7 +648,20 @@ pub(super) fn run_to_completion(
         }
     }
 
-    // One channel per cross-shard edge.
+    // One channel per cross-shard edge. When the requested shard count
+    // oversubscribes the host, spinning and yield-churning only steal
+    // the core from the one shard that can make progress — collapse the
+    // first two backoff tiers so blocked shards park almost immediately
+    // (limits are only ever lowered, never raised, so explicit
+    // forced-park configurations keep their meaning).
+    let mut ring = config.ring.normalized();
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if n > host {
+        ring.spin_limit = 0;
+        ring.yield_limit = ring.yield_limit.min(1);
+    }
     let mut chan_of: Vec<Option<usize>> = vec![None; n_edges];
     let mut channels: Vec<Channel> = Vec::new();
     let mut cross_ends: Vec<(usize, usize)> = Vec::new(); // (cons_shard, prod_shard)
@@ -510,7 +673,7 @@ pub(super) fn run_to_completion(
                 "reversed-topo order puts consumers in earlier shards"
             );
             chan_of[e] = Some(channels.len());
-            channels.push(Channel::new());
+            channels.push(Channel::new(ring.ring_len));
             cross_ends.push((cs, ps));
         }
     }
@@ -593,7 +756,7 @@ pub(super) fn run_to_completion(
             .map(|task| {
                 scope.spawn(move || {
                     let me = &progress[task.idx];
-                    run_shard(task, config, n_chunks, ii, edge_volume, me, abort)
+                    run_shard(task, config, n_chunks, ii, edge_volume, ring, me, abort)
                 })
             })
             .collect();
@@ -603,6 +766,7 @@ pub(super) fn run_to_completion(
             n_chunks,
             ii,
             edge_volume,
+            ring,
             &progress[0],
             abort,
         )];
@@ -622,6 +786,7 @@ pub(super) fn run_to_completion(
         state.sram_dynamic_bytes += res.sram_dynamic_bytes;
         state.compute_elements += res.compute_elements;
         state.dram.read(res.dram_read_bytes);
+        state.backoff.merge(&res.backoff);
     }
     let mut stall = Vec::new();
     let mut starve = Vec::new();

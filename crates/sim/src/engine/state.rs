@@ -19,7 +19,7 @@ use crate::dram::DramModel;
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::linebuffer::LineBuffer;
 
-use super::stats::RunReport;
+use super::stats::{BackoffStats, RunReport};
 use super::{BufferPolicy, EngineConfig, GlobalLatencyModel};
 
 /// Integer-exact rational rate accumulator: emits `num/den` elements per
@@ -373,6 +373,9 @@ pub(super) struct EngineState {
     overflow_edge: Option<usize>,
     pub(super) sram_dynamic_bytes: u64,
     pub(super) compute_elements: u64,
+    /// Backoff telemetry merged back from the sharded engine's threads
+    /// (zeros on the sequential paths).
+    pub(super) backoff: BackoffStats,
 }
 
 impl EngineState {
@@ -503,6 +506,7 @@ impl EngineState {
             overflow_edge: None,
             sram_dynamic_bytes: 0,
             compute_elements: 0,
+            backoff: BackoffStats::default(),
         }
     }
 
@@ -725,6 +729,7 @@ impl EngineState {
             dram_read_bytes: self.dram.read_bytes(),
             dram_write_bytes: self.dram.write_bytes(),
             energy,
+            backoff: self.backoff,
         }
     }
 }

@@ -30,6 +30,17 @@
 //! designed to exclude (publishing `done` before the slot write;
 //! off-by-one flow control) so tests can demonstrate the checker
 //! actually distinguishes correct from broken protocols.
+//!
+//! A second model ([`check_park`]) covers the **park/wake handshake**
+//! the tiered backoff added on top of the rings: a blocked shard raises
+//! a `parked` flag and *then* rechecks the condition (both under the
+//! channel mutex) before sleeping on the condvar, while the publisher
+//! stores `done` and *then* loads the flag, notifying under the same
+//! mutex. [`ParkVariant::WakeBeforeFlagRecheck`] seeds the classic lost
+//! wakeup — sleep straight after the failed check, without the
+//! flag-then-recheck — and the checker must find the interleaving where
+//! the publisher's final store slips into that window and the waiter
+//! sleeps forever.
 
 use std::collections::HashSet;
 
@@ -392,6 +403,273 @@ pub fn check_spsc_variant(config: &SpscConfig, variant: Variant) -> SpscReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Park/wake handshake model
+// ---------------------------------------------------------------------
+
+/// Bounds for one exhaustive park/wake exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParkConfig {
+    /// `done` increments the publisher issues; the waiter blocks for
+    /// each target `1..=iterations` in turn.
+    pub iterations: u64,
+}
+
+impl Default for ParkConfig {
+    /// Four increments: enough that the waiter parks mid-stream *and*
+    /// for the final increment, where the lost-wakeup window is fatal.
+    fn default() -> Self {
+        ParkConfig { iterations: 4 }
+    }
+}
+
+/// Outcome of one exhaustive park/wake exploration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ParkReport {
+    /// Increments explored.
+    pub iterations: u64,
+    /// Distinct states visited (exhaustive within the bounds).
+    pub states_explored: u64,
+    /// First violation found, if any (a lost wakeup surfaces as a
+    /// deadlock: the waiter asleep with the publisher finished).
+    pub violation: Option<String>,
+}
+
+impl ParkReport {
+    /// `true` when every interleaving upheld every invariant.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Which park/wake protocol to check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParkVariant {
+    /// The shipped handshake: the waiter raises `parked` and *rechecks*
+    /// the condition under the mutex before sleeping; the publisher
+    /// stores `done`, then loads the flag and notifies under the mutex.
+    Correct,
+    /// The classic lost wakeup: the waiter checks the condition, then
+    /// raises the flag and sleeps **without rechecking**. The
+    /// publisher's store-and-flag-check can land entirely inside that
+    /// window — it sees the flag still down, skips the notify, and the
+    /// waiter sleeps through its own wakeup.
+    WakeBeforeFlagRecheck,
+}
+
+// Publisher program counter (one loop iteration per increment).
+const Q_STORE: u8 = 0; // done = t + 1 (SeqCst)
+const Q_CHECK: u8 = 1; // load `parked` (SeqCst)
+const Q_WAKE: u8 = 2; // flag was up: notify under the mutex
+const Q_DONE: u8 = 3;
+
+// Waiter program counter.
+const W_CHECK: u8 = 0; // optimistic load of `done` (the spin/yield tiers)
+const W_PARK: u8 = 1; // mutex-atomic: raise flag, recheck, sleep or bail
+const W_SLEEP: u8 = 2; // blocked on the condvar (flag up)
+const W_UNPARK: u8 = 3; // woken: lower the flag, back to W_CHECK
+const W_FIN: u8 = 4;
+
+/// One park/wake interleaving state. As with [`State`], shared memory
+/// (`done`, `parked`) is derived from the two threads' progress, so the
+/// thread-local fields determine the whole history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ParkState {
+    q_pc: u8,
+    /// Increments the publisher has fully issued.
+    q_t: u64,
+    w_pc: u8,
+    /// Target the waiter currently blocks for (`done >= w_k`).
+    w_k: u64,
+}
+
+struct ParkModel {
+    iterations: u64,
+    variant: ParkVariant,
+}
+
+impl ParkModel {
+    /// Current value of `done`: item `q_t`'s store has retired once the
+    /// publisher is past `Q_STORE`.
+    fn done_now(&self, s: &ParkState) -> u64 {
+        if s.q_pc == Q_DONE {
+            return self.iterations;
+        }
+        s.q_t + u64::from(s.q_pc != Q_STORE)
+    }
+
+    /// Current value of the `parked` flag. In both variants the flag
+    /// rises atomically with the transition into `W_SLEEP` (the mutex
+    /// makes raise-recheck-sleep one step) and falls at `W_UNPARK`.
+    fn parked_now(&self, s: &ParkState) -> bool {
+        s.w_pc == W_SLEEP || s.w_pc == W_UNPARK
+    }
+
+    /// Publisher step after the flag check / wake for item `q_t`.
+    fn q_advance(&self, s: &ParkState) -> ParkState {
+        let t = s.q_t + 1;
+        ParkState {
+            q_pc: if t == self.iterations {
+                Q_DONE
+            } else {
+                Q_STORE
+            },
+            q_t: t,
+            ..*s
+        }
+    }
+
+    /// Waiter step once `done >= w_k` was observed.
+    fn w_advance(&self, s: &ParkState) -> ParkState {
+        let k = s.w_k + 1;
+        ParkState {
+            w_pc: if k > self.iterations { W_FIN } else { W_CHECK },
+            w_k: k,
+            ..*s
+        }
+    }
+
+    /// Successor states of `s`, or `Err` with the violation (the only
+    /// reachable one is the lost-wakeup deadlock).
+    fn successors(&self, s: &ParkState) -> Result<Vec<ParkState>, String> {
+        let mut next = Vec::new();
+
+        // ---- publisher ----
+        match s.q_pc {
+            Q_STORE => next.push(ParkState {
+                q_pc: Q_CHECK,
+                ..*s
+            }),
+            Q_CHECK => {
+                if self.parked_now(s) {
+                    next.push(ParkState { q_pc: Q_WAKE, ..*s });
+                } else {
+                    next.push(self.q_advance(s));
+                }
+            }
+            Q_WAKE => {
+                // Notify under the mutex: a sleeping waiter moves to its
+                // unpark step. (The waiter cannot be between its
+                // flag-raise and its sleep — it holds the mutex there —
+                // so a notify never lands in that gap.)
+                let mut n = self.q_advance(s);
+                if s.w_pc == W_SLEEP {
+                    n.w_pc = W_UNPARK;
+                }
+                next.push(n);
+            }
+            _ => {}
+        }
+
+        // ---- waiter ----
+        match s.w_pc {
+            W_CHECK => {
+                if self.done_now(s) >= s.w_k {
+                    next.push(self.w_advance(s));
+                } else {
+                    next.push(ParkState { w_pc: W_PARK, ..*s });
+                }
+            }
+            W_PARK => match self.variant {
+                ParkVariant::Correct => {
+                    // Mutex-atomic: raise the flag, *recheck*, and only
+                    // sleep when the condition still fails.
+                    if self.done_now(s) >= s.w_k {
+                        next.push(self.w_advance(s));
+                    } else {
+                        next.push(ParkState {
+                            w_pc: W_SLEEP,
+                            ..*s
+                        });
+                    }
+                }
+                // The sabotage trusts the stale W_CHECK load: raise the
+                // flag and sleep with no recheck.
+                ParkVariant::WakeBeforeFlagRecheck => next.push(ParkState {
+                    w_pc: W_SLEEP,
+                    ..*s
+                }),
+            },
+            // W_SLEEP has no self-transition: only Q_WAKE moves it.
+            W_UNPARK => next.push(ParkState {
+                w_pc: W_CHECK,
+                ..*s
+            }),
+            _ => {}
+        }
+
+        let terminal = s.q_pc == Q_DONE && s.w_pc == W_FIN;
+        if next.is_empty() && !terminal {
+            if s.w_pc == W_SLEEP && s.q_pc == Q_DONE {
+                return Err(format!(
+                    "lost wakeup: waiter parked for done >= {} but the \
+                     publisher finished (done = {}) without a notify — \
+                     the store-and-flag-check landed between the \
+                     waiter's condition check and its sleep",
+                    s.w_k, self.iterations
+                ));
+            }
+            return Err(format!(
+                "deadlock: publisher at pc {} (t = {}), waiter at pc {} \
+                 (target {})",
+                s.q_pc, s.q_t, s.w_pc, s.w_k
+            ));
+        }
+        Ok(next)
+    }
+}
+
+/// Exhaustively explores every interleaving of the **correct** park/wake
+/// handshake within `config`'s bounds.
+pub fn check_park(config: &ParkConfig) -> ParkReport {
+    check_park_variant(config, ParkVariant::Correct)
+}
+
+/// Exhaustively explores every interleaving of the chosen
+/// [`ParkVariant`]. The sabotage exists so callers (and CI) can confirm
+/// the checker still catches the lost-wakeup interleaving.
+///
+/// # Panics
+///
+/// Panics when `iterations` is zero.
+pub fn check_park_variant(config: &ParkConfig, variant: ParkVariant) -> ParkReport {
+    assert!(config.iterations > 0, "model needs at least one increment");
+    let model = ParkModel {
+        iterations: config.iterations,
+        variant,
+    };
+    let initial = ParkState {
+        q_pc: Q_STORE,
+        q_t: 0,
+        w_pc: W_CHECK,
+        w_k: 1,
+    };
+    let mut visited: HashSet<ParkState> = HashSet::new();
+    let mut stack = vec![initial];
+    visited.insert(initial);
+    let mut violation = None;
+    while let Some(s) = stack.pop() {
+        match model.successors(&s) {
+            Err(v) => {
+                violation = Some(v);
+                break;
+            }
+            Ok(succ) => {
+                for n in succ {
+                    if visited.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+    }
+    ParkReport {
+        iterations: config.iterations,
+        states_explored: visited.len() as u64,
+        violation,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,5 +731,44 @@ mod tests {
             ring_len: 0,
             iterations: 1,
         });
+    }
+
+    #[test]
+    fn park_protocol_passes_exhaustively() {
+        for iterations in [1u64, 2, 4, 8] {
+            let report = check_park(&ParkConfig { iterations });
+            assert!(
+                report.passed(),
+                "iterations {iterations}: {:?}",
+                report.violation
+            );
+        }
+        // Exhaustive means many states, not a single trace.
+        let report = check_park(&ParkConfig::default());
+        assert!(
+            report.states_explored > 30,
+            "only {} states",
+            report.states_explored
+        );
+    }
+
+    #[test]
+    fn lost_wakeup_sabotage_is_caught() {
+        // Even a single increment exposes the window: the final store
+        // can land between the waiter's check and its sleep.
+        for iterations in [1u64, 4] {
+            let report = check_park_variant(
+                &ParkConfig { iterations },
+                ParkVariant::WakeBeforeFlagRecheck,
+            );
+            let v = report.violation.expect("lost wakeup must be caught");
+            assert!(v.contains("lost wakeup"), "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one increment")]
+    fn zero_park_iterations_rejected() {
+        check_park(&ParkConfig { iterations: 0 });
     }
 }

@@ -50,10 +50,16 @@ fn registry_presets_equivalent_across_chunk_counts() {
                 n_chunks
             );
             for shards in SHARD_SWEEP {
+                // Clamp off: the sweep's point is running the *real*
+                // multi-shard engine even where the host has fewer
+                // cores (clamp policy is pinned in tests/shard_backoff.rs).
                 let sharded = compiled.execute(
-                    &ExecuteOptions::for_spec(spec).with_exec_mode(ExecMode::Sharded(shards)),
+                    &ExecuteOptions::for_spec(spec)
+                        .with_exec_mode(ExecMode::Sharded(shards))
+                        .with_shard_clamp(false),
                 );
                 assert_eq!(sharded.exec_mode, EngineMode::Sharded(shards));
+                assert_eq!(sharded.exec_requested, ExecMode::Sharded(shards));
                 assert_eq!(
                     oracle.run,
                     sharded.run,

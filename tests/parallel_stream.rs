@@ -118,12 +118,16 @@ fn sharded_frames_compose_with_workers() {
     assert!(oracle.all_clean());
     for shards in [1u32, 2, 4, 8] {
         for workers in [1usize, 2, 4] {
+            // Clamp off so the real multi-shard engine runs under every
+            // worker count regardless of host cores (the clamp itself is
+            // pinned in tests/shard_backoff.rs).
             let sharded = stream_sizes(
                 &sizes,
                 &StreamOptions::bucketed(policy)
                     .with_exec(
                         ExecuteOptions::for_spec(&AppDomain::Classification.spec())
-                            .with_exec_mode(ExecMode::Sharded(shards)),
+                            .with_exec_mode(ExecMode::Sharded(shards))
+                            .with_shard_clamp(false),
                     )
                     .with_workers(workers),
             );

@@ -1,0 +1,258 @@
+//! Oversubscription coverage for the sharded engine's tiered backoff.
+//!
+//! PR 6's spin-then-yield wait loops made `Sharded(8)` on a 1-core host
+//! ~345× slower than `Sharded(1)` (N−1 busy-yielding threads
+//! round-robining the scheduler). The park tier bounds that: blocked
+//! shards sleep on a condvar and are woken exactly when their progress
+//! target lands, so an oversubscribed run costs hand-offs, not thrash.
+//! These tests pin both halves of the fix:
+//!
+//! - **Stress**: an *unclamped* `Sharded(8)` on a dense registration
+//!   design must finish inside a generous wall-clock budget relative to
+//!   the oracle — the budget is loose enough for any CI host but far
+//!   below what scheduler thrash would cost.
+//! - **Policy**: the default clamp folds a request that oversubscribes
+//!   the host down to the core count, recording the verbatim request on
+//!   the report.
+//! - **Bit-identity under forced parking**: a degenerate `RingParams`
+//!   (two-slot rings, zero spin/yield budget) routes every wait through
+//!   the park/wake handshake; reports must still match the oracle bit
+//!   for bit across shard counts, truncated budgets, and variable
+//!   latency.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use streamgrid_core::apps::AppDomain;
+use streamgrid_core::framework::{ExecMode, ExecuteOptions, StreamGrid};
+use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+use streamgrid_dataflow::{DataflowGraph, Shape};
+use streamgrid_optimizer::{edge_infos, optimize, plan_multi_chunk, OptimizeConfig};
+use streamgrid_sim::{
+    run_with, EnergyModel, EngineConfig, EngineMode, GlobalLatencyModel, RingParams,
+};
+
+/// Ring/backoff parameters that force every cross-shard wait to the
+/// park tier immediately: no spins, no yields, and two-slot rings so
+/// flow control bites constantly.
+const FORCED_PARK: RingParams = RingParams {
+    ring_len: 2,
+    spin_limit: 0,
+    yield_limit: 0,
+};
+
+/// Unclamped `Sharded(8)` on a dense registration design point must
+/// complete inside a generous wall-clock budget and reproduce the
+/// oracle bit for bit. The budget (`oracle × 25 + 5 s`) is far above
+/// park/wake hand-off cost on any host, and far below what the old
+/// spin-then-yield thrash (~345×) would spend.
+#[test]
+fn oversubscribed_sharded_run_completes_within_wall_budget() {
+    let spec = AppDomain::Registration.spec();
+    let n_chunks = 64u64;
+    let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(
+        n_chunks as u32,
+        2,
+    )));
+    let compiled = fw
+        .compile_spec(&spec, n_chunks * 300)
+        .expect("registration compiles");
+
+    let t0 = Instant::now();
+    let oracle =
+        compiled.execute(&ExecuteOptions::for_spec(&spec).with_exec_mode(ExecMode::CycleAccurate));
+    let oracle_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    let sharded = compiled.execute(
+        &ExecuteOptions::for_spec(&spec)
+            .with_exec_mode(ExecMode::Sharded(8))
+            .with_shard_clamp(false),
+    );
+    let sharded_wall = t1.elapsed();
+
+    assert_eq!(sharded.exec_mode, EngineMode::Sharded(8));
+    assert_eq!(sharded.exec_requested, ExecMode::Sharded(8));
+    assert_eq!(oracle.run, sharded.run, "oversubscribed run diverged");
+    assert!(oracle.is_clean() && sharded.is_clean());
+
+    let budget = oracle_wall * 25 + Duration::from_secs(5);
+    assert!(
+        sharded_wall <= budget,
+        "Sharded(8) took {sharded_wall:?} against a budget of {budget:?} \
+         (oracle: {oracle_wall:?}) — the backoff tiers are not bounding \
+         oversubscription"
+    );
+}
+
+/// The default clamp folds an oversubscribing request down to the host
+/// core count, keeps the verbatim request on the report, and stays bit
+/// identical (shard-count invariance makes the merge a pure degrade).
+#[test]
+fn shard_clamp_records_request_and_effective_engine() {
+    let spec = AppDomain::Registration.spec();
+    let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(16, 2)));
+    let compiled = fw.compile_spec(&spec, 16 * 300).expect("compiles");
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u32;
+
+    let oracle =
+        compiled.execute(&ExecuteOptions::for_spec(&spec).with_exec_mode(ExecMode::CycleAccurate));
+    let clamped =
+        compiled.execute(&ExecuteOptions::for_spec(&spec).with_exec_mode(ExecMode::Sharded(64)));
+    assert_eq!(clamped.exec_requested, ExecMode::Sharded(64));
+    match clamped.exec_mode {
+        EngineMode::Sharded(n) => assert_eq!(n, 64.min(host)),
+        other => panic!("clamped request resolved to {other:?}"),
+    }
+    assert_eq!(oracle.run, clamped.run, "clamped run diverged");
+
+    // A request that fits the host is honored verbatim even with the
+    // clamp on (`min(n, host) = n`), so clamping never *removes*
+    // parallelism the host can actually supply.
+    if host >= 2 {
+        let fitting =
+            compiled.execute(&ExecuteOptions::for_spec(&spec).with_exec_mode(ExecMode::Sharded(2)));
+        assert_eq!(fitting.exec_mode, EngineMode::Sharded(2));
+        assert_eq!(oracle.run, fitting.run);
+    }
+}
+
+/// Forcing every wait through the park tier on a real preset must count
+/// parks and wakes in the report without perturbing any simulated
+/// field (the manual `RunReport` equality excludes backoff).
+#[test]
+fn forced_park_counters_surface_in_execution_report() {
+    let spec = AppDomain::Registration.spec();
+    let fw = StreamGrid::new(StreamGridConfig::cs_dt(SplitConfig::linear(16, 2)));
+    let compiled = fw.compile_spec(&spec, 16 * 300).expect("compiles");
+    let oracle =
+        compiled.execute(&ExecuteOptions::for_spec(&spec).with_exec_mode(ExecMode::CycleAccurate));
+    let parked = compiled.execute(
+        &ExecuteOptions::for_spec(&spec)
+            .with_exec_mode(ExecMode::Sharded(4))
+            .with_shard_clamp(false)
+            .with_ring(FORCED_PARK),
+    );
+    assert_eq!(oracle.run, parked.run);
+    assert_eq!(
+        (oracle.run.backoff.spins, oracle.run.backoff.parks),
+        (0, 0),
+        "sequential engines never touch the backoff tiers"
+    );
+    assert!(
+        parked.run.backoff.parks > 0,
+        "zero spin/yield budget with two-slot rings must park: {:?}",
+        parked.run.backoff
+    );
+    assert!(
+        parked.run.backoff.wakes > 0,
+        "parked shards can only resume via publisher wakes: {:?}",
+        parked.run.backoff
+    );
+}
+
+/// A small parameterized chain (map → stencil → reduction → global) for
+/// the property sweep: enough stage variety that every cut point lands
+/// on a different edge kind.
+fn chain(depths: &[u32; 4], reuse: u32, factor: u32, freq: u32) -> DataflowGraph {
+    let mut g = DataflowGraph::new();
+    let attrs = 2u32;
+    let src = g.source("src", Shape::new(1, attrs), 1);
+    let m = g.map("map", Shape::new(1, attrs), Shape::new(2, attrs), depths[0]);
+    let st = g.stencil(
+        "stencil",
+        Shape::new(1, attrs),
+        Shape::new(1, attrs),
+        depths[1],
+        (reuse, 1),
+    );
+    let rd = g.reduction(
+        "reduce",
+        Shape::new(1, attrs),
+        Shape::new(1, attrs),
+        depths[2],
+        factor,
+    );
+    let gl = g.global_op(
+        "global",
+        Shape::new(1, attrs),
+        1,
+        Shape::new(2, attrs),
+        freq,
+        (1, 1),
+        depths[3],
+    );
+    let sink = g.sink("sink", Shape::new(1, attrs), 1);
+    g.connect(src, m);
+    g.connect(m, st);
+    g.connect(st, rd);
+    g.connect(rd, gl);
+    g.connect(gl, sink);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every wait routed through the park/wake handshake (zero
+    /// spin/yield budget, two-slot rings): reports stay bit-identical
+    /// to the oracle across shard counts, under variable latency, and
+    /// under truncated cycle budgets.
+    #[test]
+    fn forced_park_engine_is_bit_identical_to_oracle(
+        depths in prop::collection::vec(0u32..6, 4..5),
+        reuse in 2u32..5,
+        factor in 2u32..6,
+        freq in 1u32..6,
+        n_chunks in 2u64..24,
+        cv in prop_oneof![Just(0.0f64), 0.2f64..1.0],
+        seed in 0u64..1024,
+        budget_divisor in 1u64..5,
+    ) {
+        let g = chain(&[depths[0], depths[1], depths[2], depths[3]], reuse, factor, freq);
+        prop_assume!(g.validate().is_ok());
+        let elements = 240u64;
+        let edges = edge_infos(&g, elements);
+        prop_assume!(edges.iter().all(|e| e.volume > 0));
+        let schedule = match optimize(&g, &OptimizeConfig::new(elements)) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::fail(format!("optimize failed: {e}"))),
+        };
+        let plan = plan_multi_chunk(&g, &edges);
+        let energy = EnergyModel::default();
+        let latency = if cv == 0.0 {
+            GlobalLatencyModel::Deterministic
+        } else {
+            GlobalLatencyModel::Variable { cv, seed }
+        };
+        let full = EngineConfig {
+            n_chunks,
+            global_latency: latency,
+            ring: FORCED_PARK,
+            ..EngineConfig::default()
+        };
+        let oracle = run_with(&g, &edges, &schedule, &plan, &energy, &full,
+                              EngineMode::CycleAccurate);
+        for shards in [1u32, 2, 4, 8] {
+            let sharded = run_with(&g, &edges, &schedule, &plan, &energy, &full,
+                                   EngineMode::Sharded(shards));
+            prop_assert_eq!(&oracle, &sharded,
+                            "forced-park divergence at {} shards", shards);
+        }
+
+        let truncated = EngineConfig {
+            max_cycles: (oracle.cycles / budget_divisor).max(1),
+            ..full
+        };
+        let oracle_t = run_with(&g, &edges, &schedule, &plan, &energy, &truncated,
+                                EngineMode::CycleAccurate);
+        for shards in [2u32, 8] {
+            let sharded_t = run_with(&g, &edges, &schedule, &plan, &energy, &truncated,
+                                     EngineMode::Sharded(shards));
+            prop_assert_eq!(&oracle_t, &sharded_t,
+                            "truncated forced-park divergence at {} shards", shards);
+        }
+    }
+}
