@@ -6,12 +6,15 @@
 //! time, exec mode) and serializes them to `BENCH_engine.json`, and a
 //! [`StreamBenchReport`] collects one [`StreamRecord`] per
 //! `Session::stream` sweep (frames, solves, latency percentiles) into
-//! `BENCH_streaming.json` — plain hand-rolled JSON, since the offline
+//! `BENCH_streaming.json`, and a [`ServerBenchReport`] collects one
+//! [`ServerRecord`] per QoS class per multi-tenant server sweep
+//! (admissions, sheds, wall-clock latency percentiles) into
+//! `BENCH_server.json` — plain hand-rolled JSON, since the offline
 //! vendored serde has no format crate behind it.
 //!
 //! Override the output paths with the `BENCH_ENGINE_JSON` /
-//! `BENCH_STREAMING_JSON` environment variables (the CI smoke job
-//! points them into a scratch directory).
+//! `BENCH_STREAMING_JSON` / `BENCH_SERVER_JSON` environment variables
+//! (the CI smoke job points them into a scratch directory).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -26,6 +29,10 @@ pub const DEFAULT_PATH: &str = "BENCH_engine.json";
 
 /// Default streaming output file, relative to the working directory.
 pub const STREAMING_PATH: &str = "BENCH_streaming.json";
+
+/// Default multi-tenant server output file, relative to the working
+/// directory.
+pub const SERVER_PATH: &str = "BENCH_server.json";
 
 /// One engine execution's measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -454,6 +461,146 @@ impl StreamBenchReport {
     }
 }
 
+/// One QoS class's share of a multi-tenant server sweep (plus one
+/// `"direct"` baseline record per single-tenant sweep: the same design
+/// point run through `Session::stream` without the server, which must
+/// be cycle-identical).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerRecord {
+    /// QoS class the record covers (`"interactive"` / `"standard"` /
+    /// `"background"`), or `"direct"` for the serverless
+    /// `Session::stream` baseline.
+    pub qos: String,
+    /// Total tenants the sweep submitted (the sweep's x-axis).
+    pub sweep_tenants: u64,
+    /// Tenants admitted under this class.
+    pub tenants: u64,
+    /// Tenants the whole sweep admitted.
+    pub admitted: u64,
+    /// Submissions the whole sweep rejected.
+    pub rejected: u64,
+    /// Frames this class executed.
+    pub frames: u64,
+    /// Frames this class shed.
+    pub shed: u64,
+    /// Frames this class degraded to a coarser bucketing.
+    pub degraded: u64,
+    /// Simulated cycles across this class's executed frames.
+    pub total_cycles: u64,
+    /// Median wall-clock frame latency (queue + execute), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile wall-clock frame latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile wall-clock frame latency, ms.
+    pub p99_ms: f64,
+    /// Worst wall-clock frame latency, ms.
+    pub max_ms: f64,
+    /// Mean queue wait, ms.
+    pub queue_ms: f64,
+    /// Mean execute time, ms.
+    pub exec_ms: f64,
+    /// ILP solves the whole sweep's shared cache performed.
+    pub solver_invocations: u64,
+    /// Distinct compile keys the sweep's tenant mix spans — with a
+    /// shared cache, `solver_invocations == distinct_keys` is the
+    /// sharing contract.
+    pub distinct_keys: u64,
+    /// Worker threads the server executed on.
+    pub workers: u64,
+    /// Hardware threads the host offered.
+    pub host_threads: u64,
+    /// Host wall time of the whole sweep in milliseconds.
+    pub wall_time_ms: f64,
+    /// `true` when every tenant in the sweep finished cleanly.
+    pub all_clean: bool,
+}
+
+/// A server harness's collected records, serializable as one JSON
+/// document (`BENCH_server.json`).
+#[derive(Debug, Clone)]
+pub struct ServerBenchReport {
+    harness: String,
+    seed: u64,
+    records: Vec<ServerRecord>,
+}
+
+impl ServerBenchReport {
+    /// An empty report for the named harness.
+    pub fn new(harness: &str, seed: u64) -> Self {
+        ServerBenchReport {
+            harness: harness.to_owned(),
+            seed,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one class record.
+    pub fn push(&mut self, record: ServerRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of collected records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let records: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"qos\": {}, \"sweep_tenants\": {}, \"tenants\": {}, \
+                     \"admitted\": {}, \"rejected\": {}, \"frames\": {}, \"shed\": {}, \
+                     \"degraded\": {}, \"total_cycles\": {}, \"p50_ms\": {}, \
+                     \"p95_ms\": {}, \"p99_ms\": {}, \"max_ms\": {}, \"queue_ms\": {}, \
+                     \"exec_ms\": {}, \"solver_invocations\": {}, \"distinct_keys\": {}, \
+                     \"workers\": {}, \"host_threads\": {}, \"wall_time_ms\": {}, \
+                     \"all_clean\": {}}}",
+                    json_str(&r.qos),
+                    r.sweep_tenants,
+                    r.tenants,
+                    r.admitted,
+                    r.rejected,
+                    r.frames,
+                    r.shed,
+                    r.degraded,
+                    r.total_cycles,
+                    json_f64(r.p50_ms),
+                    json_f64(r.p95_ms),
+                    json_f64(r.p99_ms),
+                    json_f64(r.max_ms),
+                    json_f64(r.queue_ms),
+                    json_f64(r.exec_ms),
+                    r.solver_invocations,
+                    r.distinct_keys,
+                    r.workers,
+                    r.host_threads,
+                    json_f64(r.wall_time_ms),
+                    r.all_clean,
+                )
+            })
+            .collect();
+        json_document(&self.harness, self.seed, &records)
+    }
+
+    /// Writes the JSON document to `BENCH_server.json` (or the
+    /// `BENCH_SERVER_JSON` override) and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_default(&self) -> io::Result<PathBuf> {
+        write_env_path("BENCH_SERVER_JSON", SERVER_PATH, &self.to_json())
+    }
+}
+
 /// The shared report envelope: `{"harness", "seed", "records": [...]}`
 /// over pre-rendered record objects. Both report types serialize
 /// through this, so their document shapes cannot drift apart.
@@ -617,6 +764,47 @@ mod tests {
         assert!(json.contains("\"yields\": 34"));
         assert!(json.contains("\"parks\": 5"));
         assert!(json.contains("\"wakes\": 5"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn server_json_document_shape() {
+        let mut r = ServerBenchReport::new("bench_server", 1);
+        r.push(ServerRecord {
+            qos: "interactive".to_owned(),
+            sweep_tenants: 64,
+            tenants: 13,
+            admitted: 64,
+            rejected: 0,
+            frames: 39,
+            shed: 0,
+            degraded: 0,
+            total_cycles: 123456,
+            p50_ms: 1.5,
+            p95_ms: 2.5,
+            p99_ms: 3.5,
+            max_ms: 4.0,
+            queue_ms: 0.75,
+            exec_ms: 1.25,
+            solver_invocations: 6,
+            distinct_keys: 6,
+            workers: 4,
+            host_threads: 1,
+            wall_time_ms: 250.0,
+            all_clean: true,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"harness\": \"bench_server\""));
+        assert!(json.contains("\"qos\": \"interactive\""));
+        assert!(json.contains("\"sweep_tenants\": 64"));
+        assert!(json.contains("\"tenants\": 13"));
+        assert!(json.contains("\"admitted\": 64"));
+        assert!(json.contains("\"shed\": 0"));
+        assert!(json.contains("\"p99_ms\": 3.500000"));
+        assert!(json.contains("\"queue_ms\": 0.750000"));
+        assert!(json.contains("\"solver_invocations\": 6"));
+        assert!(json.contains("\"distinct_keys\": 6"));
+        assert!(json.contains("\"all_clean\": true"));
         assert!(json.trim_end().ends_with('}'));
     }
 

@@ -109,6 +109,17 @@ pub trait FrameSource {
     fn size_hint(&self) -> (usize, Option<usize>) {
         (0, None)
     }
+
+    /// A cheap projection of how many frames remain, or `None` when the
+    /// source cannot say without draining itself — what admission
+    /// control (e.g. `streamgrid-serve`) uses to estimate a stream's
+    /// load before committing pool capacity to it. The default derives
+    /// the upper bound of [`FrameSource::size_hint`], so a source that
+    /// implements only [`FrameSource::next_frame`] reports `None` and
+    /// keeps its pre-existing behavior everywhere else.
+    fn remaining_frames(&self) -> Option<u64> {
+        self.size_hint().1.map(|n| n as u64)
+    }
 }
 
 /// Forwarding impl so a session can stream from a borrowed source
@@ -120,6 +131,10 @@ impl<S: FrameSource + ?Sized> FrameSource for &mut S {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         (**self).size_hint()
+    }
+
+    fn remaining_frames(&self) -> Option<u64> {
+        (**self).remaining_frames()
     }
 }
 
@@ -455,6 +470,14 @@ impl StreamReport {
         self.percentile_frame_cycles(0.95)
     }
 
+    /// 99th-percentile per-frame cycles (nearest-rank; 0 on an empty
+    /// stream) — the tail bucket SLO reporting cares about: p95 hides a
+    /// 1-in-50 straggler, the max is a single outlier, p99 is the
+    /// contract a serving layer can reasonably promise.
+    pub fn p99_frame_cycles(&self) -> u64 {
+        self.percentile_frame_cycles(0.99)
+    }
+
     /// Worst per-frame cycles (0 on an empty stream).
     pub fn max_frame_cycles(&self) -> u64 {
         self.frames
@@ -511,14 +534,38 @@ impl StreamReport {
 
     /// Nearest-rank percentile of per-frame cycles, `q` in `[0, 1]`.
     fn percentile_frame_cycles(&self, q: f64) -> u64 {
-        if self.frames.is_empty() {
-            return 0;
-        }
-        let mut cycles: Vec<u64> = self.frames.iter().map(|f| f.report.run.cycles).collect();
-        cycles.sort_unstable();
-        let rank = ((q * cycles.len() as f64).ceil() as usize).clamp(1, cycles.len());
-        cycles[rank - 1]
+        let cycles: Vec<u64> = self.frames.iter().map(|f| f.report.run.cycles).collect();
+        nearest_rank(&cycles, q)
     }
+}
+
+/// Nearest-rank percentile over `samples`, `q` in `[0, 1]`: the
+/// smallest sample such that at least `ceil(q·n)` samples are `<=` it
+/// (0 on an empty slice). This is the **one** percentile definition the
+/// workspace reports against — [`StreamReport`]'s per-frame cycle
+/// percentiles and `streamgrid-serve`'s wall-clock latency SLOs both
+/// delegate here, so a p95 in `BENCH_streaming.json` and a p95 in
+/// `BENCH_server.json` can never mean subtly different statistics.
+///
+/// # Examples
+///
+/// ```
+/// use streamgrid_core::source::nearest_rank;
+///
+/// let samples: Vec<u64> = (1..=100).collect();
+/// assert_eq!(nearest_rank(&samples, 0.50), 50);
+/// assert_eq!(nearest_rank(&samples, 0.99), 99);
+/// assert_eq!(nearest_rank(&samples, 1.00), 100);
+/// assert_eq!(nearest_rank(&[], 0.5), 0);
+/// ```
+pub fn nearest_rank(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 #[cfg(test)]
@@ -592,6 +639,41 @@ mod tests {
                 assert!(policy.bucket(e) >= e.max(1), "{policy:?} shrank {e}");
             }
         }
+    }
+
+    /// The nearest-rank definition, pinned: rank = ceil(q·n) clamped to
+    /// [1, n], 1-indexed into the sorted samples. Shared verbatim by
+    /// `StreamReport` cycle percentiles and the serving layer's
+    /// wall-clock latency stats.
+    #[test]
+    fn nearest_rank_percentile_definition() {
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&hundred, 0.50), 50);
+        assert_eq!(nearest_rank(&hundred, 0.95), 95);
+        assert_eq!(nearest_rank(&hundred, 0.99), 99);
+        assert_eq!(nearest_rank(&hundred, 1.00), 100);
+        // q = 0 clamps to the first rank, never "zero samples".
+        assert_eq!(nearest_rank(&hundred, 0.0), 1);
+        // Order of the input never matters.
+        assert_eq!(nearest_rank(&[30, 10, 20], 0.50), 20);
+        // Small n: ceil(0.5 * 3) = 2 → second-smallest, ceil(0.99 * 3)
+        // = 3 → the max; a singleton answers every quantile.
+        assert_eq!(nearest_rank(&[7, 3, 5], 0.99), 7);
+        assert_eq!(nearest_rank(&[42], 0.01), 42);
+        assert_eq!(nearest_rank(&[], 0.99), 0);
+    }
+
+    #[test]
+    fn remaining_frames_tracks_size_hint() {
+        let mut s = SyntheticSource::new(100, 5);
+        assert_eq!(s.remaining_frames(), Some(5));
+        s.next_frame();
+        assert_eq!(s.remaining_frames(), Some(4));
+        let mut r = ReplaySource::new(&[5, 9]);
+        assert_eq!(r.remaining_frames(), Some(2));
+        r.next_frame();
+        r.next_frame();
+        assert_eq!(r.remaining_frames(), Some(0));
     }
 
     #[test]

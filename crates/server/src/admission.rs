@@ -1,0 +1,161 @@
+//! Admission control: the token ledger that keeps the server from
+//! committing more projected work than its pool can absorb.
+//!
+//! Every tenant costs a number of *load tokens* — its projected frame
+//! count, taken from [`FrameSource::remaining_frames`] when the source
+//! can say and from [`crate::ServerConfig::default_projection`] when it
+//! cannot. [`crate::StreamServer::submit`] commits tokens up front and
+//! fails with a typed [`AdmissionError`] when the ledger is out of
+//! capacity; [`crate::StreamServer::submit_queued`] waitlists instead,
+//! and the scheduler admits waitlisted tenants FIFO as finishing
+//! tenants release their tokens.
+//!
+//! [`FrameSource::remaining_frames`]: streamgrid_core::source::FrameSource::remaining_frames
+
+/// Why a tenant was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The pool's projected load cannot absorb the tenant:
+    /// `projected > available` out of `capacity` total tokens.
+    Saturated {
+        /// Tokens the tenant would commit (its projected frame count).
+        projected: u64,
+        /// Tokens the ledger still has free.
+        available: u64,
+        /// The ledger's total capacity.
+        capacity: u64,
+    },
+    /// The server's tenant-count limit
+    /// ([`crate::ServerConfig::max_tenants`]) is reached.
+    TenantLimit {
+        /// The configured maximum.
+        max_tenants: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Saturated {
+                projected,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "admission rejected: projected load of {projected} frames exceeds the \
+                 {available} free of {capacity} pool tokens"
+            ),
+            AdmissionError::TenantLimit { max_tenants } => {
+                write!(
+                    f,
+                    "admission rejected: tenant limit of {max_tenants} reached"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// The server's load-token ledger: a capacity and the tokens currently
+/// committed to admitted tenants.
+#[derive(Debug, Clone)]
+pub struct TokenLedger {
+    capacity: u64,
+    committed: u64,
+}
+
+impl TokenLedger {
+    /// A ledger with `capacity` total tokens.
+    pub fn new(capacity: u64) -> Self {
+        TokenLedger {
+            capacity,
+            committed: 0,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Tokens committed to admitted tenants.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Tokens still free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.committed
+    }
+
+    /// Whether `projected` tokens fit without commitment.
+    pub fn fits(&self, projected: u64) -> bool {
+        projected <= self.available()
+    }
+
+    /// Commits `projected` tokens, or reports the shortfall.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Saturated`] when the tokens do not fit.
+    pub fn commit(&mut self, projected: u64) -> Result<(), AdmissionError> {
+        if !self.fits(projected) {
+            return Err(AdmissionError::Saturated {
+                projected,
+                available: self.available(),
+                capacity: self.capacity,
+            });
+        }
+        self.committed += projected;
+        Ok(())
+    }
+
+    /// Releases `projected` tokens a finished tenant committed.
+    pub fn release(&mut self, projected: u64) {
+        debug_assert!(projected <= self.committed, "release exceeds commitment");
+        self.committed = self.committed.saturating_sub(projected);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_release_round_trip() {
+        let mut ledger = TokenLedger::new(10);
+        assert_eq!(ledger.available(), 10);
+        ledger.commit(6).unwrap();
+        assert_eq!(ledger.available(), 4);
+        assert!(ledger.fits(4));
+        assert!(!ledger.fits(5));
+        match ledger.commit(5) {
+            Err(AdmissionError::Saturated {
+                projected,
+                available,
+                capacity,
+            }) => {
+                assert_eq!((projected, available, capacity), (5, 4, 10));
+            }
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+        ledger.release(6);
+        ledger.commit(10).unwrap();
+        assert_eq!(ledger.available(), 0);
+    }
+
+    #[test]
+    fn errors_render_their_numbers() {
+        let saturated = AdmissionError::Saturated {
+            projected: 7,
+            available: 3,
+            capacity: 12,
+        };
+        let msg = saturated.to_string();
+        assert!(msg.contains('7') && msg.contains('3') && msg.contains("12"));
+        assert!(AdmissionError::TenantLimit { max_tenants: 2 }
+            .to_string()
+            .contains('2'));
+    }
+}

@@ -1,0 +1,115 @@
+//! QoS classes: the service tiers tenants are admitted under.
+//!
+//! Three classes cover the serving mix the ROADMAP's "millions of
+//! users" front end needs: latency-sensitive [`QosClass::Interactive`]
+//! streams, ordinary [`QosClass::Standard`] traffic, and best-effort
+//! [`QosClass::Background`] work that the server may degrade (coarser
+//! compile buckets) or shed (drop queue-aged frames) under pressure.
+//! Classes are scheduling *weights*, not strict priorities: the
+//! weighted-fair pick in the scheduler guarantees every non-empty class
+//! a proportional share of worker time, so Background saturation can
+//! slow Interactive by at most its share ratio — never starve it.
+
+/// A tenant's service tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum QosClass {
+    /// Latency-sensitive streams: the largest scheduling weight, never
+    /// shed, never degraded.
+    Interactive,
+    /// The default tier for ordinary traffic.
+    #[default]
+    Standard,
+    /// Best-effort streams: smallest weight, and the only class the
+    /// server will degrade to a coarser bucketing or shed by queue-age
+    /// deadline under pressure.
+    Background,
+}
+
+impl QosClass {
+    /// Every class, in priority order (the order class reports are
+    /// emitted in, and the tie-break order for the weighted-fair pick).
+    pub const ALL: [QosClass; 3] = [
+        QosClass::Interactive,
+        QosClass::Standard,
+        QosClass::Background,
+    ];
+
+    /// The class's weighted-fair scheduling weight. A backlogged class
+    /// receives `weight / Σ backlogged weights` of worker dispatches:
+    /// with all three classes saturated, Interactive gets 8/12 of the
+    /// pool, Standard 3/12, Background 1/12.
+    pub const fn weight(self) -> u64 {
+        match self {
+            QosClass::Interactive => 8,
+            QosClass::Standard => 3,
+            QosClass::Background => 1,
+        }
+    }
+
+    /// Dense index into per-class arrays (`ALL[c.index()] == c`).
+    pub const fn index(self) -> usize {
+        match self {
+            QosClass::Interactive => 0,
+            QosClass::Standard => 1,
+            QosClass::Background => 2,
+        }
+    }
+
+    /// Stable lowercase name, used in reports and bench records.
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Standard => "standard",
+            QosClass::Background => "background",
+        }
+    }
+
+    /// Whether the server may drop this class's queue-aged frames under
+    /// a [`crate::ServerConfig::shed_after`] deadline.
+    pub fn sheds(self) -> bool {
+        matches!(self, QosClass::Background)
+    }
+
+    /// Whether the server may recompile this class's frames under the
+    /// coarser [`crate::ServerConfig::degraded_bucketing`] when its
+    /// queue backs up.
+    pub fn degrades_under_pressure(self) -> bool {
+        matches!(self, QosClass::Background)
+    }
+}
+
+impl std::fmt::Display for QosClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_dense_and_index_round_trips() {
+        for (i, class) in QosClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn weights_order_the_tiers() {
+        assert!(QosClass::Interactive.weight() > QosClass::Standard.weight());
+        assert!(QosClass::Standard.weight() > QosClass::Background.weight());
+        assert!(QosClass::Background.weight() >= 1, "zero weight starves");
+    }
+
+    #[test]
+    fn only_background_sheds_or_degrades() {
+        for class in QosClass::ALL {
+            assert_eq!(class.sheds(), class == QosClass::Background);
+            assert_eq!(
+                class.degrades_under_pressure(),
+                class == QosClass::Background
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Tenants: one submitted `FrameSource` stream plus everything the
+//! server needs to drive it — pipeline, transform config, bucketing
+//! policy, and QoS class.
+
+use streamgrid_core::framework::ExecuteOptions;
+use streamgrid_core::pipeline::PipelineSpec;
+use streamgrid_core::source::SizeBucketing;
+use streamgrid_core::transform::StreamGridConfig;
+
+use crate::qos::QosClass;
+
+/// A handle to an admitted tenant, returned by
+/// [`crate::StreamServer::submit`] and carried on its
+/// [`crate::TenantReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Everything a tenant submits alongside its [`FrameSource`]: which
+/// pipeline to run, under which transform config and bucketing policy,
+/// and at which service tier. Mirrors the knobs a direct
+/// [`Session::stream`] call takes, so one admitted tenant is exactly
+/// one `Session::stream` run — the server's bit-identity contract.
+///
+/// [`FrameSource`]: streamgrid_core::source::FrameSource
+/// [`Session::stream`]: streamgrid_core::session::Session::stream
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name for reports.
+    pub name: String,
+    /// The pipeline the tenant's frames run through.
+    pub pipeline: PipelineSpec,
+    /// The CS/DT transform configuration to compile under.
+    pub config: StreamGridConfig,
+    /// Frame-size → compile-bucket policy.
+    pub bucketing: SizeBucketing,
+    /// Service tier.
+    pub qos: QosClass,
+    /// Execution options; `None` uses the spec's defaults
+    /// ([`ExecuteOptions::for_spec`]), exactly like
+    /// [`StreamOptions::exec`].
+    ///
+    /// [`ExecuteOptions::for_spec`]: streamgrid_core::framework::ExecuteOptions::for_spec
+    /// [`StreamOptions::exec`]: streamgrid_core::source::StreamOptions::exec
+    pub exec: Option<ExecuteOptions>,
+    /// Stop after this many frames even if the source has more.
+    pub max_frames: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A Standard-tier tenant with exact bucketing and default
+    /// execution options.
+    pub fn new(name: impl Into<String>, pipeline: PipelineSpec, config: StreamGridConfig) -> Self {
+        TenantSpec {
+            name: name.into(),
+            pipeline,
+            config,
+            bucketing: SizeBucketing::Exact,
+            qos: QosClass::default(),
+            exec: None,
+            max_frames: None,
+        }
+    }
+
+    /// Sets the service tier.
+    pub fn with_qos(mut self, qos: QosClass) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Sets the bucketing policy.
+    pub fn with_bucketing(mut self, bucketing: SizeBucketing) -> Self {
+        self.bucketing = bucketing;
+        self
+    }
+
+    /// Sets explicit execution options.
+    pub fn with_exec(mut self, exec: ExecuteOptions) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Bounds the stream to `max` frames.
+    pub fn with_max_frames(mut self, max: u64) -> Self {
+        self.max_frames = Some(max);
+        self
+    }
+}

@@ -8,6 +8,7 @@ pub use streamgrid_nn as nn;
 pub use streamgrid_optimizer as optimizer;
 pub use streamgrid_pointcloud as pointcloud;
 pub use streamgrid_registration as registration;
+pub use streamgrid_serve as serve;
 pub use streamgrid_sim as sim;
 pub use streamgrid_spatial as spatial;
 pub use streamgrid_splat as splat;

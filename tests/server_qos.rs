@@ -1,0 +1,349 @@
+//! Contract tests for the multi-tenant streaming server
+//! (`streamgrid-serve`): admission control, weighted-fair QoS,
+//! backpressure, shedding/degradation, and the bit-identity anchor.
+//!
+//! The anchor pin: a single admitted tenant's `StreamReport` —
+//! per-frame `FrameReport`s, solve count, bucketing — equals running
+//! the same source through `Session::stream` directly, bit for bit.
+//! Everything the server adds (queues, WFQ, admission) is scheduling;
+//! results never change.
+
+use std::time::{Duration, Instant};
+
+use streamgrid_core::apps::AppDomain;
+use streamgrid_core::framework::{ExecMode, ExecuteOptions, StreamGrid};
+use streamgrid_core::source::{ReplaySource, SizeBucketing, StreamOptions, SyntheticSource};
+use streamgrid_core::transform::{SplitConfig, StreamGridConfig};
+use streamgrid_serve::{AdmissionError, QosClass, ServerConfig, StreamServer, TenantSpec};
+
+fn csdt4() -> StreamGridConfig {
+    StreamGridConfig::cs_dt(SplitConfig::linear(4, 2))
+}
+
+/// A spec on the classification pipeline under the shared test config.
+fn cls_spec(name: &str) -> TenantSpec {
+    TenantSpec::new(name, AppDomain::Classification.spec(), csdt4())
+}
+
+/// Execution options that force the cycle-accurate oracle — per-frame
+/// wall times long enough that queues genuinely back up on any host.
+fn slow_exec() -> ExecuteOptions {
+    ExecuteOptions::for_spec(&AppDomain::Classification.spec())
+        .with_exec_mode(ExecMode::CycleAccurate)
+}
+
+/// The anchor: one admitted tenant == `Session::stream`, bit for bit —
+/// same frames, same per-frame reports, same solve count, same
+/// bucketing — across a size-varied replay under quantized buckets.
+#[test]
+fn single_tenant_is_bit_identical_to_session_stream() {
+    let sizes: Vec<u64> = (0..10).map(|i| 1200 + 130 * i).collect();
+    let bucketing = SizeBucketing::Quantize(400);
+
+    let mut server = StreamServer::new(ServerConfig::default().with_workers(2));
+    server
+        .submit(
+            cls_spec("solo").with_bucketing(bucketing),
+            ReplaySource::new(&sizes),
+        )
+        .unwrap();
+    let report = server.run();
+
+    let mut session = StreamGrid::new(csdt4()).session(AppDomain::Classification.spec());
+    let direct = session
+        .stream(
+            ReplaySource::new(&sizes),
+            &StreamOptions::bucketed(bucketing),
+        )
+        .unwrap();
+
+    assert_eq!(report.tenants.len(), 1);
+    assert_eq!(
+        report.tenants[0].stream, direct,
+        "the serving layer must never change results"
+    );
+    assert_eq!(report.solver_invocations, direct.solver_invocations);
+    assert!(report.all_clean());
+    // The SLO side has one executed sample per frame.
+    assert_eq!(report.tenants[0].latency.frames, direct.frame_count());
+    assert_eq!(report.class(QosClass::Standard).tenants, 1);
+}
+
+/// Admission control rejects at capacity with the typed error carrying
+/// the exact shortfall, and enforces the tenant cap.
+#[test]
+fn admission_rejects_at_capacity_with_typed_errors() {
+    // 10-token pool: a 6-frame tenant fits, the next 6-frame one does
+    // not (6 > 4 available).
+    let mut server = StreamServer::new(ServerConfig::default().with_workers(1).with_capacity(10));
+    server
+        .submit(cls_spec("first"), SyntheticSource::new(1200, 6))
+        .expect("6 of 10 tokens fit");
+    assert_eq!(server.available_tokens(), 4);
+    match server.submit(cls_spec("second"), SyntheticSource::new(1200, 6)) {
+        Err(AdmissionError::Saturated {
+            projected,
+            available,
+            capacity,
+        }) => assert_eq!((projected, available, capacity), (6, 4, 10)),
+        other => panic!("expected Saturated, got {other:?}"),
+    }
+    // A hint-less source is charged the default projection instead.
+    struct Opaque(u64);
+    impl streamgrid_core::source::FrameSource for Opaque {
+        fn next_frame(&mut self) -> Option<streamgrid_core::source::Frame> {
+            if self.0 == 0 {
+                return None;
+            }
+            self.0 -= 1;
+            Some(streamgrid_core::source::Frame::synthetic(self.0, 1200))
+        }
+    }
+    match server.submit(cls_spec("opaque"), Opaque(1)) {
+        Err(AdmissionError::Saturated { projected, .. }) => {
+            assert_eq!(
+                projected,
+                ServerConfig::default().default_projection,
+                "an unsized source is charged the default projection"
+            );
+        }
+        other => panic!("expected Saturated for the unsized source, got {other:?}"),
+    }
+    // But a max_frames bound caps the charge and fits.
+    server
+        .submit(cls_spec("bounded").with_max_frames(2), Opaque(4))
+        .expect("max_frames caps the projection to 2 of 4 free tokens");
+
+    // The tenant cap is its own typed rejection.
+    let mut capped = StreamServer::new(ServerConfig::default().with_max_tenants(1));
+    capped
+        .submit(cls_spec("only"), SyntheticSource::new(1200, 1))
+        .unwrap();
+    match capped.submit(cls_spec("extra"), SyntheticSource::new(1200, 1)) {
+        Err(AdmissionError::TenantLimit { max_tenants }) => assert_eq!(max_tenants, 1),
+        other => panic!("expected TenantLimit, got {other:?}"),
+    }
+    let report = capped.run();
+    assert_eq!((report.admitted, report.rejected), (1, 1));
+}
+
+/// `submit_queued` waitlists what `submit` would reject, and the
+/// scheduler admits FIFO as finishing tenants release tokens — every
+/// waitlisted tenant eventually runs to completion.
+#[test]
+fn waitlisted_tenants_are_admitted_fifo_as_tokens_free() {
+    // 4-token pool, 3-token tenants: one runs at a time, four total.
+    let mut server = StreamServer::new(ServerConfig::default().with_workers(1).with_capacity(4));
+    for i in 0..4 {
+        server
+            .submit_queued(cls_spec(&format!("t{i}")), SyntheticSource::new(1200, 3))
+            .expect("fits the total capacity, so it may wait");
+    }
+    // A tenant that could never fit is rejected, not deadlocked.
+    match server.submit_queued(cls_spec("whale"), SyntheticSource::new(1200, 9)) {
+        Err(AdmissionError::Saturated { capacity, .. }) => assert_eq!(capacity, 4),
+        other => panic!("expected Saturated for an impossible tenant, got {other:?}"),
+    }
+    let report = server.run();
+    assert_eq!(report.admitted, 4);
+    assert_eq!(report.rejected, 1);
+    assert_eq!(
+        report.queued_admissions, 3,
+        "the first tenant fit immediately; the other three waited"
+    );
+    assert_eq!(report.frame_count(), 12);
+    assert!(report.all_clean());
+}
+
+/// Backpressure never deadlocks: tiny queues, every class saturated,
+/// multiple tenants per class — the run completes inside a generous
+/// wall budget relative to the same work done directly (the
+/// `tests/shard_backoff.rs` budget idiom).
+#[test]
+fn saturated_classes_with_tiny_queues_never_deadlock() {
+    let frames = 5u64;
+    // The same total work, serverless, as the budget baseline.
+    let t0 = Instant::now();
+    let mut session = StreamGrid::new(csdt4()).session(AppDomain::Classification.spec());
+    session
+        .stream(
+            SyntheticSource::new(1200, frames),
+            &StreamOptions::default(),
+        )
+        .unwrap();
+    let one_direct = t0.elapsed();
+
+    let mut server = StreamServer::new(ServerConfig::default().with_workers(2).with_queue_depth(1));
+    let classes = [
+        QosClass::Interactive,
+        QosClass::Standard,
+        QosClass::Background,
+    ];
+    let tenants = 9;
+    for i in 0..tenants {
+        server
+            .submit(
+                cls_spec(&format!("t{i}")).with_qos(classes[i % 3]),
+                SyntheticSource::new(1200, frames),
+            )
+            .unwrap();
+    }
+    let t1 = Instant::now();
+    let report = server.run();
+    let wall = t1.elapsed();
+
+    assert_eq!(report.frame_count(), tenants as u64 * frames);
+    assert!(report.all_clean());
+    for class in &report.classes {
+        assert_eq!(class.tenants, 3);
+        assert_eq!(class.latency.frames, 3 * frames);
+    }
+    let budget = one_direct * tenants as u32 * 25 + Duration::from_secs(5);
+    assert!(
+        wall <= budget,
+        "9 tenants on depth-1 queues took {wall:?} against {budget:?} \
+         (one direct stream: {one_direct:?}) — scheduler or condvar thrash"
+    );
+}
+
+/// Weighted-fair isolation: Interactive p95 under full Background
+/// saturation stays within a generous bound of Interactive running
+/// alone. Background may wait; Interactive must not starve.
+#[test]
+fn interactive_p95_bounded_under_background_saturation() {
+    let exec = slow_exec();
+    let run_mix = |background_tenants: usize| {
+        let mut server =
+            StreamServer::new(ServerConfig::default().with_workers(1).with_queue_depth(2));
+        server
+            .submit(
+                cls_spec("fg")
+                    .with_qos(QosClass::Interactive)
+                    .with_exec(exec),
+                SyntheticSource::new(2400, 8),
+            )
+            .unwrap();
+        for i in 0..background_tenants {
+            server
+                .submit(
+                    cls_spec(&format!("bg{i}"))
+                        .with_qos(QosClass::Background)
+                        .with_exec(exec),
+                    SyntheticSource::new(2400, 6),
+                )
+                .unwrap();
+        }
+        server.run()
+    };
+
+    let alone = run_mix(0);
+    let saturated = run_mix(4);
+    let alone_p95 = alone.class(QosClass::Interactive).latency.p95_ms;
+    let saturated_p95 = saturated.class(QosClass::Interactive).latency.p95_ms;
+    assert!(
+        alone_p95 > 0.0,
+        "cycle-accurate frames take measurable time"
+    );
+    assert_eq!(saturated.class(QosClass::Background).tenants, 4);
+    assert!(saturated.all_clean());
+    // Generous 1-core bound: WFQ gives Interactive 8/9 of dispatches
+    // under dual backlog, so its p95 may pay a queue wait but never the
+    // Background backlog. 25× + 50 ms absorbs any CI-host noise.
+    assert!(
+        saturated_p95 <= alone_p95 * 25.0 + 50.0,
+        "Interactive p95 {saturated_p95:.3} ms under saturation vs {alone_p95:.3} ms alone \
+         — Background is starving the Interactive class"
+    );
+}
+
+/// A zero shed deadline sheds every Background frame at dispatch —
+/// deterministically — while Interactive (never sheddable) executes
+/// everything; the accounting splits exactly.
+#[test]
+fn background_sheds_past_deadline_interactive_never_does() {
+    let mut server = StreamServer::new(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_shed_after(Duration::ZERO),
+    );
+    server
+        .submit(
+            cls_spec("fg").with_qos(QosClass::Interactive),
+            SyntheticSource::new(1200, 4),
+        )
+        .unwrap();
+    server
+        .submit(
+            cls_spec("bg").with_qos(QosClass::Background),
+            SyntheticSource::new(1200, 4),
+        )
+        .unwrap();
+    let report = server.run();
+
+    let fg = &report.tenants[0];
+    let bg = &report.tenants[1];
+    assert_eq!((fg.shed_frames, fg.stream.frame_count()), (0, 4));
+    assert_eq!((bg.shed_frames, bg.stream.frame_count()), (4, 0));
+    assert_eq!(report.class(QosClass::Background).shed_frames, 4);
+    assert_eq!(report.class(QosClass::Interactive).shed_frames, 0);
+    assert_eq!(report.shed_frames(), 4);
+    assert!(report.all_clean(), "shed frames are not errors");
+}
+
+/// Under queue pressure, Background frames compile under the coarser
+/// degraded bucketing (and only Background — Interactive buckets stay
+/// exact).
+#[test]
+fn background_degrades_to_coarser_buckets_under_pressure() {
+    let exec = slow_exec();
+    let mut server = StreamServer::new(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_queue_depth(2)
+            .with_degraded_bucketing(SizeBucketing::Quantize(4800)),
+    );
+    server
+        .submit(
+            cls_spec("fg")
+                .with_qos(QosClass::Interactive)
+                .with_exec(exec),
+            SyntheticSource::new(1200, 4),
+        )
+        .unwrap();
+    server
+        .submit(
+            cls_spec("bg")
+                .with_qos(QosClass::Background)
+                .with_exec(exec),
+            SyntheticSource::new(1200, 8),
+        )
+        .unwrap();
+    let report = server.run();
+
+    let fg = &report.tenants[0];
+    let bg = &report.tenants[1];
+    assert_eq!(fg.degraded_frames, 0, "Interactive never degrades");
+    assert!(
+        fg.stream
+            .frames
+            .iter()
+            .all(|f| f.scheduled_elements == f.frame.elements),
+        "Interactive buckets stay exact"
+    );
+    // With one worker on cycle-accurate frames, the Background queue
+    // holds a waiting job from the second pull on: later pulls see the
+    // half-full queue and degrade.
+    assert!(
+        bg.degraded_frames >= 1,
+        "a saturated depth-2 Background queue must trigger degradation"
+    );
+    // Degraded frames schedule the coarse bucket, not the exact size.
+    assert!(
+        bg.stream
+            .frames
+            .iter()
+            .any(|f| f.scheduled_elements == 4800),
+        "degraded frames compile at the Quantize(4800) bucket"
+    );
+    assert!(report.all_clean(), "degraded frames still run clean");
+}

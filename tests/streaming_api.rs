@@ -188,3 +188,60 @@ fn stream_and_run_batch_agree() {
     );
     assert_eq!(a.solver_invocations(), b.solver_invocations());
 }
+
+/// A `FrameSource` written against the original trait surface — only
+/// `next_frame` implemented — keeps its exact pre-existing behavior:
+/// `size_hint` defaults to fully-unknown `(0, None)` and the admission
+/// hint `remaining_frames` (derived from it) to `None`, so old sources
+/// stream unchanged and are simply charged the server's default
+/// projection. Library sources expose exact hints.
+#[test]
+fn frame_source_default_impls_stay_backward_compatible() {
+    use streamgrid_core::source::Frame;
+
+    struct MinimalSource(u64);
+    impl FrameSource for MinimalSource {
+        fn next_frame(&mut self) -> Option<Frame> {
+            if self.0 == 0 {
+                return None;
+            }
+            self.0 -= 1;
+            Some(Frame::synthetic(self.0, 1200))
+        }
+    }
+
+    let minimal = MinimalSource(3);
+    assert_eq!(minimal.size_hint(), (0, None));
+    assert_eq!(minimal.remaining_frames(), None);
+    // …and it still streams exactly like a hinted source.
+    let mut session = csdt4().session(AppDomain::Classification.spec());
+    let report = session
+        .stream(MinimalSource(3), &StreamOptions::default())
+        .unwrap();
+    assert_eq!(report.frame_count(), 3);
+    assert!(report.all_clean());
+
+    // Library sources expose exact remaining-frame hints that count
+    // down as frames are pulled.
+    let mut synthetic = SyntheticSource::new(1200, 4);
+    assert_eq!(synthetic.remaining_frames(), Some(4));
+    synthetic.next_frame();
+    assert_eq!(synthetic.remaining_frames(), Some(3));
+    let replay = ReplaySource::new(&[5, 9, 13]);
+    assert_eq!(replay.remaining_frames(), Some(3));
+}
+
+/// `p99_frame_cycles` joins the p50/p95/max aggregates and orders as a
+/// percentile must: p50 ≤ p95 ≤ p99 ≤ max.
+#[test]
+fn stream_report_p99_orders_between_p95_and_max() {
+    let sizes: Vec<u64> = (0..12).map(|i| 1200 + 120 * i).collect();
+    let mut session = csdt4().session(AppDomain::Classification.spec());
+    let report = session
+        .stream(ReplaySource::new(&sizes), &StreamOptions::default())
+        .unwrap();
+    assert!(report.p50_frame_cycles() <= report.p95_frame_cycles());
+    assert!(report.p95_frame_cycles() <= report.p99_frame_cycles());
+    assert!(report.p99_frame_cycles() <= report.max_frame_cycles());
+    assert!(report.p99_frame_cycles() > 0);
+}
