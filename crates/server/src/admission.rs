@@ -59,7 +59,11 @@ impl std::error::Error for AdmissionError {}
 
 /// The server's load-token ledger: a capacity and the tokens currently
 /// committed to admitted tenants.
-#[derive(Debug, Clone)]
+///
+/// `Eq`/`Hash` exist so the ledger can sit inside a model-checker state
+/// (`crate::mc` explores the admission protocol with the *real* ledger,
+/// not a re-implementation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TokenLedger {
     capacity: u64,
     committed: u64,

@@ -35,14 +35,27 @@
 //! directly, because the server's per-frame path is exactly the
 //! session's — bucket, compile through the cache, execute with the
 //! spec's resolved options.
+//!
+//! The concurrency anchor: the scheduling and admission decisions are
+//! pure functions in [`protocol`], and [`mc`] model-checks the
+//! protocols built on them — the work/space dispatch handshake, the
+//! ledger + FIFO waitlist, and the WFQ pick — with the
+//! [`streamgrid_verify::mc`] harness, over every bounded interleaving.
 
 mod admission;
+pub mod mc;
+pub mod protocol;
 mod qos;
 mod report;
 mod server;
 mod tenant;
 
 pub use admission::{AdmissionError, TokenLedger};
+pub use mc::{
+    check_dispatch, check_ledger, check_wfq, DispatchConfig, DispatchVariant, LedgerScenario,
+    LedgerVariant, WfqConfig, WfqVariant,
+};
+pub use protocol::{admit_fifo, queued_admission, wfq_pick, QueuedDecision, WEIGHTS};
 pub use qos::QosClass;
 pub use report::{ClassReport, FrameLatency, LatencyStats, ServerReport, TenantReport};
 pub use server::{ServerConfig, StreamServer};

@@ -10,6 +10,7 @@
 //! [`StreamReport`]: streamgrid_core::source::StreamReport
 //! [`StreamReport::p99_frame_cycles`]: streamgrid_core::source::StreamReport::p99_frame_cycles
 
+use streamgrid_core::framework::LintSummary;
 use streamgrid_core::nearest_rank;
 use streamgrid_core::pipeline::CompileError;
 use streamgrid_core::source::StreamReport;
@@ -111,6 +112,11 @@ pub struct TenantReport {
     /// The compile error that terminated the tenant early, if any — the
     /// server keeps serving other tenants when one fails.
     pub error: Option<CompileError>,
+    /// Configuration lints against the tenant's spec (currently
+    /// `SG006`: Background-only shed/degrade policy set on a
+    /// non-Background class). Warnings, not failures —
+    /// [`TenantReport::is_clean`] ignores them.
+    pub lints: LintSummary,
 }
 
 impl TenantReport {
@@ -161,6 +167,10 @@ pub struct ServerReport {
     pub solver_invocations: u64,
     /// Worker threads the run executed on.
     pub workers: usize,
+    /// Aggregate of every tenant's configuration lints, so one glance
+    /// at the server report shows whether any spec carried inert or
+    /// suspicious settings.
+    pub lints: LintSummary,
 }
 
 impl ServerReport {

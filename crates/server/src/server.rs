@@ -46,17 +46,14 @@ use streamgrid_core::pipeline::CompileError;
 use streamgrid_core::session::Session;
 use streamgrid_core::source::{Frame, FrameReport, FrameSource, SizeBucketing, StreamReport};
 
+use streamgrid_core::framework::LintSummary;
+use streamgrid_verify::inert_qos_policy;
+
 use crate::admission::{AdmissionError, TokenLedger};
+use crate::protocol::{admit_fifo, queued_admission, wfq_pick, QueuedDecision};
 use crate::qos::QosClass;
 use crate::report::{ClassReport, FrameLatency, LatencyStats, ServerReport, TenantReport};
 use crate::tenant::{TenantId, TenantSpec};
-
-/// Class weights in [`QosClass::ALL`] order, for the workers' WFQ pick.
-const WEIGHTS: [u64; 3] = [
-    QosClass::Interactive.weight(),
-    QosClass::Standard.weight(),
-    QosClass::Background.weight(),
-];
 
 /// Tuning knobs for a [`StreamServer`].
 #[derive(Debug, Clone, Copy)]
@@ -424,22 +421,24 @@ impl StreamServer {
             });
         }
         let mut holder = self.hold(spec, Box::new(source));
-        if holder.projected > self.ledger.capacity() {
-            self.rejected += 1;
-            return Err(AdmissionError::Saturated {
-                projected: holder.projected,
-                available: self.ledger.available(),
-                capacity: self.ledger.capacity(),
-            });
-        }
-        // Join the waitlist even when the tokens would fit right now if
-        // earlier tenants are already waiting — admission is strictly
-        // FIFO, so a small late tenant cannot starve a large early one.
-        if self.waitlist.is_empty() && self.ledger.commit(holder.projected).is_ok() {
-            holder.active = true;
-        } else {
-            holder.was_queued = true;
-            self.waitlist.push_back(self.tenants.len());
+        match queued_admission(
+            &mut self.ledger,
+            !self.waitlist.is_empty(),
+            holder.projected,
+        ) {
+            QueuedDecision::RejectImpossibleFit => {
+                self.rejected += 1;
+                return Err(AdmissionError::Saturated {
+                    projected: holder.projected,
+                    available: self.ledger.available(),
+                    capacity: self.ledger.capacity(),
+                });
+            }
+            QueuedDecision::Admit => holder.active = true,
+            QueuedDecision::Waitlist => {
+                holder.was_queued = true;
+                self.waitlist.push_back(self.tenants.len());
+            }
         }
         let id = holder.id;
         self.tenants.push(holder);
@@ -540,6 +539,9 @@ fn schedule(
     waitlist: &mut VecDeque<usize>,
 ) {
     let mut cursor = 0usize;
+    // Projections never change after submission; snapshot them so the
+    // FIFO admission sweep can borrow them while mutating the tenants.
+    let projections: Vec<u64> = tenants.iter().map(|t| t.projected).collect();
     let mut st = shared.state.lock().expect("workers do not panic");
     loop {
         // Phase A (locked): harvest finishes — a tenant is finished
@@ -552,12 +554,8 @@ fn schedule(
                 ledger.release(t.projected);
             }
         }
-        while let Some(&head) = waitlist.front() {
-            if ledger.commit(tenants[head].projected).is_err() {
-                break;
-            }
-            tenants[head].active = true;
-            waitlist.pop_front();
+        for i in admit_fifo(ledger, waitlist, |i| projections[i]) {
+            tenants[i].active = true;
         }
 
         // Done when every admitted tenant finished and nobody waits. (A
@@ -590,9 +588,13 @@ fn schedule(
         };
         cursor = (i + 1) % tenants.len();
         // Capture the pressure signal while still locked: a Background
-        // pull degrades while its queue sits at least half full.
+        // pull degrades while its queue sits at least half full. A
+        // tenant-level policy overrides the server-wide one (and is
+        // honored only for classes that degrade at all — elsewhere it
+        // is inert and flagged SG006 on the report).
         let t = &tenants[i];
-        let under_pressure = config.degraded_bucketing.is_some()
+        let degraded_bucketing = t.spec.degraded_bucketing.or(config.degraded_bucketing);
+        let under_pressure = degraded_bucketing.is_some()
             && t.spec.qos.degrades_under_pressure()
             && 2 * st.queues[t.spec.qos.index()].len() >= queue_depth;
         drop(st);
@@ -611,7 +613,7 @@ fn schedule(
             st = shared.state.lock().expect("workers do not panic");
             continue;
         };
-        let bucketing = match (under_pressure, config.degraded_bucketing) {
+        let bucketing = match (under_pressure, degraded_bucketing) {
             (true, Some(degraded)) => degraded,
             _ => t.spec.bucketing,
         };
@@ -644,7 +646,7 @@ fn schedule(
             exec: t.exec,
             enqueued: Instant::now(),
             shed_deadline: if t.spec.qos.sheds() {
-                config.shed_after
+                t.spec.shed_after.or(config.shed_after)
             } else {
                 None
             },
@@ -700,24 +702,17 @@ fn worker_loop(shared: &SyncState) {
     }
 }
 
-/// Weighted fair pick: among non-empty class queues, dispatch the class
-/// with the smallest `served/weight` (compared exactly by
-/// cross-multiplication); ties go to the higher-priority class.
+/// Weighted fair pick: [`wfq_pick`] chooses the class (smallest
+/// `served/weight`, ties to the higher-priority class), the worker
+/// dispatches its queue head. The pick function is the one
+/// `crate::mc::check_wfq` model-checks.
 fn pick_job(st: &mut State) -> Option<Job> {
-    // best = (class index, weight): the non-empty class minimizing
-    // served/weight so far.
-    let mut best: Option<(usize, u64)> = None;
-    for (c, (queue, &weight)) in st.queues.iter().zip(&WEIGHTS).enumerate() {
-        if queue.is_empty() {
-            continue;
-        }
-        best = match best {
-            None => Some((c, weight)),
-            Some((b, wb)) if st.served[c] * wb < st.served[b] * weight => Some((c, weight)),
-            keep => keep,
-        };
-    }
-    let (c, _) = best?;
+    let nonempty = [
+        !st.queues[0].is_empty(),
+        !st.queues[1].is_empty(),
+        !st.queues[2].is_empty(),
+    ];
+    let c = wfq_pick(nonempty, &st.served)?;
     st.served[c] += 1;
     st.queues[c].pop_front()
 }
@@ -747,6 +742,7 @@ fn assemble_report(
 
     let mut admitted = 0u64;
     let mut queued_admissions = 0u64;
+    let mut all_diags = Vec::new();
     let mut reports = Vec::with_capacity(tenants.len());
     for (slots, t) in outcomes.into_iter().zip(tenants) {
         debug_assert!(t.active, "run() ended with a waitlisted tenant");
@@ -755,6 +751,16 @@ fn assemble_report(
         let qos = t.spec.qos;
         let c = qos.index();
         class_tenants[c] += 1;
+
+        // SG006: Background-only policy set on a non-Background spec.
+        let inert = t.spec.inert_qos_policy_fields();
+        let diags = if inert.is_empty() {
+            Vec::new()
+        } else {
+            vec![inert_qos_policy(&t.spec.name, qos.name(), &inert)]
+        };
+        let lints = LintSummary::from_diagnostics(&diags);
+        all_diags.extend(diags);
 
         let mut frames = Vec::new();
         let mut samples = Vec::new();
@@ -799,6 +805,7 @@ fn assemble_report(
             shed_frames,
             degraded_frames,
             error: t.error,
+            lints,
         });
     }
 
@@ -825,5 +832,6 @@ fn assemble_report(
         queued_admissions,
         solver_invocations,
         workers,
+        lints: LintSummary::from_diagnostics(&all_diags),
     }
 }

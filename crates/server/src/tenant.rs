@@ -2,6 +2,8 @@
 //! server needs to drive it — pipeline, transform config, bucketing
 //! policy, and QoS class.
 
+use std::time::Duration;
+
 use streamgrid_core::framework::ExecuteOptions;
 use streamgrid_core::pipeline::PipelineSpec;
 use streamgrid_core::source::SizeBucketing;
@@ -50,6 +52,19 @@ pub struct TenantSpec {
     pub exec: Option<ExecuteOptions>,
     /// Stop after this many frames even if the source has more.
     pub max_frames: Option<u64>,
+    /// Per-tenant queue-age shed deadline, overriding the server-wide
+    /// [`ServerConfig::shed_after`]. **Background only** — on any other
+    /// class the setting is inert and flagged `SG006` on the tenant's
+    /// report.
+    ///
+    /// [`ServerConfig::shed_after`]: crate::ServerConfig::shed_after
+    pub shed_after: Option<Duration>,
+    /// Per-tenant degraded bucketing under queue pressure, overriding
+    /// the server-wide [`ServerConfig::degraded_bucketing`].
+    /// **Background only** — inert and flagged `SG006` elsewhere.
+    ///
+    /// [`ServerConfig::degraded_bucketing`]: crate::ServerConfig::degraded_bucketing
+    pub degraded_bucketing: Option<SizeBucketing>,
 }
 
 impl TenantSpec {
@@ -64,6 +79,8 @@ impl TenantSpec {
             qos: QosClass::default(),
             exec: None,
             max_frames: None,
+            shed_after: None,
+            degraded_bucketing: None,
         }
     }
 
@@ -89,5 +106,36 @@ impl TenantSpec {
     pub fn with_max_frames(mut self, max: u64) -> Self {
         self.max_frames = Some(max);
         self
+    }
+
+    /// Sets a per-tenant shed deadline (Background only; see
+    /// [`TenantSpec::shed_after`]).
+    pub fn with_shed_after(mut self, deadline: Duration) -> Self {
+        self.shed_after = Some(deadline);
+        self
+    }
+
+    /// Sets a per-tenant degraded bucketing (Background only; see
+    /// [`TenantSpec::degraded_bucketing`]).
+    pub fn with_degraded_bucketing(mut self, bucketing: SizeBucketing) -> Self {
+        self.degraded_bucketing = Some(bucketing);
+        self
+    }
+
+    /// The Background-only policy fields this spec sets even though its
+    /// class is not Background — the `SG006` evidence. Empty for
+    /// Background tenants and for specs that set neither.
+    pub fn inert_qos_policy_fields(&self) -> Vec<&'static str> {
+        if self.qos == QosClass::Background {
+            return Vec::new();
+        }
+        let mut fields = Vec::new();
+        if self.shed_after.is_some() {
+            fields.push("shed_after");
+        }
+        if self.degraded_bucketing.is_some() {
+            fields.push("degraded_bucketing");
+        }
+        fields
     }
 }

@@ -18,24 +18,32 @@
 //!    inconsistency at reconvergent stages, dead or unreachable stages,
 //!    bucketing blow-up, deterministic-termination preconditions, and
 //!    oversized global windows.
-//! 3. [`spsc`] — the **SPSC interleaving checker**: a hand-rolled
-//!    bounded exhaustive-interleaving model checker (loom-style, zero
-//!    dependencies) over a small model of the sharded engine's
-//!    single-producer/single-consumer counter ring, verifying counter
+//! 3. [`mc`] — the **unified model-checking harness**: a reusable
+//!    hand-rolled bounded exhaustive-interleaving explorer (loom-style,
+//!    zero dependencies) with modeled atomics/`Mutex`/`Condvar`, a
+//!    visited-state-memoized DFS with a sleep-set/partial-order
+//!    reduction, state-count budgets, and a [`Model`] trait stating
+//!    safety invariants and termination obligations. Protocol models in
+//!    this crate and in `streamgrid-serve` plug into it.
+//! 4. [`spsc`] — the sharded engine's protocol models on that harness:
+//!    the single-producer/single-consumer counter ring (counter
 //!    monotonicity, stale-read-is-lower-bound, the publish order that
-//!    makes `finished` trustworthy, and the `t − RING_LEN + 1` flow
-//!    -control invariant.
+//!    makes `finished` trustworthy, the `t − RING_LEN + 1` flow-control
+//!    invariant) and the tiered backoff's park/wake handshake (no lost
+//!    wakeup).
 //!
 //! The crate depends only on `streamgrid-dataflow` (for [`Rate`]) so
-//! the optimizer, the core framework, and the bench harnesses can all
-//! call into it without cycles.
+//! the optimizer, the core framework, the serving layer, and the bench
+//! harnesses can all call into it without cycles.
 //!
 //! [`Rate`]: streamgrid_dataflow::Rate
 
 pub mod cert;
 pub mod lint;
+pub mod mc;
 pub mod spsc;
 
 pub use cert::{certify, CertEdge, Certificate, EdgeCert};
-pub use lint::{bucketing_blowup, lint_graph, Diagnostic, LintContext, Severity};
+pub use lint::{bucketing_blowup, inert_qos_policy, lint_graph, Diagnostic, LintContext, Severity};
+pub use mc::{explore, McConfig, McReport, Model};
 pub use spsc::{check_spsc, SpscConfig, SpscReport};

@@ -11,10 +11,15 @@
 //! | `SG003` | warning  | size bucketing inflated the scheduled chunk well beyond the source volume (buffer blow-up) |
 //! | `SG004` | warning  | deterministic-termination preconditions unmet (DT without compulsory splitting, or a deadline fraction outside `(0, 1]`) |
 //! | `SG005` | warning  | a global op's chunk window exceeds the number of chunks the stream issues |
+//! | `SG006` | warning  | a tenant sets Background-only QoS policy (`shed_after` / `degraded_bucketing`) on a non-Background class, where it is silently inert |
 //!
 //! [`lint_graph`] covers the structural codes; [`bucketing_blowup`] is a
 //! standalone helper for `SG003` because bucketing happens per frame at
-//! stream time, not at compile time.
+//! stream time, not at compile time, and [`inert_qos_policy`] is the
+//! `SG006` constructor the serving layer calls when it assembles tenant
+//! reports (the linter cannot see `TenantSpec` without a dependency
+//! cycle, so the server derives the finding and this crate owns its
+//! shape).
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -44,7 +49,7 @@ impl fmt::Display for Severity {
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Diagnostic {
-    /// Catalog code (`SG001`…`SG005`).
+    /// Catalog code (`SG001`…`SG006`).
     pub code: &'static str,
     /// Finding severity.
     pub severity: Severity,
@@ -226,6 +231,27 @@ pub fn bucketing_blowup(source_elements: u64, scheduled_elements: u64) -> Option
     }
 }
 
+/// `SG006` — a tenant set Background-only QoS policy on a non-Background
+/// class. `shed_after` and `degraded_bucketing` only ever apply to
+/// Background tenants (the only class whose SLO tolerates dropping or
+/// coarsening frames), so on any other class the setting is silently
+/// inert — almost always a mis-filed intent. `fields` names the inert
+/// settings (e.g. `["shed_after"]`); the tenant's name anchors the
+/// finding via `stage`.
+pub fn inert_qos_policy(tenant: &str, qos: &str, fields: &[&str]) -> Diagnostic {
+    debug_assert!(!fields.is_empty(), "SG006 needs at least one inert field");
+    Diagnostic {
+        code: "SG006",
+        severity: Severity::Warning,
+        stage: Some(tenant.to_owned()),
+        message: format!(
+            "{} set on a {qos}-class tenant is inert: shed/degrade policy only \
+             applies to Background",
+            fields.join(" and "),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +367,23 @@ mod tests {
             ..ctx()
         };
         assert!(lint_graph(&g, &many_chunks).is_empty());
+    }
+
+    #[test]
+    fn sg006_inert_qos_policy_shape() {
+        let d = inert_qos_policy("ingest-a", "Interactive", &["shed_after"]);
+        assert_eq!(d.code, "SG006");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.stage.as_deref(), Some("ingest-a"));
+        assert!(d.message.contains("shed_after"), "{}", d.message);
+        assert!(d.message.contains("Interactive"), "{}", d.message);
+        let both = inert_qos_policy("b", "Standard", &["shed_after", "degraded_bucketing"]);
+        assert!(
+            both.message.contains("shed_after and degraded_bucketing"),
+            "{}",
+            both.message
+        );
+        assert!(both.render().starts_with("warning[SG006] b:"));
     }
 
     #[test]

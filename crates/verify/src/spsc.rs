@@ -1,5 +1,8 @@
-//! Bounded exhaustive-interleaving checker for the sharded engine's
-//! SPSC counter rings.
+//! Bounded exhaustive-interleaving checkers for the sharded engine's
+//! SPSC counter rings and its park/wake handshake — the crate's two
+//! original bespoke explorers, now stated as [`crate::mc::Model`]s and
+//! explored by the shared [`crate::mc`] harness (which owns the DFS,
+//! the memoization, and the deadlock detection they used to duplicate).
 //!
 //! `crates/sim/src/engine/shard.rs` couples shards through
 //! single-producer/single-consumer rings of *cumulative* counters: the
@@ -20,16 +23,15 @@
 //! 4. **`finished` is trustworthy** — it is stored after the final
 //!    `done` store, so an acquire of `finished` freezes `done`.
 //!
-//! This module model-checks a faithful small model of that protocol the
-//! loom way — every interleaving of the two threads, with loads allowed
-//! to return any coherence-valid (possibly stale) value — but
-//! hand-rolled, because the container policy forbids new dependencies.
-//! States are memoized, so the bounded configuration is explored
-//! *exhaustively*: a pass is a proof over the model, not a sampling.
-//! [`Variant`] deliberately re-introduces the two bugs the protocol is
-//! designed to exclude (publishing `done` before the slot write;
-//! off-by-one flow control) so tests can demonstrate the checker
-//! actually distinguishes correct from broken protocols.
+//! The model is faithful but *derived*: shared memory never appears
+//! explicitly in the state, because every store is a deterministic
+//! function of how far each thread has advanced — loads are then free
+//! to return any coherence-valid (possibly stale) value, which is how
+//! relaxed effects are modeled without modeled atomics. [`Variant`]
+//! deliberately re-introduces the two bugs the protocol is designed to
+//! exclude (publishing `done` before the slot write; off-by-one flow
+//! control) so tests can demonstrate the checker actually distinguishes
+//! correct from broken protocols.
 //!
 //! A second model ([`check_park`]) covers the **park/wake handshake**
 //! the tiered backoff added on top of the rings: a blocked shard raises
@@ -40,11 +42,15 @@
 //! wakeup — sleep straight after the failed check, without the
 //! flag-then-recheck — and the checker must find the interleaving where
 //! the publisher's final store slips into that window and the waiter
-//! sleeps forever.
-
-use std::collections::HashSet;
+//! sleeps forever. In harness terms that interleaving is a state where
+//! no thread is enabled and the model is not terminal; the model's
+//! [`Model::deadlock`] override names it a lost wakeup.
+//!
+//! [`Model::deadlock`]: crate::mc::Model::deadlock
 
 use serde::Serialize;
+
+use crate::mc::{self, explore, McConfig};
 
 /// Bounds for one exhaustive exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,54 +218,79 @@ impl Model {
             Variant::FlowControlOffByOne => t.saturating_sub(self.ring_len),
         }
     }
+}
 
-    /// Successor states of `s`, or `Err` with the first invariant
-    /// violation reachable in one step.
-    fn successors(&self, s: &State) -> Result<Vec<State>, String> {
-        let mut next = Vec::new();
+const PRODUCER: usize = 0;
+const CONSUMER: usize = 1;
+
+impl mc::Model for Model {
+    type State = State;
+
+    fn name(&self) -> &'static str {
+        "spsc-ring"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn initial(&self) -> State {
+        State {
+            p_pc: P_FLOW,
+            p_t: 0,
+            p_wm: 0,
+            c_pc: C_WAIT,
+            c_c: 0,
+            c_dvis: 0,
+        }
+    }
+
+    fn step(&self, s: &State, tid: usize, out: &mut Vec<State>) -> Result<(), String> {
         let t_total = self.iterations;
-
-        // ---- producer ----
-        match s.p_pc {
-            P_FLOW => {
-                let threshold = self.flow_threshold(s.p_t);
-                let cons = self.cons_now(s);
-                if cons < s.p_wm {
-                    return Err(format!(
-                        "cons_done regressed: watermark {} but current {}",
-                        s.p_wm, cons
-                    ));
-                }
-                // The spin loop exits only on a satisfying load; loads of
-                // lower (stale) values merely raise the watermark, which
-                // is dominated by loading the satisfying value directly.
-                if cons >= threshold {
-                    for v in s.p_wm.max(threshold)..=cons {
-                        next.push(State {
-                            p_pc: P_STEP1,
-                            p_wm: v,
-                            ..*s
-                        });
+        if tid == PRODUCER {
+            match s.p_pc {
+                P_FLOW => {
+                    let threshold = self.flow_threshold(s.p_t);
+                    let cons = self.cons_now(s);
+                    if cons < s.p_wm {
+                        return Err(format!(
+                            "cons_done regressed: watermark {} but current {}",
+                            s.p_wm, cons
+                        ));
+                    }
+                    // The spin loop exits only on a satisfying load; loads
+                    // of lower (stale) values merely raise the watermark,
+                    // which is dominated by loading the satisfying value
+                    // directly.
+                    if cons >= threshold {
+                        for v in s.p_wm.max(threshold)..=cons {
+                            out.push(State {
+                                p_pc: P_STEP1,
+                                p_wm: v,
+                                ..*s
+                            });
+                        }
                     }
                 }
-            }
-            P_STEP1 => next.push(State {
-                p_pc: P_STEP2,
-                ..*s
-            }),
-            P_STEP2 => {
-                let t = s.p_t + 1;
-                next.push(State {
-                    p_pc: if t == t_total { P_FINISH } else { P_FLOW },
-                    p_t: t,
+                P_STEP1 => out.push(State {
+                    p_pc: P_STEP2,
                     ..*s
-                });
+                }),
+                P_STEP2 => {
+                    let t = s.p_t + 1;
+                    out.push(State {
+                        p_pc: if t == t_total { P_FINISH } else { P_FLOW },
+                        p_t: t,
+                        ..*s
+                    });
+                }
+                P_FINISH => out.push(State { p_pc: P_DONE, ..*s }),
+                _ => {}
             }
-            P_FINISH => next.push(State { p_pc: P_DONE, ..*s }),
-            _ => {}
+            return Ok(());
         }
+        debug_assert_eq!(tid, CONSUMER);
 
-        // ---- consumer ----
         match s.c_pc {
             C_WAIT => {
                 let done = self.done_now(s);
@@ -271,7 +302,7 @@ impl Model {
                 }
                 if done > s.c_c {
                     for v in s.c_dvis.max(s.c_c + 1)..=done {
-                        next.push(State {
+                        out.push(State {
                             c_pc: C_READ,
                             c_dvis: v,
                             ..*s
@@ -303,7 +334,7 @@ impl Model {
                             (v - s.c_c) / self.ring_len.max(1)
                         ));
                     }
-                    next.push(State {
+                    out.push(State {
                         c_pc: C_PUBLISH,
                         ..*s
                     });
@@ -311,7 +342,7 @@ impl Model {
             }
             C_PUBLISH => {
                 let c = s.c_c + 1;
-                next.push(State {
+                out.push(State {
                     c_pc: if c == t_total { C_CHECKFIN } else { C_WAIT },
                     c_c: c,
                     ..*s
@@ -327,7 +358,7 @@ impl Model {
                          expected {t_total}"
                     ));
                 }
-                next.push(State {
+                out.push(State {
                     c_pc: C_DONE,
                     c_dvis: done,
                     ..*s
@@ -335,15 +366,18 @@ impl Model {
             }
             _ => {}
         }
+        Ok(())
+    }
 
-        let terminal = s.p_pc == P_DONE && s.c_pc == C_DONE;
-        if next.is_empty() && !terminal {
-            return Err(format!(
-                "deadlock: producer at pc {} (item {}), consumer at pc {} (item {})",
-                s.p_pc, s.p_t, s.c_pc, s.c_c
-            ));
-        }
-        Ok(next)
+    fn is_terminal(&self, s: &State) -> bool {
+        s.p_pc == P_DONE && s.c_pc == C_DONE
+    }
+
+    fn deadlock(&self, s: &State) -> String {
+        format!(
+            "deadlock: producer at pc {} (item {}), consumer at pc {} (item {})",
+            s.p_pc, s.p_t, s.c_pc, s.c_c
+        )
     }
 }
 
@@ -361,6 +395,24 @@ pub fn check_spsc(config: &SpscConfig) -> SpscReport {
 ///
 /// Panics when `ring_len` or `iterations` is zero.
 pub fn check_spsc_variant(config: &SpscConfig, variant: Variant) -> SpscReport {
+    let report = mc_spsc(config, variant, &McConfig::default());
+    SpscReport {
+        ring_len: config.ring_len,
+        iterations: config.iterations,
+        states_explored: report.states_explored,
+        violation: demote_truncation(report.violation, report.truncated),
+    }
+}
+
+/// [`check_spsc_variant`] exposed at the harness level: the full
+/// [`mc::McReport`] (transitions, max depth, truncation) under an
+/// explicit [`McConfig`] budget — what `sg_lint --mc` rows are built
+/// from.
+///
+/// # Panics
+///
+/// Panics when `ring_len` or `iterations` is zero.
+pub fn mc_spsc(config: &SpscConfig, variant: Variant, mc: &McConfig) -> mc::McReport {
     assert!(config.ring_len > 0, "ring needs at least one slot");
     assert!(config.iterations > 0, "model needs at least one item");
     let model = Model {
@@ -368,38 +420,18 @@ pub fn check_spsc_variant(config: &SpscConfig, variant: Variant) -> SpscReport {
         iterations: config.iterations,
         variant,
     };
-    let initial = State {
-        p_pc: P_FLOW,
-        p_t: 0,
-        p_wm: 0,
-        c_pc: C_WAIT,
-        c_c: 0,
-        c_dvis: 0,
-    };
-    let mut visited: HashSet<State> = HashSet::new();
-    let mut stack = vec![initial];
-    visited.insert(initial);
-    let mut violation = None;
-    while let Some(s) = stack.pop() {
-        match model.successors(&s) {
-            Err(v) => {
-                violation = Some(v);
-                break;
-            }
-            Ok(succ) => {
-                for n in succ {
-                    if visited.insert(n) {
-                        stack.push(n);
-                    }
-                }
-            }
-        }
-    }
-    SpscReport {
-        ring_len: config.ring_len,
-        iterations: config.iterations,
-        states_explored: visited.len() as u64,
-        violation,
+    explore(&model, mc)
+}
+
+/// The legacy report shapes carry no `truncated` flag, so a blown state
+/// budget (impossible at the shipped bounds, but a caller can ask for
+/// huge ones) must degrade to an explicit violation rather than a
+/// silent pass.
+fn demote_truncation(violation: Option<String>, truncated: bool) -> Option<String> {
+    match (violation, truncated) {
+        (Some(v), _) => Some(v),
+        (None, true) => Some("state budget exhausted before the space was explored".into()),
+        (None, false) => None,
     }
 }
 
@@ -528,46 +560,68 @@ impl ParkModel {
             ..*s
         }
     }
+}
 
-    /// Successor states of `s`, or `Err` with the violation (the only
-    /// reachable one is the lost-wakeup deadlock).
-    fn successors(&self, s: &ParkState) -> Result<Vec<ParkState>, String> {
-        let mut next = Vec::new();
+const PUBLISHER: usize = 0;
+const WAITER: usize = 1;
 
-        // ---- publisher ----
-        match s.q_pc {
-            Q_STORE => next.push(ParkState {
-                q_pc: Q_CHECK,
-                ..*s
-            }),
-            Q_CHECK => {
-                if self.parked_now(s) {
-                    next.push(ParkState { q_pc: Q_WAKE, ..*s });
-                } else {
-                    next.push(self.q_advance(s));
-                }
-            }
-            Q_WAKE => {
-                // Notify under the mutex: a sleeping waiter moves to its
-                // unpark step. (The waiter cannot be between its
-                // flag-raise and its sleep — it holds the mutex there —
-                // so a notify never lands in that gap.)
-                let mut n = self.q_advance(s);
-                if s.w_pc == W_SLEEP {
-                    n.w_pc = W_UNPARK;
-                }
-                next.push(n);
-            }
-            _ => {}
+impl mc::Model for ParkModel {
+    type State = ParkState;
+
+    fn name(&self) -> &'static str {
+        "park-wake"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn initial(&self) -> ParkState {
+        ParkState {
+            q_pc: Q_STORE,
+            q_t: 0,
+            w_pc: W_CHECK,
+            w_k: 1,
         }
+    }
 
-        // ---- waiter ----
+    fn step(&self, s: &ParkState, tid: usize, out: &mut Vec<ParkState>) -> Result<(), String> {
+        if tid == PUBLISHER {
+            match s.q_pc {
+                Q_STORE => out.push(ParkState {
+                    q_pc: Q_CHECK,
+                    ..*s
+                }),
+                Q_CHECK => {
+                    if self.parked_now(s) {
+                        out.push(ParkState { q_pc: Q_WAKE, ..*s });
+                    } else {
+                        out.push(self.q_advance(s));
+                    }
+                }
+                Q_WAKE => {
+                    // Notify under the mutex: a sleeping waiter moves to
+                    // its unpark step. (The waiter cannot be between its
+                    // flag-raise and its sleep — it holds the mutex
+                    // there — so a notify never lands in that gap.)
+                    let mut n = self.q_advance(s);
+                    if s.w_pc == W_SLEEP {
+                        n.w_pc = W_UNPARK;
+                    }
+                    out.push(n);
+                }
+                _ => {}
+            }
+            return Ok(());
+        }
+        debug_assert_eq!(tid, WAITER);
+
         match s.w_pc {
             W_CHECK => {
                 if self.done_now(s) >= s.w_k {
-                    next.push(self.w_advance(s));
+                    out.push(self.w_advance(s));
                 } else {
-                    next.push(ParkState { w_pc: W_PARK, ..*s });
+                    out.push(ParkState { w_pc: W_PARK, ..*s });
                 }
             }
             W_PARK => match self.variant {
@@ -575,9 +629,9 @@ impl ParkModel {
                     // Mutex-atomic: raise the flag, *recheck*, and only
                     // sleep when the condition still fails.
                     if self.done_now(s) >= s.w_k {
-                        next.push(self.w_advance(s));
+                        out.push(self.w_advance(s));
                     } else {
-                        next.push(ParkState {
+                        out.push(ParkState {
                             w_pc: W_SLEEP,
                             ..*s
                         });
@@ -585,37 +639,40 @@ impl ParkModel {
                 }
                 // The sabotage trusts the stale W_CHECK load: raise the
                 // flag and sleep with no recheck.
-                ParkVariant::WakeBeforeFlagRecheck => next.push(ParkState {
+                ParkVariant::WakeBeforeFlagRecheck => out.push(ParkState {
                     w_pc: W_SLEEP,
                     ..*s
                 }),
             },
             // W_SLEEP has no self-transition: only Q_WAKE moves it.
-            W_UNPARK => next.push(ParkState {
+            W_UNPARK => out.push(ParkState {
                 w_pc: W_CHECK,
                 ..*s
             }),
             _ => {}
         }
+        Ok(())
+    }
 
-        let terminal = s.q_pc == Q_DONE && s.w_pc == W_FIN;
-        if next.is_empty() && !terminal {
-            if s.w_pc == W_SLEEP && s.q_pc == Q_DONE {
-                return Err(format!(
-                    "lost wakeup: waiter parked for done >= {} but the \
-                     publisher finished (done = {}) without a notify — \
-                     the store-and-flag-check landed between the \
-                     waiter's condition check and its sleep",
-                    s.w_k, self.iterations
-                ));
-            }
-            return Err(format!(
-                "deadlock: publisher at pc {} (t = {}), waiter at pc {} \
-                 (target {})",
-                s.q_pc, s.q_t, s.w_pc, s.w_k
-            ));
+    fn is_terminal(&self, s: &ParkState) -> bool {
+        s.q_pc == Q_DONE && s.w_pc == W_FIN
+    }
+
+    fn deadlock(&self, s: &ParkState) -> String {
+        if s.w_pc == W_SLEEP && s.q_pc == Q_DONE {
+            return format!(
+                "lost wakeup: waiter parked for done >= {} but the \
+                 publisher finished (done = {}) without a notify — \
+                 the store-and-flag-check landed between the \
+                 waiter's condition check and its sleep",
+                s.w_k, self.iterations
+            );
         }
-        Ok(next)
+        format!(
+            "deadlock: publisher at pc {} (t = {}), waiter at pc {} \
+             (target {})",
+            s.q_pc, s.q_t, s.w_pc, s.w_k
+        )
     }
 }
 
@@ -633,41 +690,27 @@ pub fn check_park(config: &ParkConfig) -> ParkReport {
 ///
 /// Panics when `iterations` is zero.
 pub fn check_park_variant(config: &ParkConfig, variant: ParkVariant) -> ParkReport {
+    let report = mc_park(config, variant, &McConfig::default());
+    ParkReport {
+        iterations: config.iterations,
+        states_explored: report.states_explored,
+        violation: demote_truncation(report.violation, report.truncated),
+    }
+}
+
+/// [`check_park_variant`] exposed at the harness level, like
+/// [`mc_spsc`].
+///
+/// # Panics
+///
+/// Panics when `iterations` is zero.
+pub fn mc_park(config: &ParkConfig, variant: ParkVariant, mc: &McConfig) -> mc::McReport {
     assert!(config.iterations > 0, "model needs at least one increment");
     let model = ParkModel {
         iterations: config.iterations,
         variant,
     };
-    let initial = ParkState {
-        q_pc: Q_STORE,
-        q_t: 0,
-        w_pc: W_CHECK,
-        w_k: 1,
-    };
-    let mut visited: HashSet<ParkState> = HashSet::new();
-    let mut stack = vec![initial];
-    visited.insert(initial);
-    let mut violation = None;
-    while let Some(s) = stack.pop() {
-        match model.successors(&s) {
-            Err(v) => {
-                violation = Some(v);
-                break;
-            }
-            Ok(succ) => {
-                for n in succ {
-                    if visited.insert(n) {
-                        stack.push(n);
-                    }
-                }
-            }
-        }
-    }
-    ParkReport {
-        iterations: config.iterations,
-        states_explored: visited.len() as u64,
-        violation,
-    }
+    explore(&model, mc)
 }
 
 #[cfg(test)]

@@ -1,0 +1,148 @@
+//! Property tests cross-checking the serving layer's admission
+//! protocol against the model checker's obligations.
+//!
+//! `crates/server/src/mc.rs` proves the ledger/waitlist protocol over
+//! one adversarial scenario's *every interleaving*; these properties
+//! cover the orthogonal axis — *many random scenarios* driven through
+//! one representative schedule — and pin the same invariants: token
+//! conservation (committed = sum of live projections, never above
+//! capacity, zero at drain) and strict-FIFO admission order. A bug that
+//! slipped both nets would need to be both schedule- and
+//! scenario-specific.
+//!
+//! The `mc_certifies_the_default_scenario` test is the explicit bridge:
+//! it runs the model checker itself, so the property suite fails
+//! loudly if the certificate ever regresses.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use streamgrid_serve::{
+    check_ledger, queued_admission, LedgerScenario, LedgerVariant, QueuedDecision, TokenLedger,
+};
+use streamgrid_verify::McConfig;
+
+/// Drives a full admit→run→release lifecycle for `projections` over a
+/// `capacity`-token ledger using the shipped decision functions,
+/// checking conservation at every step. Returns the admission order.
+fn drive(capacity: u64, projections: &[u64]) -> Vec<usize> {
+    let mut ledger = TokenLedger::new(capacity);
+    let mut waitlist: VecDeque<usize> = VecDeque::new();
+    let mut running: VecDeque<usize> = VecDeque::new();
+    let mut admitted = Vec::new();
+    let mut live_tokens = 0u64;
+
+    let check = |ledger: &TokenLedger, live: u64| {
+        assert!(ledger.committed() <= ledger.capacity(), "over-committed");
+        assert_eq!(ledger.committed(), live, "conservation broke");
+    };
+
+    for (i, &p) in projections.iter().enumerate() {
+        match queued_admission(&mut ledger, !waitlist.is_empty(), p) {
+            QueuedDecision::Admit => {
+                live_tokens += p;
+                admitted.push(i);
+                running.push_back(i);
+            }
+            QueuedDecision::Waitlist => waitlist.push_back(i),
+            QueuedDecision::RejectImpossibleFit => {
+                assert!(p > capacity, "only impossible fits are rejected")
+            }
+        }
+        check(&ledger, live_tokens);
+    }
+
+    // Finish running tenants one at a time; each release triggers the
+    // FIFO sweep, exactly like the scheduler's Phase A.
+    while let Some(done) = running.pop_front() {
+        ledger.release(projections[done]);
+        live_tokens -= projections[done];
+        for i in streamgrid_serve::admit_fifo(&mut ledger, &mut waitlist, |i| projections[i]) {
+            live_tokens += projections[i];
+            admitted.push(i);
+            running.push_back(i);
+        }
+        check(&ledger, live_tokens);
+    }
+
+    assert_eq!(ledger.committed(), 0, "tokens leaked at drain");
+    assert!(waitlist.is_empty(), "waitlist failed to drain");
+    admitted
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// For any random capacity and projection sequence: tokens are
+    /// conserved at every step, never exceed capacity, drain to zero,
+    /// and the waitlist always empties (impossible fits are rejected
+    /// up front, possible ones eventually run).
+    #[test]
+    fn ledger_conserves_tokens_and_drains(
+        capacity in 1u64..12,
+        projections in prop::collection::vec(1u64..15, 1..12),
+    ) {
+        let admitted = drive(capacity, &projections);
+        let expected: Vec<usize> = (0..projections.len())
+            .filter(|&i| projections[i] <= capacity)
+            .collect();
+        // Every feasible tenant was admitted exactly once.
+        let mut sorted = admitted.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// Strict FIFO: with everything drained one-at-a-time, feasible
+    /// tenants are admitted in submission order — a small late tenant
+    /// never jumps a large early one.
+    #[test]
+    fn admission_order_is_strictly_fifo(
+        capacity in 1u64..12,
+        projections in prop::collection::vec(1u64..15, 1..12),
+    ) {
+        let admitted = drive(capacity, &projections);
+        prop_assert!(
+            admitted.windows(2).all(|w| w[0] < w[1]),
+            "admission order {:?} is not FIFO", admitted
+        );
+    }
+
+    /// The same random scenarios, certified by the model checker over
+    /// *every* completion interleaving (not just the one `drive` uses):
+    /// the `Correct` variant must pass exhaustively.
+    #[test]
+    fn mc_passes_on_random_scenarios(
+        capacity in 1u64..8,
+        projections in prop::collection::vec(1u64..10, 1..6),
+    ) {
+        let report = check_ledger(
+            &LedgerScenario { capacity, projections },
+            LedgerVariant::Correct,
+            &McConfig::default(),
+        );
+        prop_assert!(report.passed(), "violation: {:?}", report.violation);
+    }
+}
+
+/// The bridge to the certificate CI enforces: the default adversarial
+/// scenario passes, and every seeded sabotage is caught.
+#[test]
+fn mc_certifies_the_default_scenario() {
+    let mc = McConfig::default();
+    let scenario = LedgerScenario::default();
+    assert!(check_ledger(&scenario, LedgerVariant::Correct, &mc).passed());
+    for variant in [
+        LedgerVariant::FifoBypass,
+        LedgerVariant::NoImpossibleFitReject,
+        LedgerVariant::ForgetRelease,
+    ] {
+        let report = check_ledger(&scenario, variant, &mc);
+        assert!(
+            report.violation.is_some(),
+            "{variant:?} must be caught by the model checker"
+        );
+    }
+}

@@ -290,6 +290,128 @@ fn background_sheds_past_deadline_interactive_never_does() {
     assert!(report.all_clean(), "shed frames are not errors");
 }
 
+/// Background-only policy fields on a non-Background tenant are inert
+/// and flagged `SG006` on the tenant's report (and aggregated on the
+/// server report); clean specs produce clean lint summaries.
+#[test]
+fn inert_qos_policy_on_non_background_is_flagged_sg006() {
+    let mut server = StreamServer::new(ServerConfig::default().with_workers(1));
+    // Interactive tenant setting BOTH Background-only knobs: one SG006
+    // naming both fields.
+    server
+        .submit(
+            cls_spec("eager")
+                .with_qos(QosClass::Interactive)
+                .with_shed_after(Duration::ZERO)
+                .with_degraded_bucketing(SizeBucketing::Quantize(4800)),
+            SyntheticSource::new(1200, 2),
+        )
+        .unwrap();
+    // A clean Standard tenant: no lints.
+    server
+        .submit(cls_spec("quiet"), SyntheticSource::new(1200, 2))
+        .unwrap();
+    // A Background tenant with the same knobs: legitimate, no lints.
+    server
+        .submit(
+            cls_spec("bg")
+                .with_qos(QosClass::Background)
+                .with_degraded_bucketing(SizeBucketing::Quantize(4800)),
+            SyntheticSource::new(1200, 2),
+        )
+        .unwrap();
+    let report = server.run();
+
+    let eager = &report.tenants[0];
+    assert_eq!(eager.lints.warnings, 1);
+    assert_eq!(eager.lints.errors, 0);
+    assert!(
+        eager.lints.messages[0].contains("SG006")
+            && eager.lints.messages[0].contains("shed_after")
+            && eager.lints.messages[0].contains("degraded_bucketing"),
+        "{:?}",
+        eager.lints.messages
+    );
+    // The zero shed deadline was inert: every Interactive frame ran.
+    assert_eq!(eager.shed_frames, 0);
+    assert_eq!(eager.stream.frame_count(), 2);
+    assert!(eager.is_clean(), "SG006 is a warning, not a failure");
+
+    assert!(report.tenants[1].lints.is_clean());
+    assert!(report.tenants[2].lints.is_clean());
+    // The server-level summary aggregates the one warning.
+    assert_eq!(report.lints.warnings, 1);
+    assert_eq!(report.lints.messages.len(), 1);
+    assert!(report.all_clean());
+}
+
+/// Per-tenant shed/degrade policy on a Background tenant overrides the
+/// server-wide config: it takes effect with no server-level policy set
+/// at all, and lints stay clean.
+#[test]
+fn background_tenant_policy_overrides_server_config() {
+    // No server-wide shed_after: only the tenant's own zero deadline
+    // sheds its frames; the policy-less Background tenant executes all.
+    let mut server = StreamServer::new(ServerConfig::default().with_workers(1));
+    server
+        .submit(
+            cls_spec("shedder")
+                .with_qos(QosClass::Background)
+                .with_shed_after(Duration::ZERO),
+            SyntheticSource::new(1200, 4),
+        )
+        .unwrap();
+    server
+        .submit(
+            cls_spec("keeper").with_qos(QosClass::Background),
+            SyntheticSource::new(1200, 4),
+        )
+        .unwrap();
+    let report = server.run();
+    let shedder = &report.tenants[0];
+    let keeper = &report.tenants[1];
+    assert_eq!((shedder.shed_frames, shedder.stream.frame_count()), (4, 0));
+    assert_eq!((keeper.shed_frames, keeper.stream.frame_count()), (0, 4));
+    assert!(shedder.lints.is_clean(), "Background policy is not SG006");
+    assert!(report.lints.is_clean());
+
+    // Per-tenant degraded bucketing with no server-wide one: the
+    // pressured Background tenant compiles at its own coarse bucket.
+    let exec = slow_exec();
+    let mut server = StreamServer::new(ServerConfig::default().with_workers(1).with_queue_depth(2));
+    server
+        .submit(
+            cls_spec("fg")
+                .with_qos(QosClass::Interactive)
+                .with_exec(exec),
+            SyntheticSource::new(1200, 4),
+        )
+        .unwrap();
+    server
+        .submit(
+            cls_spec("bg")
+                .with_qos(QosClass::Background)
+                .with_exec(exec)
+                .with_degraded_bucketing(SizeBucketing::Quantize(4800)),
+            SyntheticSource::new(1200, 8),
+        )
+        .unwrap();
+    let report = server.run();
+    let bg = &report.tenants[1];
+    assert!(
+        bg.degraded_frames >= 1,
+        "the tenant's own degraded bucketing must engage under pressure"
+    );
+    assert!(
+        bg.stream
+            .frames
+            .iter()
+            .any(|f| f.scheduled_elements == 4800),
+        "degraded frames compile at the tenant's Quantize(4800) bucket"
+    );
+    assert!(report.lints.is_clean());
+}
+
 /// Under queue pressure, Background frames compile under the coarser
 /// degraded bucketing (and only Background — Interactive buckets stay
 /// exact).
